@@ -1,0 +1,499 @@
+(** Benchmark harness: regenerates every table and figure of the paper's
+    evaluation (§4).
+
+    Usage: [bench/main.exe [table2|table3|fig16|fig17|fig18a|fig18b|fig18c|
+    ablation-memo|micro|all]] — no argument runs everything except [micro].
+
+    Absolute numbers differ from the paper (its substrate was a 16-node
+    Greenplum cluster over 256 GB of TPC-DS; ours is an in-process simulated
+    cluster over synthetic data) — the claims under test are the *shapes*:
+    who eliminates which partitions, how plan size scales with partition
+    count, and where partition selection helps or hurts. *)
+
+open Mpp_expr
+module Plan = Mpp_plan.Plan
+module Cat = Mpp_catalog.Catalog
+module Table = Mpp_catalog.Table
+module Part = Mpp_catalog.Partition
+module Dist = Mpp_catalog.Distribution
+module Storage = Mpp_storage.Storage
+module W = Mpp_workload
+
+(* A large minor heap keeps GC scheduling from drowning the small
+   per-partition overheads Table 2 measures. *)
+let () = Gc.set { (Gc.get ()) with Gc.minor_heap_size = 1 lsl 24 }
+
+let line = String.make 72 '-'
+
+let header title =
+  Printf.printf "\n%s\n%s\n%s\n" line title line
+
+let median l =
+  let s = List.sort Float.compare l in
+  List.nth s (List.length s / 2)
+
+let time_run f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (Unix.gettimeofday () -. t0, r)
+
+(* ------------------------------------------------------------------ *)
+(* Table 2: partitioning overhead of a full scan                        *)
+(* ------------------------------------------------------------------ *)
+
+let table2 () =
+  header
+    "Table 2: overhead of partitioning (full scan of lineitem, 7 years)";
+  Printf.printf "%-22s %-10s %-12s %-10s\n" "#parts" "scan (ms)" "vs unpart"
+    "paper";
+  let rows = 500_000 in
+  let scenarios =
+    [ (W.Tpch.Unpartitioned, "-");
+      (W.Tpch.Parts_42, "3%");
+      (W.Tpch.Parts_84, "3%");
+      (W.Tpch.Parts_169, "1%");
+      (W.Tpch.Parts_361, "2%") ]
+  in
+  (* One scenario at a time (so each dataset is alone on the heap), warmed
+     up and compacted; report the fastest of eleven runs — the per-partition
+     bookkeeping cost is what is under test, not GC scheduling. *)
+  let timings =
+    List.map
+      (fun (scenario, paper) ->
+        let catalog = Cat.create () in
+        let storage = Storage.create ~nsegments:4 in
+        let _ = W.Tpch.setup ~catalog ~storage ~scenario ~rows in
+        let lg = Mpp_sql.Sql.to_logical catalog "SELECT count(*) FROM lineitem" in
+        let plan =
+          Orca.Optimizer.optimize (Orca.Optimizer.create ~catalog ()) lg
+        in
+        for _ = 1 to 2 do
+          ignore (Mpp_exec.Exec.run ~catalog ~storage plan)
+        done;
+        Gc.compact ();
+        let best = ref Float.infinity in
+        for _ = 1 to 11 do
+          let t, _ =
+            time_run (fun () -> Mpp_exec.Exec.run ~catalog ~storage plan)
+          in
+          if t < !best then best := t
+        done;
+        (scenario, paper, !best))
+      scenarios
+  in
+  let base =
+    match timings with (_, _, t) :: _ -> t | [] -> 1.0
+  in
+  List.iter
+    (fun (scenario, paper, t) ->
+      let overhead = 100.0 *. (t -. base) /. base in
+      Printf.printf "%-22s %-10.1f %-12s %-10s\n"
+        (W.Tpch.scenario_name scenario) (t *. 1000.0)
+        (if scenario = W.Tpch.Unpartitioned then "-"
+         else Printf.sprintf "%+.1f%%" overhead)
+        paper)
+    timings
+
+(* ------------------------------------------------------------------ *)
+(* Table 3 + Figure 16: workload classification & parts scanned        *)
+(* ------------------------------------------------------------------ *)
+
+let workload_env = ref None
+
+let get_env () =
+  match !workload_env with
+  | Some env -> env
+  | None ->
+      let env = W.Runner.setup_env ~scale:4 () in
+      workload_env := Some env;
+      env
+
+let table3 () =
+  header "Table 3: workload classification (39-query star-schema workload)";
+  let env = get_env () in
+  let outcomes = W.Classify.run_workload env in
+  Printf.printf "%-52s %-10s %-8s %s\n" "Category" "queries" "ours" "paper";
+  let paper = [ "11%"; "3%"; "80%"; "3%"; "3%" ] in
+  List.iter2
+    (fun (cat, count, pct) p ->
+      Printf.printf "%-52s %-10d %-8s %s\n"
+        (W.Queries.category_to_string cat)
+        count
+        (Printf.sprintf "%.0f%%" pct)
+        p)
+    (W.Classify.breakdown outcomes) paper
+
+let fig16 () =
+  header
+    "Figure 16: partitions scanned per table, aggregated over the workload";
+  let env = get_env () in
+  Printf.printf "%-18s %-9s %-9s %-14s\n" "table" "Planner" "Orca"
+    "Orca saves";
+  List.iter
+    (fun (name, planner, orca, _total) ->
+      Printf.printf "%-18s %-9d %-9d %-14s\n" name planner orca
+        (if planner = 0 then "-"
+         else
+           Printf.sprintf "%.0f%%"
+             (100.0 *. float_of_int (planner - orca) /. float_of_int planner)))
+    (W.Classify.parts_by_table env)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 17: runtime improvement from partition selection             *)
+(* ------------------------------------------------------------------ *)
+
+let fig17 () =
+  header
+    "Figure 17: relative runtime improvement, partition selection ON vs OFF";
+  let env = get_env () in
+  (* sub-millisecond executions are noise-dominated: time batches of five
+     consecutive runs and take the median of five batches *)
+  let measure kind qu =
+    let batch () =
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to 5 do
+        ignore (W.Runner.run env kind qu)
+      done;
+      (Unix.gettimeofday () -. t0) /. 5.0
+    in
+    ignore (batch ());
+    median (List.init 5 (fun _ -> batch ()))
+  in
+  let results =
+    List.map
+      (fun qu ->
+        let off = measure W.Runner.Orca_no_selection qu in
+        let on_ = measure W.Runner.Orca qu in
+        (qu, off, on_, 100.0 *. (1.0 -. (on_ /. off))))
+      W.Queries.all
+  in
+  (* the paper orders queries by (unselected) runtime and buckets them *)
+  let sorted = List.sort (fun (_, a, _, _) (_, b, _, _) -> Float.compare a b)
+      results in
+  let n = List.length sorted in
+  Printf.printf "%-28s %-12s %-12s %-12s %s\n" "query" "off (ms)" "on (ms)"
+    "improvement" "block";
+  List.iteri
+    (fun i (qu, off, on_, imp) ->
+      let block =
+        if i < n / 3 then "short-running"
+        else if i < 2 * n / 3 then "medium"
+        else "long-running"
+      in
+      Printf.printf "%-28s %-12.2f %-12.2f %+10.1f%%  %s\n"
+        qu.W.Queries.name (off *. 1000.) (on_ *. 1000.) imp block)
+    sorted;
+  let improved =
+    List.filter (fun (_, _, _, imp) -> imp > 0.0) results |> List.length
+  in
+  let above50 =
+    List.filter (fun (_, _, _, imp) -> imp >= 50.0) results |> List.length
+  in
+  let above70 =
+    List.filter (fun (_, _, _, imp) -> imp >= 70.0) results |> List.length
+  in
+  Printf.printf
+    "\nsummary: %d/%d queries improved; %d/%d improved >= 50%% (paper: more \
+     than half); %d/%d improved >= 70%% (paper: over 25%%)\n"
+    improved n above50 n above70 n
+
+(* ------------------------------------------------------------------ *)
+(* Figure 18: plan size                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* 18(a): static elimination — plan size vs % of partitions selected. *)
+let fig18a () =
+  header
+    "Figure 18(a): plan size vs % of partitions scanned (static elimination)";
+  let catalog = Cat.create () in
+  let storage = Storage.create ~nsegments:4 in
+  let _ = W.Tpch.setup ~catalog ~storage ~scenario:W.Tpch.Parts_84 ~rows:0 in
+  Printf.printf "%-12s %-14s %-14s\n" "% parts" "Planner (KB)" "Orca (KB)";
+  List.iter
+    (fun pct ->
+      let nparts = max 1 (84 * pct / 100) in
+      (* cutoff date selecting the first [nparts] monthly partitions *)
+      let cutoff = Date.add_months (Date.of_ymd 1992 1 1) nparts in
+      let sql =
+        Printf.sprintf "SELECT * FROM lineitem WHERE l_shipdate < '%s'"
+          (Date.to_string cutoff)
+      in
+      let lg = Mpp_sql.Sql.to_logical catalog sql in
+      let planner_plan =
+        Mpp_planner.Planner.plan (Mpp_planner.Planner.create ~catalog ()) lg
+      in
+      let orca_plan =
+        Orca.Optimizer.optimize (Orca.Optimizer.create ~catalog ()) lg
+      in
+      Printf.printf "%-12d %-14.1f %-14.1f\n" pct
+        (Mpp_plan.Plan_size.kilobytes ~catalog planner_plan)
+        (Mpp_plan.Plan_size.kilobytes ~catalog orca_plan))
+    [ 1; 25; 50; 75; 100 ]
+
+(* Synthetic R(a,b), S(a,b) partitioned on b, as in §4.4.2/§4.4.3.
+   [hash_on_key] distributes on b instead of a (co-location on the
+   partitioning key, needed by the partition-wise-join ablation). *)
+let make_rs ?(hash_on_key = false) ~nparts () =
+  let catalog = Cat.create () in
+  let part table_name =
+    Part.single_level
+      ~alloc_oid:(fun () -> Cat.alloc_oid catalog)
+      ~key_index:1 ~key_name:"b" ~scheme:Part.Range ~table_name
+      (Part.int_ranges ~start:0 ~width:100 ~count:nparts)
+  in
+  let dist = Dist.Hashed [ (if hash_on_key then 1 else 0) ] in
+  let _r =
+    Cat.add_table catalog ~name:"r"
+      ~columns:[ ("a", Value.Tint); ("b", Value.Tint) ]
+      ~distribution:dist ~partitioning:(part "r") ()
+  in
+  let _s =
+    Cat.add_table catalog ~name:"s"
+      ~columns:[ ("a", Value.Tint); ("b", Value.Tint) ]
+      ~distribution:dist ~partitioning:(part "s") ()
+  in
+  catalog
+
+let fig18b () =
+  header
+    "Figure 18(b): plan size vs #partitions (join with dynamic elimination)";
+  Printf.printf "%-12s %-14s %-14s\n" "#parts" "Planner (KB)" "Orca (KB)";
+  List.iter
+    (fun nparts ->
+      let catalog = make_rs ~nparts () in
+      let sql = "SELECT * FROM r, s WHERE r.b = s.b AND s.a < 100" in
+      let lg = Mpp_sql.Sql.to_logical catalog sql in
+      let planner_plan =
+        Mpp_planner.Planner.plan (Mpp_planner.Planner.create ~catalog ()) lg
+      in
+      let orca_plan =
+        Orca.Optimizer.optimize (Orca.Optimizer.create ~catalog ()) lg
+      in
+      Printf.printf "%-12d %-14.1f %-14.1f\n" nparts
+        (Mpp_plan.Plan_size.kilobytes ~catalog planner_plan)
+        (Mpp_plan.Plan_size.kilobytes ~catalog orca_plan))
+    [ 50; 100; 150; 200; 250; 300 ]
+
+let fig18c () =
+  header "Figure 18(c): plan size vs #partitions (DML over partitioned tables)";
+  Printf.printf "%-12s %-14s %-14s\n" "#parts" "Planner (KB)" "Orca (KB)";
+  List.iter
+    (fun nparts ->
+      let catalog = make_rs ~nparts () in
+      let sql = "UPDATE r SET b = s.b FROM s WHERE r.a = s.a" in
+      let lg = Mpp_sql.Sql.to_logical catalog sql in
+      let planner_plan =
+        Mpp_planner.Planner.plan (Mpp_planner.Planner.create ~catalog ()) lg
+      in
+      let orca_plan =
+        Orca.Optimizer.optimize (Orca.Optimizer.create ~catalog ()) lg
+      in
+      Printf.printf "%-12d %-14.1f %-14.1f\n" nparts
+        (Mpp_plan.Plan_size.kilobytes ~catalog planner_plan)
+        (Mpp_plan.Plan_size.kilobytes ~catalog orca_plan))
+    [ 50; 100; 150; 200; 250; 300 ]
+
+(* ------------------------------------------------------------------ *)
+(* Ablation: memo property enforcement                                  *)
+(* ------------------------------------------------------------------ *)
+
+let ablation_memo () =
+  header "Ablation: memo plan space for R join S (paper Figure 13/14)";
+  let catalog = make_rs ~nparts:10 () in
+  let r = Cat.find catalog "r" and s = Cat.find catalog "s" in
+  let lg =
+    Orca.Logical.join
+      (Expr.eq
+         (Expr.col (Table.colref r ~rel:0 "b"))
+         (Expr.col (Table.colref s ~rel:1 "a")))
+      (Orca.Logical.get ~rel:0 "r")
+      (Orca.Logical.get ~rel:1 "s")
+  in
+  let alts = Orca.Memo.plan_space ~catalog ~limit:16 lg in
+  Printf.printf "%d valid plan alternatives enumerated\n" (List.length alts);
+  let with_dpe =
+    List.filter
+      (fun p ->
+        Plan.fold
+          (fun acc n ->
+            acc
+            || match n with
+               | Plan.Partition_selector { predicates; child = Some _; _ } ->
+                   List.exists Option.is_some predicates
+               | _ -> false)
+          false p)
+      alts
+  in
+  Printf.printf
+    "%d of them perform join-driven partition selection (the paper's Plan 4)\n"
+    (List.length with_dpe);
+  (match Orca.Memo.best_plan ~catalog lg with
+  | Some (plan, cost) ->
+      Printf.printf "best plan (cost %.1f):\n%s\n" cost (Plan.to_string plan)
+  | None -> print_endline "no plan found");
+  match with_dpe with
+  | p :: _ ->
+      Printf.printf "example partition-selecting plan:\n%s\n" (Plan.to_string p)
+  | [] -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Ablation: partition-wise joins (paper §5 related work)              *)
+(* ------------------------------------------------------------------ *)
+
+(* The alternative the paper contrasts with (Herodotou et al., Oracle):
+   expand a key-to-key join of identically partitioned tables into an
+   Append of per-partition joins.  Execution is competitive — but plan size
+   grows linearly with the partition count again, the exact property the
+   DynamicScan representation was designed to avoid. *)
+let ablation_pwj () =
+  header
+    "Ablation: partition-wise join (related-work alternative, paper Sec. 5)";
+  Printf.printf "%-10s %-16s %-16s %-14s %-14s\n" "#parts" "DynScan (KB)"
+    "PartWise (KB)" "DynScan ms" "PartWise ms";
+  List.iter
+    (fun nparts ->
+      let catalog = make_rs ~hash_on_key:true ~nparts () in
+      let storage = Storage.create ~nsegments:4 in
+      let r = Cat.find catalog "r" and s = Cat.find catalog "s" in
+      let rng = W.Rng.create () in
+      for i = 0 to 20_000 - 1 do
+        let b = W.Rng.int rng (nparts * 100) in
+        Storage.insert storage r [| Value.Int i; Value.Int b |];
+        Storage.insert storage s
+          [| Value.Int (W.Rng.int rng 20_000); Value.Int b |]
+      done;
+      let lg =
+        Mpp_sql.Sql.to_logical catalog
+          "SELECT count(*) FROM r, s WHERE r.b = s.b AND s.a < 1000"
+      in
+      let optimize config =
+        Orca.Optimizer.optimize (Orca.Optimizer.create ~config ~catalog ()) lg
+      in
+      let dyn = optimize Orca.Optimizer.default_config in
+      let pwj =
+        optimize
+          { Orca.Optimizer.default_config with
+            enable_partition_wise_join = true }
+      in
+      let time plan =
+        ignore (Mpp_exec.Exec.run ~catalog ~storage plan);
+        let ts =
+          List.init 5 (fun _ ->
+              fst (time_run (fun () -> Mpp_exec.Exec.run ~catalog ~storage plan)))
+        in
+        1000.0 *. List.fold_left Float.min Float.infinity ts
+      in
+      let r1, _ = Mpp_exec.Exec.run ~catalog ~storage dyn in
+      let r2, _ = Mpp_exec.Exec.run ~catalog ~storage pwj in
+      assert (r1 = r2);
+      Printf.printf "%-10d %-16.1f %-16.1f %-14.2f %-14.2f\n" nparts
+        (Mpp_plan.Plan_size.kilobytes ~catalog dyn)
+        (Mpp_plan.Plan_size.kilobytes ~catalog pwj)
+        (time dyn) (time pwj))
+    [ 25; 50; 100; 200 ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks                                           *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  header "Bechamel micro-benchmarks (one per experiment family)";
+  let open Bechamel in
+  let catalog = make_rs ~nparts:300 () in
+  let table = Cat.find catalog "r" in
+  let partitioning = Option.get table.Table.partitioning in
+  let restriction =
+    [| Some (Interval.Set.singleton (Interval.at_most (Value.Int 5000))) |]
+  in
+  let test_selection =
+    Test.make ~name:"partition-selection-300-parts"
+      (Staged.stage (fun () ->
+           ignore (Part.select_oids partitioning restriction)))
+  in
+  let sql_join = "SELECT * FROM r, s WHERE r.b = s.b AND s.a < 100" in
+  let lg = Mpp_sql.Sql.to_logical catalog sql_join in
+  let test_optimize =
+    Test.make ~name:"orca-optimize-join-300-parts"
+      (Staged.stage (fun () ->
+           ignore
+             (Orca.Optimizer.optimize (Orca.Optimizer.create ~catalog ()) lg)))
+  in
+  let test_planner =
+    Test.make ~name:"planner-expand-join-300-parts"
+      (Staged.stage (fun () ->
+           ignore
+             (Mpp_planner.Planner.plan
+                (Mpp_planner.Planner.create ~catalog ())
+                lg)))
+  in
+  let a =
+    Interval.Set.of_list
+      (List.init 32 (fun i ->
+           Option.get
+             (Interval.closed_open (Value.Int (i * 10)) (Value.Int ((i * 10) + 5)))))
+  in
+  let b =
+    Interval.Set.of_list
+      (List.init 32 (fun i ->
+           Option.get
+             (Interval.closed_open (Value.Int (i * 7)) (Value.Int ((i * 7) + 3)))))
+  in
+  let test_interval =
+    Test.make ~name:"interval-set-intersection"
+      (Staged.stage (fun () -> ignore (Interval.Set.inter a b)))
+  in
+  let tests =
+    Test.make_grouped ~name:"partitioned-tables"
+      [ test_selection; test_optimize; test_planner; test_interval ]
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 1.0) () in
+  let raw = Benchmark.all cfg instances tests in
+  let results = List.map (fun i -> Analyze.all ols i raw) instances in
+  List.iter
+    (fun tbl ->
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> Printf.printf "%-48s %14.1f ns/run\n" name est
+          | _ -> Printf.printf "%-48s (no estimate)\n" name)
+        tbl)
+    results
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let all () =
+  table2 ();
+  table3 ();
+  fig16 ();
+  fig17 ();
+  fig18a ();
+  fig18b ();
+  fig18c ();
+  ablation_memo ();
+  ablation_pwj ()
+
+let () =
+  match if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" with
+  | "table2" -> table2 ()
+  | "table3" -> table3 ()
+  | "fig16" -> fig16 ()
+  | "fig17" -> fig17 ()
+  | "fig18a" -> fig18a ()
+  | "fig18b" -> fig18b ()
+  | "fig18c" -> fig18c ()
+  | "ablation-memo" -> ablation_memo ()
+  | "ablation-pwj" -> ablation_pwj ()
+  | "micro" -> micro ()
+  | "all" -> all ()
+  | other ->
+      Printf.eprintf
+        "unknown experiment %s (expected table2|table3|fig16|fig17|fig18a|\
+         fig18b|fig18c|ablation-memo|ablation-pwj|micro|all)\n"
+        other;
+      exit 1

@@ -1,0 +1,199 @@
+(** [mppsim] — a command-line front end to the simulated MPP cluster.
+
+    Loads the TPC-DS-style demo schema (the one the paper's evaluation uses)
+    and then explains or executes SQL against it with either optimizer:
+
+    {v
+    mppsim explain "SELECT count(*) FROM store_sales WHERE ss_sold_date >= '2013-10-01'"
+    mppsim run --optimizer planner "SELECT ..."
+    mppsim repl
+    mppsim schema
+    v} *)
+
+open Cmdliner
+module Plan = Mpp_plan.Plan
+module W = Mpp_workload
+
+type opt_kind = Orca | Planner
+
+let env_of ~scale ~segments =
+  W.Runner.setup_env ~scale ~nsegments:segments ()
+
+let plan_of env kind ~selection sql =
+  let logical = Mpp_sql.Sql.to_logical env.W.Runner.catalog sql in
+  match kind with
+  | Planner ->
+      Mpp_planner.Planner.plan
+        (Mpp_planner.Planner.create ~catalog:env.W.Runner.catalog ())
+        logical
+  | Orca ->
+      let config =
+        { Orca.Optimizer.default_config with
+          enable_partition_selection = selection }
+      in
+      Orca.Optimizer.optimize
+        (Orca.Optimizer.create ~config ~stats:env.W.Runner.stats
+           ~catalog:env.W.Runner.catalog ())
+        logical
+
+let print_metrics env metrics =
+  let facts = W.Tpcds.fact_tables env.W.Runner.schema in
+  let scanned =
+    List.filter_map
+      (fun (t : Mpp_catalog.Table.t) ->
+        let n =
+          Mpp_exec.Metrics.parts_scanned_of metrics
+            ~root_oid:t.Mpp_catalog.Table.oid
+        in
+        if n > 0 then
+          Some
+            (Printf.sprintf "%s: %d/%d" t.Mpp_catalog.Table.name n
+               (Mpp_catalog.Table.nparts t))
+        else None)
+      facts
+  in
+  Printf.printf "tuples scanned: %d; partitions scanned: %s\n"
+    metrics.Mpp_exec.Metrics.tuples_scanned
+    (if scanned = [] then "(none partitioned)" else String.concat ", " scanned)
+
+let do_explain env kind selection sql =
+  let plan = plan_of env kind ~selection sql in
+  print_endline (Plan.to_string plan);
+  Printf.printf "plan size: %.1f KB, %d nodes\n"
+    (Mpp_plan.Plan_size.kilobytes ~catalog:env.W.Runner.catalog plan)
+    (Plan.node_count plan)
+
+let do_run env kind selection sql =
+  let plan = plan_of env kind ~selection sql in
+  let t0 = Unix.gettimeofday () in
+  let rows, metrics =
+    Mpp_exec.Exec.run ~catalog:env.W.Runner.catalog
+      ~storage:env.W.Runner.storage plan
+  in
+  let dt = Unix.gettimeofday () -. t0 in
+  List.iteri
+    (fun i row ->
+      if i < 50 then begin
+        Array.iteri
+          (fun j v ->
+            if j > 0 then print_string " | ";
+            print_string (Mpp_expr.Value.to_string v))
+          row;
+        print_newline ()
+      end
+      else if i = 50 then Printf.printf "... (%d rows)\n" (List.length rows))
+    rows;
+  Printf.printf "(%d rows in %.2f ms)\n" (List.length rows) (dt *. 1000.0);
+  print_metrics env metrics
+
+let do_schema env =
+  List.iter
+    (fun (t : Mpp_catalog.Table.t) ->
+      Printf.printf "%-18s %4d column(s), %4d partition(s), %s\n"
+        t.Mpp_catalog.Table.name
+        (Mpp_catalog.Table.ncols t)
+        (Mpp_catalog.Table.nparts t)
+        (Mpp_catalog.Distribution.to_string t.Mpp_catalog.Table.distribution))
+    (Mpp_catalog.Catalog.tables env.W.Runner.catalog)
+
+let do_repl env kind selection =
+  print_endline
+    "mppsim repl — TPC-DS demo schema loaded; \\q quits, \\schema lists \
+     tables, \\explain SQL shows the plan";
+  let rec loop () =
+    print_string "mppsim> ";
+    match read_line () with
+    | exception End_of_file -> ()
+    | "\\q" -> ()
+    | "" -> loop ()
+    | "\\schema" ->
+        do_schema env;
+        loop ()
+    | line ->
+        let explain, sql =
+          if String.length line > 9 && String.sub line 0 9 = "\\explain " then
+            (true, String.sub line 9 (String.length line - 9))
+          else (false, line)
+        in
+        (try
+           if explain then do_explain env kind selection sql
+           else do_run env kind selection sql
+         with
+        | Mpp_sql.Sql.Error m -> Printf.printf "error: %s\n" m
+        | Invalid_argument m -> Printf.printf "error: %s\n" m);
+        loop ()
+  in
+  loop ()
+
+(* ---------------- cmdliner wiring ---------------- *)
+
+let verbose_arg =
+  Arg.(value & flag & info [ "verbose"; "v" ]
+         ~doc:"Trace optimizer decisions (selector placement, join \
+               orientation) to stderr.")
+
+let setup_logs verbose =
+  if verbose then begin
+    Logs.set_reporter (Logs_fmt.reporter ());
+    Logs.set_level (Some Logs.Debug)
+  end
+
+let optimizer_arg =
+  let kind_conv = Arg.enum [ ("orca", Orca); ("planner", Planner) ] in
+  Arg.(value & opt kind_conv Orca & info [ "optimizer"; "o" ]
+         ~doc:"Optimizer to use: orca (default) or planner.")
+
+let no_selection_arg =
+  Arg.(value & flag & info [ "no-selection" ]
+         ~doc:"Disable partition selection (the Figure-17 ablation).")
+
+let scale_arg =
+  Arg.(value & opt int 1 & info [ "scale" ] ~doc:"Demo data scale factor.")
+
+let segments_arg =
+  Arg.(value & opt int 4 & info [ "segments" ] ~doc:"Number of segments.")
+
+let sql_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"SQL")
+
+let with_env f kind no_selection scale segments verbose =
+  setup_logs verbose;
+  let env = env_of ~scale ~segments in
+  f env kind (not no_selection)
+
+let explain_cmd =
+  Cmd.v (Cmd.info "explain" ~doc:"Show the plan for a SQL statement.")
+    Term.(const (fun k n sc sg v sql -> with_env
+                    (fun env k sel -> do_explain env k sel sql) k n sc sg v)
+          $ optimizer_arg $ no_selection_arg $ scale_arg $ segments_arg
+          $ verbose_arg $ sql_arg)
+
+let run_cmd =
+  Cmd.v (Cmd.info "run" ~doc:"Execute a SQL statement on the demo cluster.")
+    Term.(const (fun k n sc sg v sql -> with_env
+                    (fun env k sel -> do_run env k sel sql) k n sc sg v)
+          $ optimizer_arg $ no_selection_arg $ scale_arg $ segments_arg
+          $ verbose_arg $ sql_arg)
+
+let repl_cmd =
+  Cmd.v (Cmd.info "repl" ~doc:"Interactive SQL prompt on the demo cluster.")
+    Term.(const (fun k n sc sg v -> with_env
+                    (fun env k sel -> do_repl env k sel) k n sc sg v)
+          $ optimizer_arg $ no_selection_arg $ scale_arg $ segments_arg
+          $ verbose_arg)
+
+let schema_cmd =
+  Cmd.v (Cmd.info "schema" ~doc:"List the demo schema's tables.")
+    Term.(const (fun sc sg ->
+              do_schema (env_of ~scale:sc ~segments:sg))
+          $ scale_arg $ segments_arg)
+
+let main =
+  Cmd.group
+    (Cmd.info "mppsim" ~version:"1.0.0"
+       ~doc:
+         "Simulated MPP database with partitioned-table optimization \
+          (SIGMOD 2014 reproduction).")
+    [ explain_cmd; run_cmd; repl_cmd; schema_cmd ]
+
+let () = exit (Cmd.eval main)

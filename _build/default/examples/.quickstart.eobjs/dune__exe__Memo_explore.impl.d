@@ -1,0 +1,1 @@
+examples/memo_explore.ml: Expr List Mpp_catalog Mpp_expr Mpp_plan Option Orca Printf Value

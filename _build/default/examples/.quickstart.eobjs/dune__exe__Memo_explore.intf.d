@@ -1,0 +1,1 @@
+examples/memo_explore.mli:

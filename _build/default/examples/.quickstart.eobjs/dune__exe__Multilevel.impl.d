@@ -1,0 +1,1 @@
+examples/multilevel.ml: Array Date Interval List Mpp_catalog Mpp_exec Mpp_expr Mpp_plan Mpp_sql Mpp_storage Orca Printf String Value

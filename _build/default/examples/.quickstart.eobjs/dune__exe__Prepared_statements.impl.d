@@ -1,0 +1,1 @@
+examples/prepared_statements.ml: Array Mpp_catalog Mpp_exec Mpp_expr Mpp_plan Mpp_sql Mpp_storage Orca Printf Value

@@ -1,0 +1,1 @@
+examples/prepared_statements.mli:

@@ -1,0 +1,1 @@
+examples/star_schema.ml: Mpp_catalog Mpp_exec Mpp_plan Mpp_planner Mpp_sql Mpp_workload Orca Printf

@@ -1,0 +1,1 @@
+lib/catalog/builtins.ml: Array Catalog Interval List Mpp_expr Option Partition Printf Table Value

@@ -1,0 +1,1 @@
+lib/catalog/builtins.mli: Catalog Interval Mpp_expr Partition Value

@@ -1,0 +1,1 @@
+lib/catalog/catalog.ml: Array Hashtbl Int List Partition Table

@@ -1,0 +1,1 @@
+lib/catalog/catalog.mli: Distribution Mpp_expr Partition Table

@@ -1,0 +1,1 @@
+lib/catalog/distribution.ml: Array Format List Mpp_expr String

@@ -1,0 +1,1 @@
+lib/catalog/distribution.mli: Format Mpp_expr

@@ -1,0 +1,1 @@
+lib/catalog/partition.ml: Array Date Format Interval List Mpp_expr Printf Seq String Value

@@ -1,0 +1,1 @@
+lib/catalog/partition.mli: Date Format Interval Mpp_expr Value

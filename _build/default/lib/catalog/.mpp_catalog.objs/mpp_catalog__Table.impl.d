@@ -1,0 +1,1 @@
+lib/catalog/table.ml: Array Colref Distribution Format List Mpp_expr Option Partition Printf String Value

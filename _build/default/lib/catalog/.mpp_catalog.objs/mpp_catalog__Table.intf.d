@@ -1,0 +1,1 @@
+lib/catalog/table.mli: Colref Distribution Format Mpp_expr Partition Value

@@ -1,0 +1,32 @@
+(** The built-in partition-selection functions of paper §3.2, Table 1 — the
+    runtime face of the catalog, invoked by query plans (Figure 15).  The
+    fourth builtin, [partition_propagation], is the side-effecting OID push
+    and lives in the executor ({!Mpp_exec.Channel.propagate}). *)
+
+open Mpp_expr
+
+val partition_expansion : Catalog.t -> int -> Partition.oid list
+(** All leaf partition OIDs of the given root OID. *)
+
+val partition_selection :
+  Catalog.t -> int -> Value.t array -> Partition.oid option
+(** Leaf containing the given partitioning-key value(s), one per level;
+    [None] is the invalid partition ⊥. *)
+
+type constraint_row = {
+  part_oid : Partition.oid;
+  min : Value.t option;  (** [None] = unbounded below *)
+  min_incl : bool;
+  max : Value.t option;  (** [None] = unbounded above *)
+  max_incl : bool;
+  is_default : bool;
+}
+
+val partition_constraints : Catalog.t -> int -> constraint_row list
+(** One row per leaf with its level-0 range constraint, in the
+    (oid, min, minincl, max, maxincl) shape of Table 1. *)
+
+val partition_select_restricted :
+  Catalog.t -> int -> Interval.Set.t option array -> Partition.oid list
+(** Per-level restriction-driven selection — the engine behind both static
+    and dynamic partition elimination. *)

@@ -1,0 +1,33 @@
+(** The metadata catalog: OID allocation and table lookup by name or OID.
+    Leaf partitions register alongside their root so storage can locate a
+    partition's tuples from its OID alone (paper §2.1). *)
+
+type t
+
+val create : unit -> t
+val alloc_oid : t -> int
+
+val add_table :
+  t ->
+  name:string ->
+  columns:(string * Mpp_expr.Value.datatype) list ->
+  distribution:Distribution.t ->
+  ?partitioning:Partition.t ->
+  unit ->
+  Table.t
+(** Registers a table; [partitioning] must have been built with this
+    catalog's {!alloc_oid}.  Raises [Invalid_argument] on duplicates. *)
+
+val find : t -> string -> Table.t
+(** Raises [Invalid_argument] for unknown names. *)
+
+val find_opt : t -> string -> Table.t option
+
+val find_oid : t -> int -> Table.t
+(** Lookup by root OID; raises [Invalid_argument] when absent. *)
+
+val root_of_leaf : t -> int -> int option
+(** Root OID of the partitioned table a leaf belongs to. *)
+
+val tables : t -> Table.t list
+(** All registered tables, by ascending OID. *)

@@ -1,0 +1,254 @@
+(** Partitioning metadata: the logical model of paper §2.1 plus the
+    multi-level extension of §2.4.
+
+    A partitioned table carries a list of {e levels}, each naming a
+    partitioning-key column and a scheme (range or categorical).  Its data is
+    held by {e leaf} partitions; each leaf has an OID, a physical-table name
+    and one constraint per level.  Constraints are in the paper's §3.2 normal
+    form: [pk ∈ ∪ᵢ (aᵢ₁, aᵢₖ)], i.e. an {!Mpp_expr.Interval.Set.t} — or
+    [Default], the catch-all partition for values (including NULL) no sibling
+    accepts.
+
+    This module implements the two functions of §2.1:
+    - [f_T] — {!route}: map a tuple's key values to its leaf (or ⊥);
+    - [f*_T] — {!select}: map per-level restrictions to the set of leaf OIDs
+      that can satisfy them (an over-approximation, never dropping a
+      qualifying leaf). *)
+
+open Mpp_expr
+
+type oid = int
+
+type scheme = Range | Categorical
+
+type level = {
+  key_index : int;  (** column position of the partitioning key *)
+  key_name : string;
+  scheme : scheme;
+}
+
+type constr =
+  | Cset of Interval.Set.t
+      (** the values this partition accepts at this level *)
+  | Default  (** catch-all: everything the siblings reject, and NULLs *)
+
+type leaf = {
+  leaf_oid : oid;
+  leaf_name : string;
+  bounds : constr array;  (** one constraint per level, root to leaf *)
+}
+
+type t = { levels : level array; leaves : leaf array }
+
+let nlevels t = Array.length t.levels
+let nparts t = Array.length t.leaves
+let leaf_oids t = Array.to_list (Array.map (fun l -> l.leaf_oid) t.leaves)
+
+let key_indices t =
+  Array.to_list (Array.map (fun lv -> lv.key_index) t.levels)
+
+let find_leaf t oid =
+  let n = Array.length t.leaves in
+  let rec go i =
+    if i >= n then None
+    else if t.leaves.(i).leaf_oid = oid then Some t.leaves.(i)
+    else go (i + 1)
+  in
+  go 0
+
+(* The union of the sibling (non-default) constraints at [level], restricted
+   to leaves matching [prefix_pred]; used to decide what a Default arm
+   covers. *)
+let covered_at t ~level ~prefix =
+  Array.to_list t.leaves
+  |> List.filter (fun lf ->
+         let rec agrees i =
+           i >= level
+           || (match (lf.bounds.(i), prefix.(i)) with
+              | Default, Default -> true
+              | Cset a, Cset b -> Interval.Set.equal a b
+              | (Default | Cset _), _ -> false)
+              && agrees (i + 1)
+         in
+         agrees 0)
+  |> List.filter_map (fun lf ->
+         match lf.bounds.(level) with Cset s -> Some s | Default -> None)
+  |> List.fold_left Interval.Set.union Interval.Set.empty
+
+(** [f_T]: route a tuple's key values (one per level) to the leaf that must
+    store it; [None] is the invalid partition ⊥ of §2.1. *)
+let route t (keys : Value.t array) : leaf option =
+  let n = nlevels t in
+  assert (Array.length keys = n);
+  let matches lf =
+    let rec go i =
+      if i >= n then true
+      else
+        (match lf.bounds.(i) with
+        | Cset s -> (not (Value.is_null keys.(i))) && Interval.Set.contains s keys.(i)
+        | Default ->
+            (* Default accepts what no sibling (same prefix) covers. *)
+            Value.is_null keys.(i)
+            || not
+                 (Interval.Set.contains
+                    (covered_at t ~level:i ~prefix:lf.bounds)
+                    keys.(i)))
+        && go (i + 1)
+    in
+    go 0
+  in
+  Array.to_seq t.leaves |> Seq.filter matches |> fun s ->
+  match s () with Seq.Nil -> None | Seq.Cons (lf, _) -> Some lf
+
+(** [f*_T]: given an optional restriction per level ([None] = no predicate on
+    that level's key), return the leaves that may hold satisfying tuples.
+    Sound by construction: a leaf is excluded only when one of its level
+    constraints provably cannot intersect the restriction. *)
+let select t (restrictions : Interval.Set.t option array) : leaf list =
+  let n = nlevels t in
+  assert (Array.length restrictions = n);
+  let survives lf =
+    let rec go i =
+      if i >= n then true
+      else
+        (match restrictions.(i) with
+        | None -> true
+        | Some r -> (
+            match lf.bounds.(i) with
+            | Cset s -> Interval.Set.overlaps_set s r
+            | Default ->
+                (* keep the default arm unless the restriction lies entirely
+                   inside what the siblings cover *)
+                let covered = covered_at t ~level:i ~prefix:lf.bounds in
+                not (Interval.Set.is_empty (Interval.Set.diff r covered))))
+        && go (i + 1)
+    in
+    go 0
+  in
+  Array.to_list t.leaves |> List.filter survives
+
+let select_oids t restrictions =
+  List.map (fun lf -> lf.leaf_oid) (select t restrictions)
+
+(* ------------------------------------------------------------------ *)
+(* Constructors for common partitioning layouts                        *)
+(* ------------------------------------------------------------------ *)
+
+(** Build single-level metadata from explicit per-leaf constraints.
+    [alloc_oid] supplies fresh OIDs for the leaves. *)
+let single_level ~alloc_oid ~key_index ~key_name ~scheme ~table_name constrs =
+  let leaves =
+    List.mapi
+      (fun i c ->
+        {
+          leaf_oid = alloc_oid ();
+          leaf_name = Printf.sprintf "%s_1_prt_%d" table_name (i + 1);
+          bounds = [| c |];
+        })
+      constrs
+    |> Array.of_list
+  in
+  { levels = [| { key_index; key_name; scheme } |]; leaves }
+
+(** Monthly range partitions covering [months] months starting at the first
+    of [start_year]-[start_month]; the classic chronological layout of the
+    paper's Figure 1. *)
+let monthly_ranges ~start_year ~start_month ~months =
+  List.init months (fun i ->
+      let lo = Date.add_months (Date.of_ymd start_year start_month 1) i in
+      let hi = Date.add_months lo 1 in
+      match Interval.closed_open (Value.Date lo) (Value.Date hi) with
+      | Some iv -> Cset (Interval.Set.singleton iv)
+      | None -> assert false)
+
+(** [n] consecutive day-granularity range partitions of width [width_days]. *)
+let daily_ranges ~start_date ~width_days ~count =
+  List.init count (fun i ->
+      let lo = Date.add_days start_date (i * width_days) in
+      let hi = Date.add_days lo width_days in
+      match Interval.closed_open (Value.Date lo) (Value.Date hi) with
+      | Some iv -> Cset (Interval.Set.singleton iv)
+      | None -> assert false)
+
+(** Integer range partitions: part [i] holds [start + i*width, start +
+    (i+1)*width). *)
+let int_ranges ~start ~width ~count =
+  List.init count (fun i ->
+      let lo = start + (i * width) and hi = start + ((i + 1) * width) in
+      match Interval.closed_open (Value.Int lo) (Value.Int hi) with
+      | Some iv -> Cset (Interval.Set.singleton iv)
+      | None -> assert false)
+
+(** One categorical partition per value list. *)
+let categorical values_per_part =
+  List.map
+    (fun vs -> Cset (Interval.Set.of_list (List.map Interval.point vs)))
+    values_per_part
+
+(** Two-level metadata as the cross product of per-level constraints (the
+    orders-by-date-and-region layout of paper Figure 9). *)
+let two_level ~alloc_oid ~table_name ~level1 ~constrs1 ~level2 ~constrs2 =
+  let leaves =
+    List.concat_map
+      (fun (i, c1) ->
+        List.map
+          (fun (j, c2) ->
+            {
+              leaf_oid = alloc_oid ();
+              leaf_name =
+                Printf.sprintf "%s_1_prt_%d_2_prt_%d" table_name (i + 1) (j + 1);
+              bounds = [| c1; c2 |];
+            })
+          (List.mapi (fun j c -> (j, c)) constrs2))
+      (List.mapi (fun i c -> (i, c)) constrs1)
+    |> Array.of_list
+  in
+  { levels = [| level1; level2 |]; leaves }
+
+(** General n-level metadata as the cross product of per-level constraint
+    lists — two_level generalized to arbitrary hierarchies. *)
+let multi_level ~alloc_oid ~table_name (levels : (level * constr list) list) =
+  if levels = [] then invalid_arg "Partition.multi_level: no levels";
+  let rec product = function
+    | [] -> [ [] ]
+    | (_, constrs) :: rest ->
+        let tails = product rest in
+        List.concat_map
+          (fun (i, c) -> List.map (fun tail -> (i, c) :: tail) tails)
+          (List.mapi (fun i c -> (i, c)) constrs)
+  in
+  let leaves =
+    product levels
+    |> List.map (fun combo ->
+           {
+             leaf_oid = alloc_oid ();
+             leaf_name =
+               table_name
+               ^ String.concat ""
+                   (List.mapi
+                      (fun lvl (i, _) ->
+                        Printf.sprintf "_%d_prt_%d" (lvl + 1) (i + 1))
+                      combo);
+             bounds = Array.of_list (List.map snd combo);
+           })
+    |> Array.of_list
+  in
+  { levels = Array.of_list (List.map fst levels); leaves }
+
+let pp_constr fmt = function
+  | Default -> Format.pp_print_string fmt "DEFAULT"
+  | Cset s -> Interval.Set.pp fmt s
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>partitioned by (%s), %d leaves@,"
+    (String.concat ", "
+       (Array.to_list (Array.map (fun lv -> lv.key_name) t.levels)))
+    (nparts t);
+  Array.iter
+    (fun lf ->
+      Format.fprintf fmt "  %s (oid %d): %s@," lf.leaf_name lf.leaf_oid
+        (String.concat " / "
+           (Array.to_list
+              (Array.map (Format.asprintf "%a" pp_constr) lf.bounds))))
+    t.leaves;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,92 @@
+(** Partitioning metadata: the logical model of paper §2.1 plus the
+    multi-level extension of §2.4.
+
+    A partitioned table has a list of {e levels} (key column + scheme) and
+    {e leaf} partitions, each a separate physical table (own OID) carrying
+    one constraint per level in the §3.2 normal form — an interval set — or
+    [Default], the catch-all for values (including NULL) no sibling accepts.
+
+    This module implements the paper's two functions:
+    - [f_T] — {!route}: key values → leaf (or ⊥);
+    - [f*_T] — {!select}: per-level restrictions → the leaves that can hold
+      satisfying tuples (an over-approximation, never dropping a qualifying
+      leaf). *)
+
+open Mpp_expr
+
+type oid = int
+type scheme = Range | Categorical
+
+type level = { key_index : int; key_name : string; scheme : scheme }
+
+type constr =
+  | Cset of Interval.Set.t
+      (** the values this partition accepts at this level *)
+  | Default  (** everything the siblings reject, and NULLs *)
+
+type leaf = {
+  leaf_oid : oid;
+  leaf_name : string;
+  bounds : constr array;  (** one constraint per level, root to leaf *)
+}
+
+type t = { levels : level array; leaves : leaf array }
+
+val nlevels : t -> int
+val nparts : t -> int
+val leaf_oids : t -> oid list
+val key_indices : t -> int list
+val find_leaf : t -> oid -> leaf option
+
+val route : t -> Value.t array -> leaf option
+(** [f_T]: the leaf that must store a tuple with these key values (one per
+    level); [None] is the invalid partition ⊥. *)
+
+val select : t -> Interval.Set.t option array -> leaf list
+(** [f*_T]: leaves that may hold satisfying tuples under the given per-level
+    restrictions ([None] = no predicate on that level).  Sound by
+    construction. *)
+
+val select_oids : t -> Interval.Set.t option array -> oid list
+
+(** {2 Constructors for common layouts} *)
+
+val single_level :
+  alloc_oid:(unit -> oid) ->
+  key_index:int ->
+  key_name:string ->
+  scheme:scheme ->
+  table_name:string ->
+  constr list ->
+  t
+
+val monthly_ranges : start_year:int -> start_month:int -> months:int -> constr list
+(** Monthly range partitions — the chronological layout of paper Figure 1. *)
+
+val daily_ranges : start_date:Date.t -> width_days:int -> count:int -> constr list
+val int_ranges : start:int -> width:int -> count:int -> constr list
+
+val categorical : Value.t list list -> constr list
+(** One categorical partition per value list. *)
+
+val two_level :
+  alloc_oid:(unit -> oid) ->
+  table_name:string ->
+  level1:level ->
+  constrs1:constr list ->
+  level2:level ->
+  constrs2:constr list ->
+  t
+(** Cross product of two levels (the orders-by-date-and-region layout of
+    paper Figure 9). *)
+
+val multi_level :
+  alloc_oid:(unit -> oid) ->
+  table_name:string ->
+  (level * constr list) list ->
+  t
+(** Arbitrary-depth hierarchy as the cross product of per-level constraint
+    lists. *)
+
+val pp_constr : Format.formatter -> constr -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,67 @@
+(** Table descriptors: schema, distribution policy and optional partitioning
+    metadata.  A partitioned table is represented by its {e root} OID; its
+    leaves are separate physical tables with their own OIDs, exactly as in
+    the paper's runtime (§3.2). *)
+
+open Mpp_expr
+
+type t = {
+  oid : Partition.oid;  (** root OID *)
+  name : string;
+  columns : (string * Value.datatype) array;
+  distribution : Distribution.t;
+  partitioning : Partition.t option;
+}
+
+let is_partitioned t = Option.is_some t.partitioning
+let ncols t = Array.length t.columns
+
+let col_index t name =
+  let n = ncols t in
+  let rec go i =
+    if i >= n then
+      invalid_arg (Printf.sprintf "Table.col_index: %s has no column %s" t.name name)
+    else if String.equal (fst t.columns.(i)) name then i
+    else go (i + 1)
+  in
+  go 0
+
+let col_type t name = snd t.columns.(col_index t name)
+
+(** Column reference for column [name] of this table used as range-table
+    entry [rel]. *)
+let colref t ~rel name =
+  let index = col_index t name in
+  Colref.make ~rel ~index ~name ~dtype:(snd t.columns.(index))
+
+(** All column references of the table for range-table entry [rel]. *)
+let colrefs t ~rel =
+  Array.to_list
+    (Array.mapi
+       (fun index (name, dtype) -> Colref.make ~rel ~index ~name ~dtype)
+       t.columns)
+
+(** Partitioning-key column references (per level), for instance [rel]. *)
+let part_key_colrefs t ~rel =
+  match t.partitioning with
+  | None -> []
+  | Some p ->
+      Array.to_list p.Partition.levels
+      |> List.map (fun (lv : Partition.level) ->
+             let name, dtype = t.columns.(lv.key_index) in
+             Colref.make ~rel ~index:lv.key_index ~name ~dtype)
+
+let nparts t =
+  match t.partitioning with None -> 1 | Some p -> Partition.nparts p
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>table %s (oid %d) %a@," t.name t.oid
+    Distribution.pp t.distribution;
+  Array.iter
+    (fun (n, d) ->
+      Format.fprintf fmt "  %s %s@," n (Value.datatype_to_string d))
+    t.columns;
+  (match t.partitioning with
+  | None -> ()
+  | Some p -> Partition.pp fmt p);
+  Format.fprintf fmt "@]"

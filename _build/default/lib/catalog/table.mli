@@ -1,0 +1,35 @@
+(** Table descriptors: schema, distribution policy and optional partitioning
+    metadata.  A partitioned table is its {e root} OID; the leaves are
+    separate physical tables with their own OIDs (paper §3.2). *)
+
+open Mpp_expr
+
+type t = {
+  oid : Partition.oid;  (** root OID *)
+  name : string;
+  columns : (string * Value.datatype) array;
+  distribution : Distribution.t;
+  partitioning : Partition.t option;
+}
+
+val is_partitioned : t -> bool
+val ncols : t -> int
+
+val col_index : t -> string -> int
+(** Raises [Invalid_argument] for unknown columns. *)
+
+val col_type : t -> string -> Value.datatype
+
+val colref : t -> rel:int -> string -> Colref.t
+(** Column reference for this table used as range-table entry [rel]. *)
+
+val colrefs : t -> rel:int -> Colref.t list
+
+val part_key_colrefs : t -> rel:int -> Colref.t list
+(** Partitioning-key column references, one per level; [[]] when the table
+    is not partitioned. *)
+
+val nparts : t -> int
+(** 1 for unpartitioned tables. *)
+
+val pp : Format.formatter -> t -> unit

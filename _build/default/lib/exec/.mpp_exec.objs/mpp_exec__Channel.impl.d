@@ -1,0 +1,1 @@
+lib/exec/channel.ml: Hashtbl Int List

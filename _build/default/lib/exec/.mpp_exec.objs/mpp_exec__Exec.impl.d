@@ -1,0 +1,1 @@
+lib/exec/exec.ml: Array Channel Colref Expr Hashtbl Interval List Metrics Mpp_catalog Mpp_expr Mpp_plan Mpp_storage Printf Value

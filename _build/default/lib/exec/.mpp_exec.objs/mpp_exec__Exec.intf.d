@@ -1,0 +1,1 @@
+lib/exec/exec.mli: Channel Metrics Mpp_catalog Mpp_expr Mpp_plan Mpp_storage Value

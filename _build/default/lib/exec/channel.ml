@@ -1,0 +1,33 @@
+(** The shared-memory channel between a PartitionSelector (producer) and its
+    DynamicScan (consumer) — paper §2.2.
+
+    Channels are keyed by [(segment, part_scan_id)]: selector and scan run in
+    the same process on each segment (the optimizer guarantees no Motion
+    separates them), so each segment has a private channel per scan id.
+    {!propagate} is the runtime realization of the [partition_propagation]
+    builtin of paper Table 1. *)
+
+type t = { oids : (int * int, (int, unit) Hashtbl.t) Hashtbl.t }
+
+let create () = { oids = Hashtbl.create 32 }
+
+let slot t ~segment ~part_scan_id =
+  let key = (segment, part_scan_id) in
+  match Hashtbl.find_opt t.oids key with
+  | Some s -> s
+  | None ->
+      let s = Hashtbl.create 16 in
+      Hashtbl.replace t.oids key s;
+      s
+
+(** Push a selected partition OID to the DynamicScan with the given id on
+    the given segment (idempotent). *)
+let propagate t ~segment ~part_scan_id oid =
+  Hashtbl.replace (slot t ~segment ~part_scan_id) oid ()
+
+(** All OIDs pushed so far for this (segment, scan id), sorted. *)
+let consume t ~segment ~part_scan_id =
+  Hashtbl.fold (fun oid () acc -> oid :: acc) (slot t ~segment ~part_scan_id) []
+  |> List.sort Int.compare
+
+let reset t = Hashtbl.reset t.oids

@@ -1,0 +1,17 @@
+(** The shared-memory channel between a PartitionSelector (producer) and its
+    DynamicScan (consumer) — paper §2.2.  Keyed by
+    [(segment, part_scan_id)]: the optimizer guarantees both ends share a
+    process on each segment.  {!propagate} is the runtime realization of the
+    [partition_propagation] builtin of paper Table 1. *)
+
+type t
+
+val create : unit -> t
+
+val propagate : t -> segment:int -> part_scan_id:int -> int -> unit
+(** Push a selected partition OID (idempotent). *)
+
+val consume : t -> segment:int -> part_scan_id:int -> int list
+(** All OIDs pushed so far for this (segment, scan id), sorted. *)
+
+val reset : t -> unit

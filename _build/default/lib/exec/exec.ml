@@ -1,0 +1,786 @@
+(** The query executor: interprets a physical {!Mpp_plan.Plan.t} on the
+    simulated MPP cluster.
+
+    Execution is segment-synchronous: every operator produces, for each
+    segment, the rows that operator would emit on that segment; [Motion]
+    nodes re-shuffle the per-segment row sets.  Side-effect ordering follows
+    the paper's conventions — [Sequence] children run left to right and a
+    join's left child runs before its right child — so a PartitionSelector
+    always executes (and pushes its OIDs into the per-segment {!Channel})
+    before the DynamicScan that consumes them.
+
+    Rows are flat [Value.t array]s; each operator's output carries a layout
+    mapping range-table indices to offsets so column references evaluate
+    positionally. *)
+
+open Mpp_expr
+module Plan = Mpp_plan.Plan
+
+type ctx = {
+  catalog : Mpp_catalog.Catalog.t;
+  storage : Mpp_storage.Storage.t;
+  channel : Channel.t;
+  metrics : Metrics.t;
+  params : Value.t array;
+  selection_enabled : bool;
+      (** when [false], PartitionSelectors ignore their predicates and push
+          every leaf OID — the "partition selection disabled" configuration
+          of the paper's Figure 17 *)
+}
+
+let create_ctx ?(params = [||]) ?(selection_enabled = true) ~catalog ~storage
+    () =
+  {
+    catalog;
+    storage;
+    channel = Channel.create ();
+    metrics = Metrics.create ();
+    params;
+    selection_enabled;
+  }
+
+type result = {
+  layout : (int * int) list;  (** (range-table index, width) left to right *)
+  rows : Value.t array list array;  (** one row list per segment *)
+}
+
+let nsegments ctx = Mpp_storage.Storage.nsegments ctx.storage
+
+let empty_rows ctx = Array.make (nsegments ctx) []
+
+(* ------------------------------------------------------------------ *)
+(* Layout and environment plumbing                                     *)
+(* ------------------------------------------------------------------ *)
+
+let offset_of layout rel =
+  let rec go off = function
+    | [] -> None
+    | (r, w) :: rest -> if r = rel then Some off else go (off + w) rest
+  in
+  go 0 layout
+
+let layout_width layout = List.fold_left (fun acc (_, w) -> acc + w) 0 layout
+
+let env_of ctx layout (tuple : Value.t array) : Expr.env =
+  {
+    Expr.col =
+      (fun c ->
+        match offset_of layout c.Colref.rel with
+        | Some off -> tuple.(off + c.Colref.index)
+        | None ->
+            invalid_arg
+              (Printf.sprintf "Exec: column %s not in scope"
+                 (Colref.to_string c)));
+    Expr.param =
+      (fun i ->
+        if i < Array.length ctx.params then ctx.params.(i)
+        else invalid_arg (Printf.sprintf "Exec: unbound parameter $%d" i));
+  }
+
+(* Column lookup that yields [None] for out-of-scope relations; used to
+   specialize selector predicates with the columns that are in scope. *)
+let partial_lookup layout (tuple : Value.t array) (c : Colref.t) =
+  match offset_of layout c.Colref.rel with
+  | Some off -> Some tuple.(off + c.Colref.index)
+  | None -> None
+
+let eval_filter ctx layout pred row = Expr.eval_pred (env_of ctx layout row) pred
+
+let apply_opt_filter ctx layout filter rows =
+  match filter with
+  | None -> rows
+  | Some pred -> List.filter (eval_filter ctx layout pred) rows
+
+(* ------------------------------------------------------------------ *)
+(* Scans                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let root_oid_of ctx oid =
+  match Mpp_catalog.Catalog.root_of_leaf ctx.catalog oid with
+  | Some root -> root
+  | None -> oid
+
+let scan_physical ctx ~segment ~oid =
+  let rows = Mpp_storage.Storage.scan_list ctx.storage ~segment ~oid in
+  Metrics.record_scan ctx.metrics ~root_oid:(root_oid_of ctx oid) ~part_oid:oid
+    ~rows:(Mpp_storage.Storage.count_segment ctx.storage ~segment ~oid);
+  rows
+
+let table_width ctx oid =
+  Mpp_catalog.Table.ncols (Mpp_catalog.Catalog.find_oid ctx.catalog oid)
+
+let exec_table_scan ctx ~rel ~table_oid ~filter ~guard =
+  let root = root_oid_of ctx table_oid in
+  let width = table_width ctx root in
+  let layout = [ (rel, width) ] in
+  let rows =
+    Array.init (nsegments ctx) (fun segment ->
+        let skipped =
+          match guard with
+          | None -> false
+          | Some part_scan_id ->
+              not
+                (List.mem table_oid
+                   (Channel.consume ctx.channel ~segment ~part_scan_id))
+        in
+        if skipped then []
+        else
+          scan_physical ctx ~segment ~oid:table_oid
+          |> apply_opt_filter ctx layout filter)
+  in
+  { layout; rows }
+
+let exec_dynamic_scan ctx ~rel ~part_scan_id ~root_oid ~filter =
+  let width = table_width ctx root_oid in
+  let layout = [ (rel, width) ] in
+  let rows =
+    Array.init (nsegments ctx) (fun segment ->
+        Channel.consume ctx.channel ~segment ~part_scan_id
+        |> List.concat_map (fun oid -> scan_physical ctx ~segment ~oid)
+        |> apply_opt_filter ctx layout filter)
+  in
+  { layout; rows }
+
+(* ------------------------------------------------------------------ *)
+(* Partition selection                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Compiled per-level selection behaviour.  Real systems generate a
+   specialized partition-selection function per selector (paper §3.2,
+   Figure 15); interpreting the predicate per input row would make the
+   selector cost visible at run time, so we compile each level once:
+   - [Sel_none]: no predicate (or selection disabled) — no restriction;
+   - [Sel_static]: the restriction is row-independent (static elimination
+     and prepared-statement parameters);
+   - [Sel_point]: the predicate is [key = e] with [e] over the input row —
+     the equality fast path of Figure 15(a);
+   - [Sel_dynamic]: general fallback — substitute the row and re-analyze. *)
+type level_selector =
+  | Sel_none
+  | Sel_static of Interval.Set.t
+  | Sel_point of Expr.t
+  | Sel_dynamic of Expr.t
+
+let partitioning_of ctx root_oid =
+  match
+    (Mpp_catalog.Catalog.find_oid ctx.catalog root_oid).Mpp_catalog.Table
+      .partitioning
+  with
+  | Some p -> p
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Exec: PartitionSelector on non-partitioned oid %d"
+           root_oid)
+
+(* [key = e] where e does not mention the key itself. *)
+let point_equality (key : Colref.t) p =
+  match Expr.conjuncts p with
+  | [ Expr.Cmp (Expr.Eq, Expr.Col k, e) ] when Colref.equal k key
+    && not (List.exists (Colref.equal key) (Expr.free_cols e)) ->
+      Some e
+  | [ Expr.Cmp (Expr.Eq, e, Expr.Col k) ] when Colref.equal k key
+    && not (List.exists (Colref.equal key) (Expr.free_cols e)) ->
+      Some e
+  | _ -> None
+
+let compile_selector ctx ~keys ~predicates : level_selector array =
+  List.map2
+    (fun key pred ->
+      if not ctx.selection_enabled then Sel_none
+      else
+        match pred with
+        | None -> Sel_none
+        | Some p -> (
+            let p =
+              Expr.bind_params
+                (fun i ->
+                  if i < Array.length ctx.params then Some ctx.params.(i)
+                  else None)
+                p
+            in
+            match Expr.restriction key p with
+            | Some set -> Sel_static set
+            | None -> (
+                match point_equality key p with
+                | Some e -> Sel_point e
+                | None -> Sel_dynamic p)))
+    keys predicates
+  |> Array.of_list
+
+(* Row-independent selection (leaf selectors, Figure 5(a–c)): compute the
+   OID set once and push it on the given segment. *)
+let run_static_selection ctx ~segment ~part_scan_id ~root_oid
+    (selectors : level_selector array) =
+  let partitioning = partitioning_of ctx root_oid in
+  let restrictions =
+    Array.map
+      (function
+        | Sel_none -> None
+        | Sel_static set -> Some set
+        | Sel_point _ | Sel_dynamic _ ->
+            (* no input rows to specialize with: fail open *)
+            None)
+      selectors
+  in
+  Mpp_catalog.Partition.select_oids partitioning restrictions
+  |> List.iter (fun oid ->
+         Channel.propagate ctx.channel ~segment ~part_scan_id oid)
+
+(* Row-driven selection (the DPE case, Figure 5(d)): evaluate the compiled
+   selectors against each row, memoizing per distinct key-value tuple. *)
+let run_streaming_selection ctx ~part_scan_id ~root_oid ~keys
+    (selectors : level_selector array) (child : result) =
+  let partitioning = partitioning_of ctx root_oid in
+  Array.iteri
+    (fun segment rows ->
+      let seen : (Value.t option list, unit) Hashtbl.t = Hashtbl.create 64 in
+      List.iter
+        (fun row ->
+          let env = env_of ctx child.layout row in
+          (* cheap memo key: the per-level point values (None for static /
+             unrestricted levels, which contribute nothing row-specific) *)
+          let fast_key =
+            Array.to_list
+              (Array.map
+                 (function
+                   | Sel_point e -> Some (Expr.eval env e)
+                   | Sel_none | Sel_static _ | Sel_dynamic _ -> None)
+                 selectors)
+          in
+          let general = Array.exists (function Sel_dynamic _ -> true | _ -> false)
+              selectors in
+          if general || not (Hashtbl.mem seen fast_key) then begin
+            if not general then Hashtbl.replace seen fast_key ();
+            let restrictions =
+              Array.map2
+                (fun sel key ->
+                  match sel with
+                  | Sel_none -> None
+                  | Sel_static set -> Some set
+                  | Sel_point e -> (
+                      match Expr.eval env e with
+                      | Value.Null -> Some Interval.Set.empty
+                      | v -> Some (Interval.Set.point v))
+                  | Sel_dynamic p ->
+                      Expr.restriction key
+                        (Expr.subst_cols (partial_lookup child.layout row) p))
+                selectors
+                (Array.of_list keys)
+            in
+            Mpp_catalog.Partition.select_oids partitioning restrictions
+            |> List.iter (fun oid ->
+                   Channel.propagate ctx.channel ~segment ~part_scan_id oid)
+          end)
+        rows)
+    child.rows
+
+(* ------------------------------------------------------------------ *)
+(* Joins                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Split an equi-join predicate into hashable key pairs (left expr, right
+   expr) plus a residual predicate. *)
+let equi_keys ~left_rels ~right_rels pred =
+  let refs_only rels e =
+    List.for_all (fun r -> List.mem r rels) (Expr.rels e)
+  in
+  let keys, residual =
+    List.fold_left
+      (fun (keys, residual) c ->
+        match c with
+        | Expr.Cmp (Expr.Eq, a, b)
+          when refs_only left_rels a && refs_only right_rels b ->
+            ((a, b) :: keys, residual)
+        | Expr.Cmp (Expr.Eq, a, b)
+          when refs_only right_rels a && refs_only left_rels b ->
+            ((b, a) :: keys, residual)
+        | c -> (keys, c :: residual))
+      ([], []) (Expr.conjuncts pred)
+  in
+  (List.rev keys, List.rev residual)
+
+let null_row width = Array.make width Value.Null
+
+let exec_join ctx ~kind ~pred ~(left : result) ~(right : result) ~hash =
+  let layout =
+    match kind with
+    | Plan.Semi -> right.layout
+    | Plan.Inner | Plan.Left_outer -> left.layout @ right.layout
+  in
+  let joined_layout = left.layout @ right.layout in
+  let left_rels = List.map fst left.layout
+  and right_rels = List.map fst right.layout in
+  let keys, residual =
+    if hash then equi_keys ~left_rels ~right_rels pred else ([], [ pred ])
+  in
+  let residual_pred = Expr.conj residual in
+  let eval_keys layout row exprs =
+    List.map (fun e -> Expr.eval (env_of ctx layout row) e) exprs
+  in
+  let rows =
+    Array.init (nsegments ctx) (fun seg ->
+        let build = left.rows.(seg) and probe = right.rows.(seg) in
+        let table = Hashtbl.create (List.length build) in
+        let lkeys = List.map fst keys and rkeys = List.map snd keys in
+        if keys <> [] then
+          List.iter
+            (fun brow ->
+              let k = eval_keys left.layout brow lkeys in
+              if not (List.exists Value.is_null k) then
+                Hashtbl.add table k brow)
+            build;
+        let candidates probe_row =
+          if keys = [] then build
+          else
+            let k = eval_keys right.layout probe_row rkeys in
+            if List.exists Value.is_null k then []
+            else Hashtbl.find_all table k
+        in
+        let matched_left = Hashtbl.create 16 in
+        let out = ref [] in
+        List.iter
+          (fun prow ->
+            let cands = candidates prow in
+            let emitted = ref false in
+            List.iter
+              (fun brow ->
+                let row = Array.append brow prow in
+                if
+                  Expr.equal residual_pred Expr.true_
+                  || eval_filter ctx joined_layout residual_pred row
+                then begin
+                  (match kind with
+                  | Plan.Semi ->
+                      if not !emitted then out := prow :: !out
+                  | Plan.Inner | Plan.Left_outer -> out := row :: !out);
+                  emitted := true;
+                  Hashtbl.replace matched_left brow ()
+                end)
+              cands)
+          probe;
+        (* Left_outer with left = preserved side: emit unmatched build rows
+           padded with NULLs. *)
+        (match kind with
+        | Plan.Left_outer ->
+            let rwidth = layout_width right.layout in
+            List.iter
+              (fun brow ->
+                if not (Hashtbl.mem matched_left brow) then
+                  out := Array.append brow (null_row rwidth) :: !out)
+              build
+        | Plan.Inner | Plan.Semi -> ());
+        List.rev !out)
+  in
+  { layout; rows }
+
+(* ------------------------------------------------------------------ *)
+(* Aggregation                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type agg_state = {
+  mutable count : int;
+  mutable sum : float;
+  mutable sum_int : int;
+  mutable ints_only : bool;
+      (* SQL returns an integer sum/count for integer inputs; track whether
+         any non-integer contributed *)
+  mutable saw_value : bool;
+  mutable min : Value.t option;
+  mutable max : Value.t option;
+}
+
+let new_agg_state () =
+  { count = 0; sum = 0.0; sum_int = 0; ints_only = true; saw_value = false;
+    min = None; max = None }
+
+let agg_feed st (v : Value.t) =
+  if not (Value.is_null v) then begin
+    st.count <- st.count + 1;
+    st.saw_value <- true;
+    (match v with
+    | Value.Int i ->
+        st.sum <- st.sum +. float_of_int i;
+        st.sum_int <- st.sum_int + i
+    | Value.Float f ->
+        st.sum <- st.sum +. f;
+        st.ints_only <- false
+    | _ -> ());
+    (match st.min with
+    | None -> st.min <- Some v
+    | Some m -> if Value.compare v m < 0 then st.min <- Some v);
+    match st.max with
+    | None -> st.max <- Some v
+    | Some m -> if Value.compare v m > 0 then st.max <- Some v
+  end
+
+let agg_result (f : Plan.agg_fun) ~nrows (st : agg_state) : Value.t =
+  match f with
+  | Plan.Count_star -> Value.Int nrows
+  | Plan.Count _ -> Value.Int st.count
+  | Plan.Sum _ ->
+      if not st.saw_value then Value.Null
+      else if st.ints_only then Value.Int st.sum_int
+      else Value.Float st.sum
+  | Plan.Avg _ ->
+      if st.count = 0 then Value.Null
+      else Value.Float (st.sum /. float_of_int st.count)
+  | Plan.Min _ -> ( match st.min with Some v -> v | None -> Value.Null)
+  | Plan.Max _ -> ( match st.max with Some v -> v | None -> Value.Null)
+
+let agg_arg = function
+  | Plan.Count_star -> None
+  | Plan.Count e | Plan.Sum e | Plan.Avg e | Plan.Min e | Plan.Max e -> Some e
+
+let exec_agg ctx ~group_by ~aggs ~output_rel ~(child : result) =
+  let out_width = List.length group_by + List.length aggs in
+  let layout = [ (output_rel, out_width) ] in
+  let rows =
+    Array.mapi
+      (fun segment seg_rows ->
+        let groups : (Value.t list, int ref * agg_state list) Hashtbl.t =
+          Hashtbl.create 64
+        in
+        List.iter
+          (fun row ->
+            let env = env_of ctx child.layout row in
+            let key = List.map (Expr.eval env) group_by in
+            let nrows, states =
+              match Hashtbl.find_opt groups key with
+              | Some s -> s
+              | None ->
+                  let s =
+                    (ref 0, List.map (fun _ -> new_agg_state ()) aggs)
+                  in
+                  Hashtbl.replace groups key s;
+                  s
+            in
+            incr nrows;
+            List.iter2
+              (fun (_, f) st ->
+                match agg_arg f with
+                | None -> ()
+                | Some e -> agg_feed st (Expr.eval env e))
+              aggs states)
+          seg_rows;
+        if Hashtbl.length groups = 0 && group_by = [] then
+          (* A scalar aggregate over empty input still yields one row; emit
+             it on the first segment only — the final aggregate runs above a
+             Gather, so this is the master's row. *)
+          if segment = 0 then
+            [ Array.of_list
+                (List.map
+                   (fun (_, f) -> agg_result f ~nrows:0 (new_agg_state ()))
+                   aggs) ]
+          else []
+        else
+          Hashtbl.fold
+            (fun key (nrows, states) acc ->
+              let values =
+                key
+                @ List.map2
+                    (fun (_, f) st -> agg_result f ~nrows:!nrows st)
+                    aggs states
+              in
+              Array.of_list values :: acc)
+            groups [])
+      child.rows
+  in
+  { layout; rows }
+
+(* ------------------------------------------------------------------ *)
+(* DML                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let exec_update ctx ~rel ~table_oid ~set_exprs ~(child : result) =
+  let table = Mpp_catalog.Catalog.find_oid ctx.catalog table_oid in
+  let width = Mpp_catalog.Table.ncols table in
+  let off =
+    match offset_of child.layout rel with
+    | Some o -> o
+    | None -> invalid_arg "Exec: Update target not in child output"
+  in
+  let updated = ref 0 in
+  (* Collect (segment, physical oid, old tuple, new tuple) actions first so
+     the scan underneath is not disturbed mid-flight. *)
+  let actions = ref [] in
+  Array.iteri
+    (fun seg rows ->
+      List.iter
+        (fun row ->
+          let old_tuple = Array.sub row off width in
+          let new_tuple = Array.copy old_tuple in
+          let env = env_of ctx child.layout row in
+          List.iter
+            (fun (col, e) -> new_tuple.(col) <- Expr.eval env e)
+            set_exprs;
+          let old_oid = Mpp_storage.Storage.physical_oid table old_tuple in
+          actions := (seg, old_oid, old_tuple, new_tuple) :: !actions)
+        rows)
+    child.rows;
+  (* Delete the old images: rebuild each touched heap without one occurrence
+     per deleted tuple. *)
+  let touched = Hashtbl.create 16 in
+  List.iter
+    (fun (seg, oid, old_tuple, _) ->
+      let key = (seg, oid) in
+      let dels =
+        match Hashtbl.find_opt touched key with
+        | Some l -> l
+        | None ->
+            let l = ref [] in
+            Hashtbl.replace touched key l;
+            l
+      in
+      dels := old_tuple :: !dels)
+    !actions;
+  Hashtbl.iter
+    (fun (seg, oid) dels ->
+      let remaining = ref [] in
+      let pending = ref !dels in
+      Array.iter
+        (fun t ->
+          let rec remove acc = function
+            | [] -> None
+            | d :: rest ->
+                if d == t || d = t then Some (List.rev_append acc rest)
+                else remove (d :: acc) rest
+          in
+          match remove [] !pending with
+          | Some rest -> pending := rest
+          | None -> remaining := t :: !remaining)
+        (Mpp_storage.Storage.scan ctx.storage ~segment:seg ~oid);
+      Mpp_storage.Storage.replace_heap ctx.storage ~segment:seg ~oid
+        (List.rev !remaining))
+    touched;
+  (* Re-insert the new images through the normal path so they land on the
+     right segment and partition. *)
+  List.iter
+    (fun (_, _, _, new_tuple) ->
+      Mpp_storage.Storage.insert ctx.storage table new_tuple;
+      incr updated)
+    !actions;
+  ctx.metrics.Metrics.rows_updated <-
+    ctx.metrics.Metrics.rows_updated + !updated;
+  let rows = empty_rows ctx in
+  rows.(0) <- [ [| Value.Int !updated |] ];
+  { layout = [ (-1, 1) ]; rows }
+
+let exec_delete ctx ~rel ~table_oid ~(child : result) =
+  let table = Mpp_catalog.Catalog.find_oid ctx.catalog table_oid in
+  let width = Mpp_catalog.Table.ncols table in
+  let off =
+    match offset_of child.layout rel with
+    | Some o -> o
+    | None -> invalid_arg "Exec: Delete target not in child output"
+  in
+  let deleted = ref 0 in
+  let touched = Hashtbl.create 16 in
+  Array.iteri
+    (fun seg rows ->
+      List.iter
+        (fun row ->
+          let old_tuple = Array.sub row off width in
+          let oid = Mpp_storage.Storage.physical_oid table old_tuple in
+          let key = (seg, oid) in
+          let dels =
+            match Hashtbl.find_opt touched key with
+            | Some l -> l
+            | None ->
+                let l = ref [] in
+                Hashtbl.replace touched key l;
+                l
+          in
+          dels := old_tuple :: !dels)
+        rows)
+    child.rows;
+  Hashtbl.iter
+    (fun (seg, oid) dels ->
+      let remaining = ref [] in
+      let pending = ref !dels in
+      Array.iter
+        (fun t ->
+          let rec remove acc = function
+            | [] -> None
+            | d :: rest ->
+                if d = t then Some (List.rev_append acc rest)
+                else remove (d :: acc) rest
+          in
+          match remove [] !pending with
+          | Some rest ->
+              pending := rest;
+              incr deleted
+          | None -> remaining := t :: !remaining)
+        (Mpp_storage.Storage.scan ctx.storage ~segment:seg ~oid);
+      Mpp_storage.Storage.replace_heap ctx.storage ~segment:seg ~oid
+        (List.rev !remaining))
+    touched;
+  ctx.metrics.Metrics.rows_deleted <-
+    ctx.metrics.Metrics.rows_deleted + !deleted;
+  let rows = empty_rows ctx in
+  rows.(0) <- [ [| Value.Int !deleted |] ];
+  { layout = [ (-1, 1) ]; rows }
+
+(* ------------------------------------------------------------------ *)
+(* Motion                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let exec_motion ctx ~kind ~(child : result) =
+  let n = nsegments ctx in
+  let total = Array.fold_left (fun acc l -> acc + List.length l) 0 child.rows in
+  let rows =
+    match kind with
+    | Plan.Gather ->
+        Metrics.record_motion ctx.metrics ~rows:total;
+        let all = List.concat (Array.to_list child.rows) in
+        Array.init n (fun i -> if i = 0 then all else [])
+    | Plan.Gather_one ->
+        (* the child is replicated: any single copy is the full result *)
+        let one = child.rows.(0) in
+        Metrics.record_motion ctx.metrics ~rows:(List.length one);
+        Array.init n (fun i -> if i = 0 then one else [])
+    | Plan.Broadcast ->
+        Metrics.record_motion ctx.metrics ~rows:(total * n);
+        let all = List.concat (Array.to_list child.rows) in
+        Array.make n all
+    | Plan.Redistribute cols ->
+        Metrics.record_motion ctx.metrics ~rows:total;
+        let buckets = Array.make n [] in
+        Array.iter
+          (List.iter (fun row ->
+               let vs =
+                 List.map
+                   (fun c ->
+                     match partial_lookup child.layout row c with
+                     | Some v -> v
+                     | None ->
+                         invalid_arg "Exec: redistribute key out of scope")
+                   cols
+               in
+               let seg =
+                 Mpp_catalog.Distribution.segment_for_values ~nsegments:n vs
+               in
+               buckets.(seg) <- row :: buckets.(seg)))
+          child.rows;
+        Array.map List.rev buckets
+  in
+  { child with rows }
+
+(* ------------------------------------------------------------------ *)
+(* Top-level interpreter                                               *)
+(* ------------------------------------------------------------------ *)
+
+let rec exec ctx (plan : Plan.t) : result =
+  match plan with
+  | Plan.Table_scan { rel; table_oid; filter; guard } ->
+      exec_table_scan ctx ~rel ~table_oid ~filter ~guard
+  | Plan.Dynamic_scan { rel; part_scan_id; root_oid; filter } ->
+      exec_dynamic_scan ctx ~rel ~part_scan_id ~root_oid ~filter
+  | Plan.Partition_selector
+      { part_scan_id; root_oid; keys; predicates; child = None } ->
+      let selectors = compile_selector ctx ~keys ~predicates in
+      for segment = 0 to nsegments ctx - 1 do
+        run_static_selection ctx ~segment ~part_scan_id ~root_oid selectors
+      done;
+      { layout = []; rows = empty_rows ctx }
+  | Plan.Partition_selector
+      { part_scan_id; root_oid; keys; predicates; child = Some c } ->
+      let child = exec ctx c in
+      let selectors = compile_selector ctx ~keys ~predicates in
+      run_streaming_selection ctx ~part_scan_id ~root_oid ~keys selectors child;
+      child
+  | Plan.Sequence children ->
+      let rec go last = function
+        | [] -> (
+            match last with
+            | Some r -> r
+            | None -> { layout = []; rows = empty_rows ctx })
+        | c :: rest -> go (Some (exec ctx c)) rest
+      in
+      go None children
+  | Plan.Filter { pred; child } ->
+      let r = exec ctx child in
+      {
+        r with
+        rows = Array.map (List.filter (eval_filter ctx r.layout pred)) r.rows;
+      }
+  | Plan.Project { exprs; child } ->
+      let r = exec ctx child in
+      let layout = [ (-1, List.length exprs) ] in
+      {
+        layout;
+        rows =
+          Array.map
+            (List.map (fun row ->
+                 let env = env_of ctx r.layout row in
+                 Array.of_list (List.map (fun (_, e) -> Expr.eval env e) exprs)))
+            r.rows;
+      }
+  | Plan.Hash_join { kind; pred; left; right } ->
+      let l = exec ctx left in
+      let r = exec ctx right in
+      exec_join ctx ~kind ~pred ~left:l ~right:r ~hash:true
+  | Plan.Nl_join { kind; pred; left; right } ->
+      let l = exec ctx left in
+      let r = exec ctx right in
+      exec_join ctx ~kind ~pred ~left:l ~right:r ~hash:false
+  | Plan.Agg { group_by; aggs; child; output_rel } ->
+      let r = exec ctx child in
+      exec_agg ctx ~group_by ~aggs ~output_rel ~child:r
+  | Plan.Sort { keys; child } ->
+      let r = exec ctx child in
+      let cmp a b =
+        let env_a = env_of ctx r.layout a and env_b = env_of ctx r.layout b in
+        let rec go = function
+          | [] -> 0
+          | k :: rest ->
+              let c = Value.compare (Expr.eval env_a k) (Expr.eval env_b k) in
+              if c <> 0 then c else go rest
+        in
+        go keys
+      in
+      { r with rows = Array.map (List.sort cmp) r.rows }
+  | Plan.Limit { rows = n; child } ->
+      let r = exec ctx child in
+      { r with rows = Array.map (fun l -> List.filteri (fun i _ -> i < n) l) r.rows }
+  | Plan.Motion { kind; child } ->
+      let r = exec ctx child in
+      exec_motion ctx ~kind ~child:r
+  | Plan.Append children ->
+      let results = List.map (exec ctx) children in
+      (match results with
+      | [] -> { layout = []; rows = empty_rows ctx }
+      | first :: _ ->
+          {
+            layout = first.layout;
+            rows =
+              Array.init (nsegments ctx) (fun seg ->
+                  List.concat_map (fun r -> r.rows.(seg)) results);
+          })
+  | Plan.Update { rel; table_oid; set_exprs; child } ->
+      let r = exec ctx child in
+      exec_update ctx ~rel ~table_oid ~set_exprs ~child:r
+  | Plan.Delete { rel; table_oid; child } ->
+      let r = exec ctx child in
+      exec_delete ctx ~rel ~table_oid ~child:r
+  | Plan.Insert { table_oid; rows } ->
+      let table = Mpp_catalog.Catalog.find_oid ctx.catalog table_oid in
+      let env = { (env_of ctx [] [||]) with Expr.param =
+          (fun i ->
+            if i < Array.length ctx.params then ctx.params.(i)
+            else invalid_arg (Printf.sprintf "Exec: unbound parameter $%d" i)) }
+      in
+      List.iter
+        (fun row ->
+          Mpp_storage.Storage.insert ctx.storage table
+            (Array.of_list (List.map (Expr.eval env) row)))
+        rows;
+      let out = empty_rows ctx in
+      out.(0) <- [ [| Value.Int (List.length rows) |] ];
+      { layout = [ (-1, 1) ]; rows = out }
+
+(** Execute [plan] and gather all segments' output rows on the master. *)
+let run ?(params = [||]) ?(selection_enabled = true) ~catalog ~storage plan =
+  let ctx = create_ctx ~params ~selection_enabled ~catalog ~storage () in
+  let r = exec ctx plan in
+  let rows = List.concat (Array.to_list r.rows) in
+  (rows, ctx.metrics)

@@ -1,0 +1,52 @@
+(** The query executor: interprets a physical plan on the simulated MPP
+    cluster.
+
+    Execution is segment-synchronous — each operator produces, per segment,
+    the rows it would emit there; Motions re-shuffle the per-segment sets.
+    Side-effect ordering follows the paper: Sequence children and a join's
+    left child run first, so a PartitionSelector always pushes its OIDs into
+    the per-segment {!Channel} before the DynamicScan consumes them.
+    Selectors are compiled once per plan node (static / point-equality /
+    general paths, memoized per distinct key value) rather than interpreted
+    per row — the specialized functions of paper §3.2, Figure 15. *)
+
+open Mpp_expr
+module Plan = Mpp_plan.Plan
+
+type ctx = {
+  catalog : Mpp_catalog.Catalog.t;
+  storage : Mpp_storage.Storage.t;
+  channel : Channel.t;
+  metrics : Metrics.t;
+  params : Value.t array;
+  selection_enabled : bool;
+      (** [false]: selectors ignore their predicates and push every leaf —
+          the "partition selection disabled" configuration of Figure 17 *)
+}
+
+val create_ctx :
+  ?params:Value.t array ->
+  ?selection_enabled:bool ->
+  catalog:Mpp_catalog.Catalog.t ->
+  storage:Mpp_storage.Storage.t ->
+  unit ->
+  ctx
+
+type result = {
+  layout : (int * int) list;
+      (** (range-table index, width) of the output tuples, left to right *)
+  rows : Value.t array list array;  (** one row list per segment *)
+}
+
+val exec : ctx -> Plan.t -> result
+(** Evaluate a plan; side effects (channel pushes, DML writes, metrics)
+    accumulate in the context. *)
+
+val run :
+  ?params:Value.t array ->
+  ?selection_enabled:bool ->
+  catalog:Mpp_catalog.Catalog.t ->
+  storage:Mpp_storage.Storage.t ->
+  Plan.t ->
+  Value.t array list * Metrics.t
+(** Execute with a fresh context and gather all segments' output rows. *)

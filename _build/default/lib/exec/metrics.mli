@@ -1,0 +1,24 @@
+(** Execution metrics: the deterministic work counters behind the paper's
+    evaluation (partitions scanned per table for Figure 16; tuple and Motion
+    volumes backing Figure 17 and Table 2). *)
+
+type t = {
+  mutable tuples_scanned : int;
+      (** rows read from heaps, summed over segments *)
+  mutable tuples_moved : int;  (** rows crossing a Motion *)
+  mutable partition_opens : int;  (** heap opens, summed over segments *)
+  parts_scanned : (int, (int, unit) Hashtbl.t) Hashtbl.t;
+      (** root table OID → set of distinct partition OIDs scanned *)
+  mutable rows_updated : int;
+  mutable rows_deleted : int;
+}
+
+val create : unit -> t
+val record_scan : t -> root_oid:int -> part_oid:int -> rows:int -> unit
+val record_motion : t -> rows:int -> unit
+
+val parts_scanned_of : t -> root_oid:int -> int
+(** Distinct partitions of this table actually scanned. *)
+
+val total_parts_scanned : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/expr/colref.ml: Format Int String Value

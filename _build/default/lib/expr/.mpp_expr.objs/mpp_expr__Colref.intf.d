@@ -1,0 +1,1 @@
+lib/expr/colref.mli: Format Value

@@ -1,0 +1,1 @@
+lib/expr/date.ml: Format Int Printf String

@@ -1,0 +1,1 @@
+lib/expr/date.mli: Format

@@ -1,0 +1,1 @@
+lib/expr/expr.ml: Colref Date Float Format Interval List Option String Value

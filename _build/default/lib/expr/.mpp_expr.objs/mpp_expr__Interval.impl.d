@@ -1,0 +1,1 @@
+lib/expr/interval.ml: Bool Format List Value

@@ -1,0 +1,1 @@
+lib/expr/interval.mli: Format Value

@@ -1,0 +1,1 @@
+lib/expr/value.ml: Bool Date Float Format Hashtbl Int Printf String

@@ -1,0 +1,28 @@
+(** Column references.
+
+    A column reference names a column of one *relation instance* in a query:
+    [rel] is the index of the instance in the query's range table (so the two
+    sides of a self-join get distinct [rel]s), [name] is the column name and
+    [index] its position in the instance's tuple layout.  Equality ignores
+    [dtype], which is carried for convenience. *)
+
+type t = {
+  rel : int;  (** range-table index of the relation instance *)
+  index : int;  (** column position within the instance's tuples *)
+  name : string;
+  dtype : Value.datatype;
+}
+
+let make ~rel ~index ~name ~dtype = { rel; index; name; dtype }
+
+let equal a b = a.rel = b.rel && a.index = b.index && String.equal a.name b.name
+
+let compare a b =
+  let c = Int.compare a.rel b.rel in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.index b.index in
+    if c <> 0 then c else String.compare a.name b.name
+
+let pp fmt c = Format.fprintf fmt "%d.%s" c.rel c.name
+let to_string c = Format.asprintf "%a" pp c

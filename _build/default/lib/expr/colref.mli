@@ -1,0 +1,17 @@
+(** Column references: a column of one {e relation instance} in a query.
+    [rel] is the range-table index (the two sides of a self-join get
+    distinct [rel]s), [index] the column position in the instance's tuple
+    layout.  Equality ignores [dtype]. *)
+
+type t = {
+  rel : int;  (** range-table index of the relation instance *)
+  index : int;  (** column position within the instance's tuples *)
+  name : string;
+  dtype : Value.datatype;
+}
+
+val make : rel:int -> index:int -> name:string -> dtype:Value.datatype -> t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,400 @@
+(** Scalar expressions: abstract syntax, evaluation, and the predicate
+    analysis the partition-selection machinery is built on.
+
+    The two entry points the optimizer cares about are:
+    - {!find_pred_on_key} — the paper's [FindPredOnKey] helper (Algorithms 3
+      and 4): extract from a predicate the conjuncts that constrain a given
+      column;
+    - {!restriction} — reduce a predicate on the partitioning key to an
+      {!Interval.Set.t}; this realizes the partition-selection function
+      [f*_T] of paper §2.1 once intersected with partition constraints.
+
+    [restriction] is deliberately conservative: whenever a (sub)predicate
+    cannot be analyzed it contributes "no restriction", so partition
+    selection may over-approximate but never drops a qualifying partition. *)
+
+type cmp_op = Eq | Neq | Lt | Le | Gt | Ge
+type arith_op = Add | Sub | Mul | Div | Mod
+
+type t =
+  | Const of Value.t
+  | Col of Colref.t
+  | Param of int  (** prepared-statement parameter, bound at run time *)
+  | Cmp of cmp_op * t * t
+  | And of t list
+  | Or of t list
+  | Not of t
+  | Arith of arith_op * t * t
+  | In_list of t * Value.t list
+  | Is_null of t
+  | Func of string * t list
+      (** uninterpreted function; opaque to partition analysis *)
+
+let true_ = Const (Value.Bool true)
+let false_ = Const (Value.Bool false)
+let col c = Col c
+let int i = Const (Value.Int i)
+let str s = Const (Value.String s)
+let date s = Const (Value.date_of_string s)
+let eq a b = Cmp (Eq, a, b)
+let lt a b = Cmp (Lt, a, b)
+let le a b = Cmp (Le, a, b)
+let gt a b = Cmp (Gt, a, b)
+let ge a b = Cmp (Ge, a, b)
+
+(** [BETWEEN lo AND hi], desugared to a conjunction as SQL defines it. *)
+let between e lo hi = And [ Cmp (Ge, e, lo); Cmp (Le, e, hi) ]
+
+let rec equal a b =
+  match (a, b) with
+  | Const x, Const y -> Value.equal x y
+  | Col x, Col y -> Colref.equal x y
+  | Param x, Param y -> x = y
+  | Cmp (o1, a1, b1), Cmp (o2, a2, b2) -> o1 = o2 && equal a1 a2 && equal b1 b2
+  | And xs, And ys | Or xs, Or ys ->
+      List.length xs = List.length ys && List.for_all2 equal xs ys
+  | Not x, Not y -> equal x y
+  | Arith (o1, a1, b1), Arith (o2, a2, b2) ->
+      o1 = o2 && equal a1 a2 && equal b1 b2
+  | In_list (e1, v1), In_list (e2, v2) ->
+      equal e1 e2
+      && List.length v1 = List.length v2
+      && List.for_all2 Value.equal v1 v2
+  | Is_null x, Is_null y -> equal x y
+  | Func (f1, a1), Func (f2, a2) ->
+      String.equal f1 f2
+      && List.length a1 = List.length a2
+      && List.for_all2 equal a1 a2
+  | ( ( Const _ | Col _ | Param _ | Cmp _ | And _ | Or _ | Not _ | Arith _
+      | In_list _ | Is_null _ | Func _ ),
+      _ ) ->
+      false
+
+(* ------------------------------------------------------------------ *)
+(* Structure helpers                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(** Flatten nested conjunctions into a list of conjuncts. *)
+let rec conjuncts = function
+  | And es -> List.concat_map conjuncts es
+  | Const (Value.Bool true) -> []
+  | e -> [ e ]
+
+(** The paper's [Conj]: conjunction of predicates, with [true] as unit. *)
+let conj es =
+  match List.concat_map conjuncts es with
+  | [] -> true_
+  | [ e ] -> e
+  | es -> And es
+
+let rec fold_cols f acc = function
+  | Col c -> f acc c
+  | Const _ | Param _ -> acc
+  | Cmp (_, a, b) | Arith (_, a, b) -> fold_cols f (fold_cols f acc a) b
+  | And es | Or es | Func (_, es) -> List.fold_left (fold_cols f) acc es
+  | Not e | Is_null e | In_list (e, _) -> fold_cols f acc e
+
+let free_cols e = List.rev (fold_cols (fun acc c -> c :: acc) [] e)
+
+(** Relation instances referenced by [e]. *)
+let rels e =
+  fold_cols (fun acc (c : Colref.t) ->
+      if List.mem c.rel acc then acc else c.rel :: acc)
+    [] e
+
+let refers_to_rel rel e = List.mem rel (rels e)
+
+let rec has_param = function
+  | Param _ -> true
+  | Const _ | Col _ -> false
+  | Cmp (_, a, b) | Arith (_, a, b) -> has_param a || has_param b
+  | And es | Or es | Func (_, es) -> List.exists has_param es
+  | Not e | Is_null e | In_list (e, _) -> has_param e
+
+(** Replace column references for which [lookup] yields a value with
+    constants.  Used at run time to specialize a join predicate with the
+    values of the current outer tuple before partition selection. *)
+let rec subst_cols lookup = function
+  | Col c as e -> ( match lookup c with Some v -> Const v | None -> e)
+  | (Const _ | Param _) as e -> e
+  | Cmp (o, a, b) -> Cmp (o, subst_cols lookup a, subst_cols lookup b)
+  | Arith (o, a, b) -> Arith (o, subst_cols lookup a, subst_cols lookup b)
+  | And es -> And (List.map (subst_cols lookup) es)
+  | Or es -> Or (List.map (subst_cols lookup) es)
+  | Not e -> Not (subst_cols lookup e)
+  | Is_null e -> Is_null (subst_cols lookup e)
+  | In_list (e, vs) -> In_list (subst_cols lookup e, vs)
+  | Func (f, es) -> Func (f, List.map (subst_cols lookup) es)
+
+(** Replace bound parameters with constants (prepared-statement execution). *)
+let rec bind_params lookup = function
+  | Param i as e -> ( match lookup i with Some v -> Const v | None -> e)
+  | (Const _ | Col _) as e -> e
+  | Cmp (o, a, b) -> Cmp (o, bind_params lookup a, bind_params lookup b)
+  | Arith (o, a, b) -> Arith (o, bind_params lookup a, bind_params lookup b)
+  | And es -> And (List.map (bind_params lookup) es)
+  | Or es -> Or (List.map (bind_params lookup) es)
+  | Not e -> Not (bind_params lookup e)
+  | Is_null e -> Is_null (bind_params lookup e)
+  | In_list (e, vs) -> In_list (bind_params lookup e, vs)
+  | Func (f, es) -> Func (f, List.map (bind_params lookup) es)
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type env = { col : Colref.t -> Value.t; param : int -> Value.t }
+
+let env_empty =
+  {
+    col = (fun c -> invalid_arg ("Expr.eval: unbound column " ^ Colref.to_string c));
+    param = (fun i -> invalid_arg ("Expr.eval: unbound param $" ^ string_of_int i));
+  }
+
+let eval_cmp op (c : int) =
+  match op with
+  | Eq -> c = 0
+  | Neq -> c <> 0
+  | Lt -> c < 0
+  | Le -> c <= 0
+  | Gt -> c > 0
+  | Ge -> c >= 0
+
+(** Evaluate under SQL three-valued logic; boolean results may be
+    [Value.Null] (unknown). *)
+let rec eval env e : Value.t =
+  match e with
+  | Const v -> v
+  | Col c -> env.col c
+  | Param i -> env.param i
+  | Cmp (op, a, b) -> (
+      match Value.sql_compare (eval env a) (eval env b) with
+      | None -> Value.Null
+      | Some c -> Value.Bool (eval_cmp op c))
+  | And es ->
+      let rec go unknown = function
+        | [] -> if unknown then Value.Null else Value.Bool true
+        | e :: rest -> (
+            match eval env e with
+            | Value.Bool false -> Value.Bool false
+            | Value.Bool true -> go unknown rest
+            | Value.Null -> go true rest
+            | v -> invalid_arg ("Expr.eval: AND over " ^ Value.to_string v))
+      in
+      go false es
+  | Or es ->
+      let rec go unknown = function
+        | [] -> if unknown then Value.Null else Value.Bool false
+        | e :: rest -> (
+            match eval env e with
+            | Value.Bool true -> Value.Bool true
+            | Value.Bool false -> go unknown rest
+            | Value.Null -> go true rest
+            | v -> invalid_arg ("Expr.eval: OR over " ^ Value.to_string v))
+      in
+      go false es
+  | Not e -> (
+      match eval env e with
+      | Value.Bool b -> Value.Bool (not b)
+      | Value.Null -> Value.Null
+      | v -> invalid_arg ("Expr.eval: NOT over " ^ Value.to_string v))
+  | Arith (op, a, b) -> eval_arith op (eval env a) (eval env b)
+  | In_list (e, vs) -> (
+      match eval env e with
+      | Value.Null -> Value.Null
+      | v ->
+          if List.exists (Value.equal v) vs then Value.Bool true
+          else if List.exists Value.is_null vs then Value.Null
+          else Value.Bool false)
+  | Is_null e -> Value.Bool (Value.is_null (eval env e))
+  | Func (name, args) -> eval_func name (List.map (eval env) args)
+
+and eval_arith op a b =
+  match (a, b) with
+  | Value.Null, _ | _, Value.Null -> Value.Null
+  | Value.Int x, Value.Int y -> (
+      match op with
+      | Add -> Value.Int (x + y)
+      | Sub -> Value.Int (x - y)
+      | Mul -> Value.Int (x * y)
+      | Div -> if y = 0 then Value.Null else Value.Int (x / y)
+      | Mod -> if y = 0 then Value.Null else Value.Int (x mod y))
+  | _ ->
+      let x = Value.to_float a and y = Value.to_float b in
+      (match op with
+      | Add -> Value.Float (x +. y)
+      | Sub -> Value.Float (x -. y)
+      | Mul -> Value.Float (x *. y)
+      | Div -> if y = 0. then Value.Null else Value.Float (x /. y)
+      | Mod -> if y = 0. then Value.Null else Value.Float (Float.rem x y))
+
+and eval_func name args =
+  match (name, args) with
+  | _, l when List.exists Value.is_null l -> Value.Null
+  | "year", [ Value.Date d ] -> Value.Int (Date.year d)
+  | "month", [ Value.Date d ] -> Value.Int (Date.month d)
+  | "day", [ Value.Date d ] -> Value.Int (Date.day d)
+  | "day_of_week", [ Value.Date d ] -> Value.Int (Date.day_of_week d)
+  | "quarter", [ Value.Date d ] -> Value.Int (Date.quarter d)
+  | "to_float", [ v ] -> Value.Float (Value.to_float v)
+  | "abs", [ Value.Int i ] -> Value.Int (abs i)
+  | "abs", [ Value.Float f ] -> Value.Float (Float.abs f)
+  | "lower", [ Value.String s ] -> Value.String (String.lowercase_ascii s)
+  | "upper", [ Value.String s ] -> Value.String (String.uppercase_ascii s)
+  | _ -> invalid_arg ("Expr.eval: unknown function " ^ name)
+
+(** Evaluate as a filter: SQL keeps a row only when the predicate is [true];
+    both [false] and unknown reject it. *)
+let eval_pred env e =
+  match eval env e with Value.Bool b -> b | Value.Null -> false | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Predicate analysis for partition selection                          *)
+(* ------------------------------------------------------------------ *)
+
+(** [find_pred_on_key key pred] is the paper's [FindPredOnKey]: the
+    conjunction of all conjuncts of [pred] that reference [key], or [None]
+    if there are none.  The extracted conjuncts may also reference other
+    relations (e.g. the join predicate [R.A = T.pk]) — that is exactly what
+    enables dynamic partition elimination. *)
+let find_pred_on_key (key : Colref.t) pred =
+  match List.filter (fun c -> List.exists (Colref.equal key) (free_cols c))
+          (conjuncts pred)
+  with
+  | [] -> None
+  | cs -> Some (conj cs)
+
+(** Multi-level variant (paper §2.4): one optional predicate per key. *)
+let find_preds_on_keys (keys : Colref.t list) pred =
+  let found = List.map (fun k -> find_pred_on_key k pred) keys in
+  if List.for_all Option.is_none found then None else Some found
+
+let interval_of_cmp op v =
+  match op with
+  | Eq -> Some (Interval.Set.point v)
+  | Lt -> Some (Interval.Set.singleton (Interval.less_than v))
+  | Le -> Some (Interval.Set.singleton (Interval.at_most v))
+  | Gt -> Some (Interval.Set.singleton (Interval.greater_than v))
+  | Ge -> Some (Interval.Set.singleton (Interval.at_least v))
+  | Neq ->
+      Some
+        (Interval.Set.of_list
+           [ Interval.less_than v; Interval.greater_than v ])
+
+let flip_cmp = function
+  | Eq -> Eq
+  | Neq -> Neq
+  | Lt -> Gt
+  | Le -> Ge
+  | Gt -> Lt
+  | Ge -> Le
+
+(* Push negations down to atoms so that [restriction] only analyzes positive
+   atoms; atoms that still carry a Not after this are treated as opaque. *)
+let rec push_not = function
+  | Not (Not e) -> push_not e
+  | Not (And es) -> Or (List.map (fun e -> push_not (Not e)) es)
+  | Not (Or es) -> And (List.map (fun e -> push_not (Not e)) es)
+  | Not (Cmp (op, a, b)) ->
+      let inv = function
+        | Eq -> Neq | Neq -> Eq | Lt -> Ge | Le -> Gt | Gt -> Le | Ge -> Lt
+      in
+      Cmp (inv op, push_not a, push_not b)
+  | And es -> And (List.map push_not es)
+  | Or es -> Or (List.map push_not es)
+  | e -> e
+
+(** [restriction key pred] maps [pred] to the set of values of [key] for
+    which [pred] can possibly hold, as an interval set.  [None] means "no
+    information" (equivalent to the full set, but distinguished so callers
+    can tell a genuinely derived full set from an unanalyzable predicate).
+
+    Soundness contract: if a tuple [t] satisfies [pred] then
+    [t.key ∈ restriction key pred] (when [Some]).  Conjuncts that cannot be
+    analyzed are skipped, which only widens the result. *)
+let restriction (key : Colref.t) pred : Interval.Set.t option =
+  let rec atom = function
+    | Cmp (op, Col c, Const v) when Colref.equal c key -> interval_of_cmp op v
+    | Cmp (op, Const v, Col c) when Colref.equal c key ->
+        interval_of_cmp (flip_cmp op) v
+    | In_list (Col c, vs) when Colref.equal c key ->
+        let non_null = List.filter (fun v -> not (Value.is_null v)) vs in
+        Some (Interval.Set.of_list (List.map Interval.point non_null))
+    | And es ->
+        let analyzed = List.filter_map atom es in
+        if analyzed = [] then None
+        else Some (List.fold_left Interval.Set.inter Interval.Set.full analyzed)
+    | Or es ->
+        (* Sound only if every branch is analyzable. *)
+        let analyzed = List.map atom es in
+        if List.for_all Option.is_some analyzed then
+          Some
+            (List.fold_left
+               (fun acc o -> Interval.Set.union acc (Option.get o))
+               Interval.Set.empty analyzed)
+        else None
+    | Const (Value.Bool false) -> Some Interval.Set.empty
+    | _ -> None
+  in
+  atom (push_not pred)
+
+(* ------------------------------------------------------------------ *)
+(* Printing and sizing                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let cmp_to_string = function
+  | Eq -> "=" | Neq -> "<>" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+
+let arith_to_string = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
+
+let rec pp fmt = function
+  | Const v -> Value.pp fmt v
+  | Col c -> Colref.pp fmt c
+  | Param i -> Format.fprintf fmt "$%d" i
+  | Cmp (op, a, b) -> Format.fprintf fmt "%a %s %a" pp a (cmp_to_string op) pp b
+  | And es -> pp_nary fmt "AND" es
+  | Or es -> pp_nary fmt "OR" es
+  | Not e -> Format.fprintf fmt "NOT (%a)" pp e
+  | Arith (op, a, b) ->
+      Format.fprintf fmt "(%a %s %a)" pp a (arith_to_string op) pp b
+  | In_list (e, vs) ->
+      Format.fprintf fmt "%a IN (%s)" pp e
+        (String.concat ", " (List.map Value.to_string vs))
+  | Is_null e -> Format.fprintf fmt "%a IS NULL" pp e
+  | Func (f, args) ->
+      Format.fprintf fmt "%s(%s)" f
+        (String.concat ", " (List.map to_string args))
+
+and pp_nary fmt op es =
+  Format.pp_print_string fmt "(";
+  List.iteri
+    (fun i e ->
+      if i > 0 then Format.fprintf fmt " %s " op;
+      pp fmt e)
+    es;
+  Format.pp_print_string fmt ")"
+
+and to_string e = Format.asprintf "%a" pp e
+
+(** Bytes this expression contributes when serialized into a plan that is
+    shipped to segments; drives the plan-size experiments (paper §4.4). *)
+let rec serialized_size = function
+  | Const v -> 1 + Value.serialized_size v
+  | Col _ -> 9
+  | Param _ -> 5
+  | Cmp (_, a, b) | Arith (_, a, b) ->
+      2 + serialized_size a + serialized_size b
+  | And es | Or es ->
+      List.fold_left (fun acc e -> acc + serialized_size e) 2 es
+  | Not e | Is_null e -> 2 + serialized_size e
+  | In_list (e, vs) ->
+      List.fold_left
+        (fun acc v -> acc + Value.serialized_size v)
+        (2 + serialized_size e)
+        vs
+  | Func (f, es) ->
+      List.fold_left
+        (fun acc e -> acc + serialized_size e)
+        (2 + String.length f)
+        es

@@ -1,0 +1,111 @@
+(** Scalar expressions: abstract syntax, three-valued evaluation, and the
+    predicate analysis partition selection is built on.
+
+    The optimizer's two entry points:
+    - {!find_pred_on_key} — the paper's [FindPredOnKey] (Algorithms 3/4);
+    - {!restriction} — reduce a predicate on the partitioning key to an
+      {!Interval.Set.t}, realizing [f*_T] (paper §2.1) once intersected with
+      the partition constraints.  Deliberately conservative: what cannot be
+      analyzed contributes "no restriction", so selection over-approximates
+      and never drops a qualifying partition. *)
+
+type cmp_op = Eq | Neq | Lt | Le | Gt | Ge
+type arith_op = Add | Sub | Mul | Div | Mod
+
+type t =
+  | Const of Value.t
+  | Col of Colref.t
+  | Param of int  (** prepared-statement parameter, bound at run time *)
+  | Cmp of cmp_op * t * t
+  | And of t list
+  | Or of t list
+  | Not of t
+  | Arith of arith_op * t * t
+  | In_list of t * Value.t list
+  | Is_null of t
+  | Func of string * t list
+      (** uninterpreted function; opaque to partition analysis *)
+
+(** {2 Constructors} *)
+
+val true_ : t
+val false_ : t
+val col : Colref.t -> t
+val int : int -> t
+val str : string -> t
+
+val date : string -> t
+(** Date constant from ["YYYY-MM-DD"]. *)
+
+val eq : t -> t -> t
+val lt : t -> t -> t
+val le : t -> t -> t
+val gt : t -> t -> t
+val ge : t -> t -> t
+
+val between : t -> t -> t -> t
+(** [BETWEEN lo AND hi], desugared to a conjunction as SQL defines it. *)
+
+val equal : t -> t -> bool
+
+(** {2 Structure} *)
+
+val conjuncts : t -> t list
+(** Flatten nested conjunctions; [true] vanishes. *)
+
+val conj : t list -> t
+(** The paper's [Conj]: conjunction with [true] as unit. *)
+
+val fold_cols : ('a -> Colref.t -> 'a) -> 'a -> t -> 'a
+val free_cols : t -> Colref.t list
+
+val rels : t -> int list
+(** Relation instances referenced. *)
+
+val refers_to_rel : int -> t -> bool
+val has_param : t -> bool
+
+val subst_cols : (Colref.t -> Value.t option) -> t -> t
+(** Replace known columns with constants — the run-time specialization of a
+    join predicate with the current outer tuple before selection. *)
+
+val bind_params : (int -> Value.t option) -> t -> t
+
+(** {2 Evaluation} *)
+
+type env = { col : Colref.t -> Value.t; param : int -> Value.t }
+
+val env_empty : env
+(** Raises on any lookup. *)
+
+val eval : env -> t -> Value.t
+(** SQL three-valued logic: boolean results may be [Value.Null]. *)
+
+val eval_pred : env -> t -> bool
+(** As a filter: only [true] keeps the row; [false] and unknown reject. *)
+
+(** {2 Partition-selection analysis} *)
+
+val find_pred_on_key : Colref.t -> t -> t option
+(** The paper's [FindPredOnKey]: the conjunction of all conjuncts referencing
+    the key — which may also reference other relations (e.g. the join
+    predicate [R.A = T.pk]); that is what enables dynamic elimination. *)
+
+val find_preds_on_keys : Colref.t list -> t -> t option list option
+(** Multi-level variant (paper §2.4): one optional predicate per key; [None]
+    when no level has one. *)
+
+val restriction : Colref.t -> t -> Interval.Set.t option
+(** Values of the key for which the predicate can possibly hold; [None] =
+    no information.  Soundness contract: any tuple satisfying the predicate
+    has its key inside the returned set. *)
+
+(** {2 Printing and sizing} *)
+
+val cmp_to_string : cmp_op -> string
+val arith_to_string : arith_op -> string
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val serialized_size : t -> int
+(** Bytes contributed to a serialized plan (paper §4.4). *)

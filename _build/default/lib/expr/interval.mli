@@ -1,0 +1,87 @@
+(** Interval algebra over {!Value.t}.
+
+    Partition constraints live in the paper's §3.2 normal form
+    [pk ∈ ∪ᵢ (aᵢ₁, aᵢₖ)]: a set of typed intervals with open/closed/unbounded
+    bounds.  Predicate analysis reduces predicates on the partitioning key to
+    the same form, and partition selection ([f*_T]) is interval-set
+    intersection.
+
+    An {!t} is never empty (constructors return [option]); a {!Set.t} is a
+    sorted list of disjoint, non-adjacent intervals. *)
+
+type bound =
+  | Neg_inf
+  | Pos_inf
+  | B of Value.t * bool  (** value and whether the bound is inclusive *)
+
+type t = private { lo : bound; hi : bound }
+
+val pp : Format.formatter -> t -> unit
+
+val compare_lo : bound -> bound -> int
+(** Order of lower bounds by where the interval starts (inclusive starts
+    earlier than exclusive at the same value). *)
+
+val compare_hi : bound -> bound -> int
+(** Order of upper bounds by where the interval ends. *)
+
+val make : bound -> bound -> t option
+(** [None] when the range is empty. *)
+
+val full : t
+val point : Value.t -> t
+
+val closed_open : Value.t -> Value.t -> t option
+(** [\[lo, hi)] — the shape of a typical range partition. *)
+
+val at_least : Value.t -> t
+val greater_than : Value.t -> t
+val at_most : Value.t -> t
+val less_than : Value.t -> t
+
+val is_point : t -> Value.t option
+val contains : t -> Value.t -> bool
+val intersect : t -> t -> t option
+val overlaps : t -> t -> bool
+
+val touches : t -> t -> bool
+(** Overlapping or adjacent: their union is a single interval. *)
+
+val equal : t -> t -> bool
+
+val serialized_size : t -> int
+(** Bytes of the bounds when shipped inside a plan. *)
+
+(** Sets of disjoint intervals, the unit of partition constraints and of
+    predicate-derived restrictions. *)
+module Set : sig
+  type interval = t
+
+  type t
+  (** Sorted by lower bound; pairwise disjoint and non-adjacent. *)
+
+  val empty : t
+  val full : t
+  val is_empty : t -> bool
+  val is_full : t -> bool
+  val singleton : interval -> t
+  val of_interval_opt : interval option -> t
+  val point : Value.t -> t
+  val contains : t -> Value.t -> bool
+
+  val of_list : interval list -> t
+  (** Normalizes: sorts and merges overlapping/adjacent intervals. *)
+
+  val union : t -> t -> t
+  val inter : t -> t -> t
+  val complement : t -> t
+  val diff : t -> t -> t
+
+  val overlaps_set : t -> t -> bool
+  (** Non-empty intersection — the heart of [f*_T]. *)
+
+  val equal : t -> t -> bool
+  val to_list : t -> interval list
+  val serialized_size : t -> int
+  val pp : Format.formatter -> t -> unit
+end

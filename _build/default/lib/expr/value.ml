@@ -1,0 +1,111 @@
+(** SQL values and their types.
+
+    This module is the common currency of the whole system: tuples are
+    [Value.t array]s, partition bounds are [Value.t]s, and the expression
+    evaluator produces [Value.t]s.  SQL [NULL] is an explicit constructor and
+    all comparison helpers implement SQL's three-valued semantics where a
+    comparison against [Null] is unknown (represented as [None]). *)
+
+type datatype = Tbool | Tint | Tfloat | Tstring | Tdate
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | Date of Date.t
+
+let datatype_of = function
+  | Null -> None
+  | Bool _ -> Some Tbool
+  | Int _ -> Some Tint
+  | Float _ -> Some Tfloat
+  | String _ -> Some Tstring
+  | Date _ -> Some Tdate
+
+let datatype_to_string = function
+  | Tbool -> "bool"
+  | Tint -> "int"
+  | Tfloat -> "float"
+  | Tstring -> "text"
+  | Tdate -> "date"
+
+let date_of_string s = Date (Date.of_string s)
+
+(** Structural total order, used for sorting and data structures.  [Null]
+    sorts first; values of distinct types sort by type.  Ints and floats are
+    compared numerically so that mixed-type keys behave sanely. *)
+let compare a b =
+  let rank = function
+    | Null -> 0
+    | Bool _ -> 1
+    | Int _ -> 2
+    | Float _ -> 2
+    | String _ -> 3
+    | Date _ -> 4
+  in
+  match (a, b) with
+  | Null, Null -> 0
+  | Bool x, Bool y -> Bool.compare x y
+  | Int x, Int y -> Int.compare x y
+  | Float x, Float y -> Float.compare x y
+  | Int x, Float y -> Float.compare (float_of_int x) y
+  | Float x, Int y -> Float.compare x (float_of_int y)
+  | String x, String y -> String.compare x y
+  | Date x, Date y -> Date.compare x y
+  | (Null | Bool _ | Int _ | Float _ | String _ | Date _), _ ->
+      Int.compare (rank a) (rank b)
+
+let equal a b = compare a b = 0
+
+(** SQL comparison: [None] when either side is [Null] (unknown). *)
+let sql_compare a b =
+  match (a, b) with Null, _ | _, Null -> None | _ -> Some (compare a b)
+
+let is_null = function Null -> true | _ -> false
+
+let to_bool = function
+  | Bool b -> Some b
+  | Null -> None
+  | _ -> invalid_arg "Value.to_bool: not a boolean"
+
+let to_float = function
+  | Int i -> float_of_int i
+  | Float f -> f
+  | v -> invalid_arg ("Value.to_float: " ^ (match datatype_of v with
+      | Some d -> datatype_to_string d
+      | None -> "null"))
+
+let to_int = function
+  | Int i -> i
+  | Float f -> int_of_float f
+  | _ -> invalid_arg "Value.to_int"
+
+let hash = function
+  | Null -> 0
+  | Bool b -> Hashtbl.hash b
+  | Int i -> Hashtbl.hash i
+  | Float f -> Hashtbl.hash f
+  | String s -> Hashtbl.hash s
+  | Date d -> Hashtbl.hash (d : Date.t :> int)
+
+let to_string = function
+  | Null -> "NULL"
+  | Bool b -> string_of_bool b
+  | Int i -> string_of_int i
+  | Float f -> Printf.sprintf "%g" f
+  | String s -> "'" ^ s ^ "'"
+  | Date d -> "'" ^ Date.to_string d ^ "'"
+
+let pp fmt v = Format.pp_print_string fmt (to_string v)
+
+(** Size in bytes a value occupies when a plan or tuple is serialized; used
+    by the plan-size model (paper §4.4). *)
+let serialized_size = function
+  | Null -> 1
+  | Bool _ -> 1
+  | Int _ -> 8
+  | Float _ -> 8
+  | String s -> 4 + String.length s
+  | Date _ -> 4

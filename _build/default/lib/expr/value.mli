@@ -1,0 +1,51 @@
+(** SQL values and their types — the common currency of the system: tuples
+    are [Value.t array]s, partition bounds are [Value.t]s, the evaluator
+    produces [Value.t]s.  [Null] is explicit and comparison helpers follow
+    SQL's three-valued semantics. *)
+
+type datatype = Tbool | Tint | Tfloat | Tstring | Tdate
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | Date of Date.t
+
+val datatype_of : t -> datatype option
+(** [None] for [Null]. *)
+
+val datatype_to_string : datatype -> string
+
+val date_of_string : string -> t
+(** [Date] value from ["YYYY-MM-DD"]. *)
+
+val compare : t -> t -> int
+(** Structural total order for sorting and data structures: [Null] first,
+    then by type rank; ints and floats compare numerically across types. *)
+
+val equal : t -> t -> bool
+
+val sql_compare : t -> t -> int option
+(** SQL comparison: [None] (unknown) when either side is [Null]. *)
+
+val is_null : t -> bool
+
+val to_bool : t -> bool option
+(** [None] for [Null]; raises [Invalid_argument] on non-booleans. *)
+
+val to_float : t -> float
+(** Numeric coercion; raises [Invalid_argument] on non-numerics. *)
+
+val to_int : t -> int
+
+val hash : t -> int
+(** Consistent with {!equal} for same-type values. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val serialized_size : t -> int
+(** Bytes this value occupies in a serialized plan or tuple; drives the
+    plan-size model of paper §4.4. *)

@@ -1,0 +1,1 @@
+lib/orca/logical.ml: Expr Format List Mpp_expr Mpp_plan Printf String

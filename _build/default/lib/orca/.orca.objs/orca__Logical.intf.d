@@ -1,0 +1,1 @@
+lib/orca/logical.mli: Expr Format Mpp_expr Mpp_plan

@@ -1,0 +1,1 @@
+lib/orca/memo.ml: Array Colref Expr Float Hashtbl List Logical Mpp_catalog Mpp_expr Mpp_plan Mpp_stats Option Part_spec Printf String

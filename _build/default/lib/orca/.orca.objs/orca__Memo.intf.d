@@ -1,0 +1,1 @@
+lib/orca/memo.mli: Logical Mpp_catalog Mpp_expr Mpp_plan Mpp_stats Part_spec

@@ -1,0 +1,1 @@
+lib/orca/optimizer.ml: Array Colref Expr Float Interval List Logical Logs Mpp_catalog Mpp_expr Mpp_plan Mpp_stats Option Placement Printf String

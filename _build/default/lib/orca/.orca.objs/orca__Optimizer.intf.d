@@ -1,0 +1,1 @@
+lib/orca/optimizer.mli: Logical Mpp_catalog Mpp_plan Mpp_stats

@@ -1,0 +1,1 @@
+lib/orca/part_spec.ml: Colref Expr Format List Mpp_expr Option String

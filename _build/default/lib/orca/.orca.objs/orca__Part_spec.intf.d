@@ -1,0 +1,1 @@
+lib/orca/part_spec.mli: Colref Expr Format Mpp_expr

@@ -1,0 +1,1 @@
+lib/orca/placement.ml: Colref Expr List Logs Mpp_catalog Mpp_expr Mpp_plan Part_spec

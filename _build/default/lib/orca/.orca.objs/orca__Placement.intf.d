@@ -1,0 +1,1 @@
+lib/orca/placement.mli: Mpp_catalog Mpp_plan Part_spec

@@ -1,0 +1,763 @@
+(** The Orca-style optimizer pipeline.
+
+    [optimize] turns a {!Logical.t} into an executable {!Mpp_plan.Plan.t}:
+
+    1. bottom-up translation to a physical skeleton, choosing hash-join
+       orientation by cost.  The cost model values join-induced dynamic
+       partition elimination: a candidate whose probe side contains a
+       DynamicScan constrained by the join predicate is charged only for the
+       estimated fraction of partitions it will scan, so plans that enable
+       DPE win whenever the statistics say they should — and lose when
+       injected misestimates say otherwise (the paper's Table-3 outliers);
+    2. Motion insertion for co-location (broadcast or redistribute the build
+       side; the probe side never moves when it contains a DynamicScan, which
+       keeps every selector/scan pair within one process — the §3.1
+       constraint by construction);
+    3. the PartitionSelector placement pass of {!Placement} (paper §2.3);
+    4. a {!Mpp_plan.Plan_valid} check.
+
+    The full memo-based property-enforcement machinery of paper §3.1 is in
+    {!Memo}; this pipeline is the production path used by the benchmarks. *)
+
+open Mpp_expr
+module Plan = Mpp_plan.Plan
+module Table = Mpp_catalog.Table
+module Distribution = Mpp_catalog.Distribution
+
+let log_src = Logs.Src.create "orca.optimizer" ~doc:"Orca optimizer pipeline"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type dist = Hashed_on of Colref.t list | Replicated_d | Random_d | Singleton_d
+
+type config = {
+  enable_partition_selection : bool;
+      (** master switch for the Figure-17 ablation: when off, only Φ
+          selectors are placed and every partition is scanned *)
+  cost_based_joins : bool;
+      (** when off, join orientation is taken as written (left = build) *)
+  enable_two_phase_agg : bool;
+      (** aggregate locally on each segment before moving rows (the MPP
+          norm); off = gather everything and aggregate once *)
+  enable_partition_wise_join : bool;
+      (** ablation of the related-work alternative (paper §5, Herodotou et
+          al.): when two tables partitioned identically are equi-joined on
+          their partitioning keys, expand into an Append of per-partition
+          joins.  Often faster per pair, but re-couples plan size to the
+          partition count — exactly the drawback the paper's DynamicScan
+          representation avoids. *)
+  nsegments : int;
+}
+
+let default_config =
+  {
+    enable_partition_selection = true;
+    cost_based_joins = true;
+    enable_two_phase_agg = true;
+    enable_partition_wise_join = false;
+    nsegments = 4;
+  }
+
+type t = {
+  catalog : Mpp_catalog.Catalog.t;
+  stats : Mpp_stats.Stats_source.t option;
+  config : config;
+  mutable next_scan_id : int;
+  mutable next_synth_rel : int;
+      (** synthetic range-table indices for aggregate outputs *)
+}
+
+let create ?(config = default_config) ?stats ~catalog () =
+  { catalog; stats; config; next_scan_id = 1; next_synth_rel = 1000 }
+
+let fresh_scan_id t =
+  let id = t.next_scan_id in
+  t.next_scan_id <- id + 1;
+  id
+
+let fresh_synth_rel t =
+  let r = t.next_synth_rel in
+  t.next_synth_rel <- r + 1;
+  r
+
+(* ------------------------------------------------------------------ *)
+(* Cost model parameters                                               *)
+(* ------------------------------------------------------------------ *)
+
+let cost_tuple_scan = 1.0
+let cost_partition_open = 40.0
+let cost_hash_build = 1.5
+let cost_probe = 1.0
+let cost_motion_tuple = 2.0
+let cost_filter_tuple = 0.1
+let cost_agg_tuple = 1.5
+
+(* ------------------------------------------------------------------ *)
+(* Annotated subplans                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* A DynamicScan visible in a subtree, for DPE costing. *)
+type dyn_scan_info = {
+  ds_rel : int;
+  ds_root_oid : int;
+  ds_keys : Colref.t list;
+  ds_nparts : int;
+  ds_rows : float;  (** estimated rows this scan feeds upward *)
+}
+
+type annotated = {
+  plan : Plan.t;
+  rows : float;
+  dist : dist;
+  cost : float;
+  dyn_scans : dyn_scan_info list;
+}
+
+let table_of t name = Mpp_catalog.Catalog.find t.catalog name
+
+let stats_of t (table : Table.t) : Mpp_stats.Stats.table_stats =
+  match t.stats with
+  | Some src -> Mpp_stats.Stats_source.table_stats src table
+  | None -> Mpp_stats.Stats.defaults table
+
+let dist_of_table t (table : Table.t) ~rel =
+  ignore t;
+  match table.Table.distribution with
+  | Distribution.Hashed cols ->
+      Hashed_on
+        (List.map
+           (fun i ->
+             let name, dtype = table.Table.columns.(i) in
+             Colref.make ~rel ~index:i ~name ~dtype)
+           cols)
+  | Distribution.Replicated -> Replicated_d
+  | Distribution.Random -> Random_d
+  | Distribution.Singleton -> Singleton_d
+
+let col_ndv t (table : Table.t) ~col_index =
+  let stats = stats_of t table in
+  if col_index < Array.length stats.columns then
+    stats.columns.(col_index).Mpp_stats.Stats.ndv
+  else 100
+
+(* ------------------------------------------------------------------ *)
+(* Scans and filters                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let plan_get t ~rel name : annotated =
+  let table = table_of t name in
+  let stats = stats_of t table in
+  let rows = float_of_int stats.rowcount in
+  let dist = dist_of_table t table ~rel in
+  match table.Table.partitioning with
+  | None ->
+      {
+        plan = Plan.table_scan ~rel table.Table.oid;
+        rows;
+        dist;
+        cost = rows *. cost_tuple_scan;
+        dyn_scans = [];
+      }
+  | Some p ->
+      let part_scan_id = fresh_scan_id t in
+      let nparts = Mpp_catalog.Partition.nparts p in
+      {
+        plan = Plan.dynamic_scan ~rel ~part_scan_id table.Table.oid;
+        rows;
+        dist;
+        cost =
+          (rows *. cost_tuple_scan)
+          +. (float_of_int nparts *. cost_partition_open);
+        dyn_scans =
+          [
+            {
+              ds_rel = rel;
+              ds_root_oid = table.Table.oid;
+              ds_keys = Table.part_key_colrefs table ~rel;
+              ds_nparts = nparts;
+              ds_rows = rows;
+            };
+          ];
+      }
+
+(* Selectivity of [pred] against the single-relation stats reachable in the
+   subtree; multi-relation predicates use defaults. *)
+let selectivity_for t ~rel_tables pred =
+  let per_rel rel =
+    match List.assoc_opt rel rel_tables with
+    | None -> 0.5
+    | Some table ->
+        Mpp_stats.Selectivity.estimate ~stats:(stats_of t table) ~rel pred
+  in
+  match Expr.rels pred with
+  | [] -> 1.0
+  | [ rel ] -> per_rel rel
+  | rels ->
+      (* keep only the per-relation conjuncts; join conjuncts are handled by
+         the join cardinality model *)
+      List.fold_left (fun acc rel -> acc *. per_rel rel) 1.0 rels
+
+let plan_select t ~rel_tables pred (child : annotated) : annotated =
+  let sel = selectivity_for t ~rel_tables pred in
+  let rows = Float.max 1.0 (child.rows *. sel) in
+  let plan =
+    (* push the filter into a bare scan; otherwise keep a Filter node *)
+    match child.plan with
+    | Plan.Table_scan ({ filter = None; _ } as s) ->
+        Plan.Table_scan { s with filter = Some pred }
+    | Plan.Dynamic_scan ({ filter = None; _ } as s) ->
+        Plan.Dynamic_scan { s with filter = Some pred }
+    | p -> Plan.filter pred p
+  in
+  {
+    child with
+    plan;
+    rows;
+    cost = child.cost +. (child.rows *. cost_filter_tuple);
+    dyn_scans =
+      List.map (fun ds -> { ds with ds_rows = ds.ds_rows *. sel })
+        child.dyn_scans;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Joins                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Equi-join column pairs (build expr, probe expr) of [pred]. *)
+let equi_pairs ~build_rels ~probe_rels pred =
+  let refs_only rels e =
+    Expr.rels e <> [] && List.for_all (fun r -> List.mem r rels) (Expr.rels e)
+  in
+  List.filter_map
+    (function
+      | Expr.Cmp (Expr.Eq, a, b)
+        when refs_only build_rels a && refs_only probe_rels b ->
+          Some (a, b)
+      | Expr.Cmp (Expr.Eq, a, b)
+        when refs_only probe_rels a && refs_only build_rels b ->
+          Some (b, a)
+      | _ -> None)
+    (Expr.conjuncts pred)
+
+
+(* Is [side] already distributed on its join keys?  (So the other side can be
+   redistributed to match, or no motion is needed if both match.) *)
+let hashed_on_keys dist keys =
+  match dist with
+  | Hashed_on cols ->
+      List.length cols <= List.length keys
+      && List.for_all
+           (fun c ->
+             List.exists
+               (function Expr.Col k -> Colref.equal k c | _ -> false)
+               keys)
+           cols
+  | _ -> false
+
+(* DPE opportunity: DynamicScans in the probe subtree whose keys the join
+   predicate constrains with expressions the build side can evaluate. *)
+let dpe_opportunities ~pred ~build ~probe =
+  let build_rels = Plan.output_rels build.plan in
+  List.filter
+    (fun ds ->
+      match Expr.find_preds_on_keys ds.ds_keys pred with
+      | None -> false
+      | Some found ->
+          List.exists Option.is_some found
+          && List.for_all
+               (function
+                 | None -> true
+                 | Some p ->
+                     List.for_all
+                       (fun (c : Colref.t) ->
+                         List.exists (Colref.equal c) ds.ds_keys
+                         || List.mem c.Colref.rel build_rels)
+                       (Expr.free_cols p))
+               found)
+    probe.dyn_scans
+
+type join_candidate = {
+  jc_plan : Plan.t;
+  jc_rows : float;
+  jc_dist : dist;
+  jc_cost : float;
+  jc_dyn_scans : dyn_scan_info list;
+}
+
+let key_ndv t ~rel_tables e =
+  match e with
+  | Expr.Col c -> (
+      match List.assoc_opt c.Colref.rel rel_tables with
+      | Some table -> col_ndv t table ~col_index:c.Colref.index
+      | None -> 1000)
+  | _ -> 1000
+
+let candidate t ~rel_tables ~kind ~pred ~(build : annotated)
+    ~(probe : annotated) : join_candidate option =
+  let nseg = float_of_int t.config.nsegments in
+  let build_rels = Plan.output_rels build.plan
+  and probe_rels = Plan.output_rels probe.plan in
+  let pairs = equi_pairs ~build_rels ~probe_rels pred in
+  let build_keys = List.map fst pairs and probe_keys = List.map snd pairs in
+  (* Motion choice for the build side; the probe side never moves (keeps
+     selector/scan co-located when the probe holds a DynamicScan). *)
+  let colocated =
+    pairs <> []
+    && hashed_on_keys build.dist build_keys
+    && hashed_on_keys probe.dist probe_keys
+  in
+  let build_plan, build_motion_cost, build_dist =
+    if build.dist = Replicated_d || build.dist = Singleton_d then
+      (build.plan, 0.0, build.dist)
+    else if colocated then (build.plan, 0.0, build.dist)
+    else if probe.dist = Replicated_d then
+      (* the probe side already lives everywhere: joining the distributed
+         build side locally produces each pair exactly once *)
+      (build.plan, 0.0, build.dist)
+    else if pairs <> [] && hashed_on_keys probe.dist probe_keys then
+      (* redistribute build to match the probe's hashing *)
+      let cols =
+        List.filter_map
+          (function Expr.Col c -> Some c | _ -> None)
+          build_keys
+      in
+      if List.length cols = List.length build_keys then
+        ( Plan.motion (Plan.Redistribute cols) build.plan,
+          build.rows *. cost_motion_tuple,
+          Hashed_on cols )
+      else
+        ( Plan.motion Plan.Broadcast build.plan,
+          build.rows *. nseg *. cost_motion_tuple,
+          Replicated_d )
+    else
+      ( Plan.motion Plan.Broadcast build.plan,
+        build.rows *. nseg *. cost_motion_tuple,
+        Replicated_d )
+  in
+
+  (* When the build side is not replicated everywhere, a streaming selector
+     above it sees only a slice of the rows on each segment, which still
+     yields correct (per-segment-conservative) selection. *)
+  let dpe = dpe_opportunities ~pred ~build ~probe in
+  let probe_cost_effective =
+    match dpe with
+    | [] -> probe.cost
+    | _ ->
+        (* fraction of partitions surviving selection, per DPE'd scan *)
+        List.fold_left
+          (fun cost ds ->
+            let build_ndv =
+              match build_keys with
+              | [ k ] -> float_of_int (key_ndv t ~rel_tables k)
+              | _ -> build.rows
+            in
+            let distinct = Float.min build.rows build_ndv in
+            let frac =
+              Float.min 1.0 (distinct /. float_of_int (max 1 ds.ds_nparts))
+            in
+            (* discount the partition opens and tuple reads of this scan *)
+            let scan_cost =
+              (ds.ds_rows *. cost_tuple_scan)
+              +. (float_of_int ds.ds_nparts *. cost_partition_open)
+            in
+            cost -. (scan_cost *. (1.0 -. frac)))
+          probe.cost dpe
+  in
+  let rows =
+    match kind with
+    | Plan.Semi ->
+        Float.max 1.0 (probe.rows *. 0.5)
+    | Plan.Inner | Plan.Left_outer -> (
+        match pairs with
+        | [] -> Float.max 1.0 (build.rows *. probe.rows *. 0.1)
+        | (bk, pk) :: _ ->
+            Mpp_stats.Selectivity.join_rows ~left_rows:build.rows
+              ~right_rows:probe.rows
+              ~left_ndv:(key_ndv t ~rel_tables bk)
+              ~right_ndv:(key_ndv t ~rel_tables pk))
+  in
+  let cost =
+    build.cost +. build_motion_cost +. probe_cost_effective
+    +. (build.rows *. cost_hash_build)
+    +. (probe.rows *. cost_probe)
+  in
+  Some
+    {
+      jc_plan = Plan.hash_join ~kind ~pred build_plan probe.plan;
+      jc_rows = rows;
+      jc_dist =
+        (* a join's rows live where its distributed side lives *)
+        (if probe.dist = Replicated_d && build_dist <> Replicated_d then
+           build_dist
+         else probe.dist);
+      jc_cost = cost;
+      jc_dyn_scans =
+        (* scans already consumed below stay visible for upper joins only if
+           their columns are still in the output *)
+        build.dyn_scans @ probe.dyn_scans;
+    }
+
+(* Partition-wise join (ablation, paper §5): both sides are bare
+   DynamicScans of tables partitioned with *identical* level-0 constraints,
+   equi-joined on those keys — expand into an Append of per-pair joins.
+   Returns [None] when the pattern does not apply. *)
+let try_partition_wise_join t ~kind ~pred (left : annotated)
+    (right : annotated) : annotated option =
+  if not (t.config.enable_partition_wise_join && kind = Plan.Inner) then None
+  else
+    match (left.plan, right.plan, left.dyn_scans, right.dyn_scans) with
+    | ( Plan.Dynamic_scan ls,
+        Plan.Dynamic_scan rs,
+        [ lds ],
+        [ rds ] ) -> (
+        let ltable = Mpp_catalog.Catalog.find_oid t.catalog ls.root_oid in
+        let rtable = Mpp_catalog.Catalog.find_oid t.catalog rs.root_oid in
+        match (ltable.Table.partitioning, rtable.Table.partitioning) with
+        | Some lp, Some rp
+          when Mpp_catalog.Partition.nlevels lp = 1
+               && Mpp_catalog.Partition.nlevels rp = 1
+               && Mpp_catalog.Partition.nparts lp
+                  = Mpp_catalog.Partition.nparts rp ->
+            let lkey = List.hd lds.ds_keys and rkey = List.hd rds.ds_keys in
+            let keys_joined =
+              List.exists
+                (function
+                  | Expr.Cmp (Expr.Eq, Expr.Col a, Expr.Col b) ->
+                      (Colref.equal a lkey && Colref.equal b rkey)
+                      || (Colref.equal a rkey && Colref.equal b lkey)
+                  | _ -> false)
+                (Expr.conjuncts pred)
+            in
+            let constraints_match =
+              List.for_all2
+                (fun (a : Mpp_catalog.Partition.leaf)
+                     (b : Mpp_catalog.Partition.leaf) ->
+                  match (a.bounds.(0), b.bounds.(0)) with
+                  | Mpp_catalog.Partition.Cset x, Mpp_catalog.Partition.Cset y
+                    ->
+                      Interval.Set.equal x y
+                  | Mpp_catalog.Partition.Default,
+                    Mpp_catalog.Partition.Default ->
+                      true
+                  | _ -> false)
+                (Array.to_list lp.Mpp_catalog.Partition.leaves)
+                (Array.to_list rp.Mpp_catalog.Partition.leaves)
+            in
+            (* per-pair local joins are only correct when both sides are
+               hash-distributed on the joined keys (co-located) *)
+            let colocated =
+              match (left.dist, right.dist) with
+              | Hashed_on [ a ], Hashed_on [ b ] ->
+                  Colref.equal a lkey && Colref.equal b rkey
+              | _ -> false
+            in
+            if not (keys_joined && constraints_match && colocated) then None
+            else begin
+              let pairs =
+                List.map2
+                  (fun (a : Mpp_catalog.Partition.leaf)
+                       (b : Mpp_catalog.Partition.leaf) ->
+                    Plan.hash_join ~kind ~pred
+                      (Plan.table_scan ?filter:ls.filter ~rel:ls.rel
+                         a.leaf_oid)
+                      (Plan.table_scan ?filter:rs.filter ~rel:rs.rel
+                         b.leaf_oid))
+                  (Array.to_list lp.Mpp_catalog.Partition.leaves)
+                  (Array.to_list rp.Mpp_catalog.Partition.leaves)
+              in
+              Some
+                {
+                  plan = Plan.Append pairs;
+                  rows =
+                    Mpp_stats.Selectivity.join_rows ~left_rows:left.rows
+                      ~right_rows:right.rows ~left_ndv:1000 ~right_ndv:1000;
+                  dist = right.dist;
+                  cost = left.cost +. right.cost +. (left.rows *. cost_hash_build);
+                  dyn_scans = [];
+                }
+            end
+        | _ -> None)
+    | _ -> None
+
+(* Plan a join, trying both orientations when allowed.  [pinned_rel] (DML
+   target) must stay on the probe side, unmoved. *)
+let plan_join t ~rel_tables ~pinned_rel ~kind ~pred (left : annotated)
+    (right : annotated) : annotated =
+  match try_partition_wise_join t ~kind ~pred left right with
+  | Some ann -> ann
+  | None ->
+  (* fall through to the DynamicScan-based join below *)
+  let orientations =
+    match kind with
+    | Plan.Semi | Plan.Left_outer ->
+        (* semantics fix the roles: logical left is the preserved/probe side
+           for semi joins (build = subquery side) *)
+        (match kind with
+        | Plan.Semi -> [ (right, left) ]
+        | _ -> [ (left, right) ])
+    | Plan.Inner ->
+        if t.config.cost_based_joins then
+          [ (left, right); (right, left) ]
+        else [ (left, right) ]
+  in
+  let allowed (build, probe) =
+    match pinned_rel with
+    | None -> true
+    | Some rel ->
+        (* the DML target must be on the (unmoved) probe side if present *)
+        (not (List.mem rel (Plan.output_rels build.plan)))
+        || List.mem rel (Plan.output_rels probe.plan)
+  in
+  let candidates =
+    List.filter allowed orientations
+    |> List.filter_map (fun (build, probe) ->
+           candidate t ~rel_tables ~kind ~pred ~build ~probe)
+  in
+  match
+    List.sort (fun a b -> Float.compare a.jc_cost b.jc_cost) candidates
+  with
+  | [] -> invalid_arg "Optimizer.plan_join: no valid join orientation"
+  | best :: _ ->
+      Log.debug (fun m ->
+          m "join orientation chosen: cost=%.0f of %d candidate(s), pred=%s"
+            best.jc_cost (List.length candidates) (Expr.to_string pred));
+      {
+        plan = best.jc_plan;
+        rows = best.jc_rows;
+        dist = best.jc_dist;
+        cost = best.jc_cost;
+        dyn_scans = best.jc_dyn_scans;
+      }
+
+(* ------------------------------------------------------------------ *)
+(* Top-level translation                                               *)
+(* ------------------------------------------------------------------ *)
+
+let gather (ann : annotated) : annotated =
+  match ann.dist with
+  | Singleton_d -> ann
+  | Replicated_d ->
+      (* replicated data: read one copy, do not concatenate all copies *)
+      {
+        ann with
+        plan = Plan.motion Plan.Gather_one ann.plan;
+        dist = Singleton_d;
+      }
+  | Hashed_on _ | Random_d ->
+      {
+        ann with
+        plan = Plan.motion Plan.Gather ann.plan;
+        dist = Singleton_d;
+        cost = ann.cost +. (ann.rows *. cost_motion_tuple);
+      }
+
+(* Two-phase aggregation (the MPP norm): a partial aggregate runs on each
+   segment over its local rows, the (much smaller) partial states move once,
+   and a final aggregate combines them — count combines by summing partial
+   counts, avg is decomposed into sum and count recombined by a projection.
+   Falls back to gather-then-aggregate when disabled or already local. *)
+let rec plan_aggregate t ~rel_tables ~pinned_rel ~group_by ~aggs child :
+    annotated =
+  let c = build_physical t ~rel_tables ~pinned_rel child in
+  let rows = if group_by = [] then 1.0 else Float.max 1.0 (c.rows /. 10.0) in
+  if (not t.config.enable_two_phase_agg) || c.dist = Singleton_d then begin
+    let c = gather c in
+    {
+      plan = Plan.agg ~group_by ~aggs c.plan;
+      rows;
+      dist = Singleton_d;
+      cost = c.cost +. (c.rows *. cost_agg_tuple);
+      dyn_scans = [];
+    }
+  end
+  else begin
+    let partial_rel = fresh_synth_rel t and final_rel = fresh_synth_rel t in
+    let pcol index =
+      Expr.col
+        (Colref.make ~rel:partial_rel ~index
+           ~name:(Printf.sprintf "p%d" index) ~dtype:Mpp_expr.Value.Tfloat)
+    in
+    let fcol index =
+      Expr.col
+        (Colref.make ~rel:final_rel ~index
+           ~name:(Printf.sprintf "f%d" index) ~dtype:Mpp_expr.Value.Tfloat)
+    in
+    let k = List.length group_by in
+    (* decompose each requested aggregate into partial slots, the final
+       combine over those slots, and the output expression *)
+    let partial_aggs = ref [] in
+    let final_aggs = ref [] in
+    let next_partial = ref k and next_final = ref k in
+    let add_partial name f =
+      let slot = !next_partial in
+      partial_aggs := !partial_aggs @ [ (name, f) ];
+      incr next_partial;
+      slot
+    in
+    let add_final name f =
+      let slot = !next_final in
+      final_aggs := !final_aggs @ [ (name, f) ];
+      incr next_final;
+      slot
+    in
+    let needs_project = ref false in
+    let outputs =
+      List.map
+        (fun (name, f) ->
+          match f with
+          | Plan.Count_star ->
+              let p = add_partial name Plan.Count_star in
+              let fi = add_final name (Plan.Sum (pcol p)) in
+              (name, fcol fi)
+          | Plan.Count e ->
+              let p = add_partial name (Plan.Count e) in
+              let fi = add_final name (Plan.Sum (pcol p)) in
+              (name, fcol fi)
+          | Plan.Sum e ->
+              let p = add_partial name (Plan.Sum e) in
+              let fi = add_final name (Plan.Sum (pcol p)) in
+              (name, fcol fi)
+          | Plan.Min e ->
+              let p = add_partial name (Plan.Min e) in
+              let fi = add_final name (Plan.Min (pcol p)) in
+              (name, fcol fi)
+          | Plan.Max e ->
+              let p = add_partial name (Plan.Max e) in
+              let fi = add_final name (Plan.Max (pcol p)) in
+              (name, fcol fi)
+          | Plan.Avg e ->
+              needs_project := true;
+              let ps = add_partial (name ^ "_sum") (Plan.Sum e) in
+              let pc = add_partial (name ^ "_cnt") (Plan.Count e) in
+              let fs = add_final (name ^ "_sum") (Plan.Sum (pcol ps)) in
+              let fc = add_final (name ^ "_cnt") (Plan.Sum (pcol pc)) in
+              ( name,
+                Expr.Arith
+                  (Expr.Div,
+                   Expr.Func ("to_float", [ fcol fs ]),
+                   Expr.Func ("to_float", [ fcol fc ])) ))
+        aggs
+    in
+    let partial =
+      Plan.agg ~output_rel:partial_rel ~group_by ~aggs:!partial_aggs c.plan
+    in
+    let moved = Plan.motion Plan.Gather partial in
+    let final_group = List.init k pcol in
+    let final =
+      Plan.agg ~output_rel:final_rel ~group_by:final_group ~aggs:!final_aggs
+        moved
+    in
+    let plan =
+      if (not !needs_project) && k = 0 then final
+      else if not !needs_project then final
+      else
+        Plan.Project
+          { exprs =
+              List.init k (fun i -> (Printf.sprintf "g%d" (i + 1), fcol i))
+              @ outputs;
+            child = final }
+    in
+    {
+      plan;
+      rows;
+      dist = Singleton_d;
+      cost =
+        c.cost +. (c.rows *. cost_agg_tuple)
+        +. (rows *. float_of_int t.config.nsegments *. cost_motion_tuple);
+      dyn_scans = [];
+    }
+  end
+
+and build_physical t ~rel_tables ~pinned_rel (lg : Logical.t) : annotated =
+  match lg with
+  | Logical.Get { rel; table_name } -> plan_get t ~rel table_name
+  | Logical.Select { pred; child } ->
+      plan_select t ~rel_tables pred
+        (build_physical t ~rel_tables ~pinned_rel child)
+  | Logical.Join { kind; pred; left; right } ->
+      let l = build_physical t ~rel_tables ~pinned_rel left in
+      let r = build_physical t ~rel_tables ~pinned_rel right in
+      plan_join t ~rel_tables ~pinned_rel ~kind ~pred l r
+  | Logical.Aggregate { group_by; aggs; child } ->
+      plan_aggregate t ~rel_tables ~pinned_rel ~group_by ~aggs child
+  | Logical.Project { exprs; child } ->
+      let c = build_physical t ~rel_tables ~pinned_rel child in
+      { c with plan = Plan.Project { exprs; child = c.plan }; dyn_scans = [] }
+  | Logical.Sort { keys; child } ->
+      let c = gather (build_physical t ~rel_tables ~pinned_rel child) in
+      { c with plan = Plan.Sort { keys; child = c.plan } }
+  | Logical.Limit { rows; child } ->
+      let c = gather (build_physical t ~rel_tables ~pinned_rel child) in
+      {
+        c with
+        plan = Plan.Limit { rows; child = c.plan };
+        rows = Float.min c.rows (float_of_int rows);
+      }
+  | Logical.Update { rel; table_name; set_cols; child } ->
+      let table = table_of t table_name in
+      let c = build_physical t ~rel_tables ~pinned_rel:(Some rel) child in
+      let set_exprs =
+        List.map (fun (col, e) -> (Table.col_index table col, e)) set_cols
+      in
+      {
+        plan =
+          Plan.Update { rel; table_oid = table.Table.oid; set_exprs; child = c.plan };
+        rows = 1.0;
+        dist = Singleton_d;
+        cost = c.cost +. c.rows;
+        dyn_scans = [];
+      }
+  | Logical.Delete { rel; table_name; child } ->
+      let table = table_of t table_name in
+      let c = build_physical t ~rel_tables ~pinned_rel:(Some rel) child in
+      {
+        plan = Plan.Delete { rel; table_oid = table.Table.oid; child = c.plan };
+        rows = 1.0;
+        dist = Singleton_d;
+        cost = c.cost +. c.rows;
+        dyn_scans = [];
+      }
+  | Logical.Insert { table_name; rows } ->
+      let table = table_of t table_name in
+      {
+        plan = Plan.Insert { table_oid = table.Table.oid; rows };
+        rows = 1.0;
+        dist = Singleton_d;
+        cost = float_of_int (List.length rows);
+        dyn_scans = [];
+      }
+
+exception Invalid_plan of string
+
+(** Optimize a logical tree into an executable physical plan. *)
+let optimize t (lg : Logical.t) : Plan.t =
+  t.next_scan_id <- 1;
+  let rel_tables =
+    List.map (fun (rel, name) -> (rel, table_of t name)) (Logical.base_tables lg)
+  in
+  let ann = build_physical t ~rel_tables ~pinned_rel:None lg in
+  let ann =
+    match lg with
+    | Logical.Update _ | Logical.Delete _ | Logical.Insert _ -> ann
+    | _ -> gather ann
+  in
+  let placed =
+    Placement.place ~eliminate:t.config.enable_partition_selection
+      ~catalog:t.catalog ann.plan
+  in
+  match Mpp_plan.Plan_valid.check placed with
+  | [] -> placed
+  | violations ->
+      raise
+        (Invalid_plan
+           (String.concat "; "
+              (List.map Mpp_plan.Plan_valid.violation_to_string violations)))
+
+(** Estimated cost of the plan the optimizer would pick (for tests and the
+    memo comparison). *)
+let estimate t (lg : Logical.t) : float =
+  t.next_scan_id <- 1;
+  let rel_tables =
+    List.map (fun (rel, name) -> (rel, table_of t name)) (Logical.base_tables lg)
+  in
+  (build_physical t ~rel_tables ~pinned_rel:None lg).cost

@@ -1,0 +1,46 @@
+(** The Orca-style optimizer pipeline: logical tree → cost-based physical
+    skeleton (join orientation values dynamic partition elimination; Motions
+    co-locate without ever separating a selector from its scan) → the
+    {!Placement} pass of paper §2.3 → a {!Mpp_plan.Plan_valid} check.
+
+    The memo-based property-enforcement machinery of §3.1 lives in {!Memo};
+    this pipeline is the production path used by the benchmarks. *)
+
+module Plan = Mpp_plan.Plan
+
+type config = {
+  enable_partition_selection : bool;
+      (** master switch for the Figure-17 ablation: when off, only Φ
+          selectors are placed and every partition is scanned *)
+  cost_based_joins : bool;
+      (** when off, join orientation is taken as written (left = build) *)
+  enable_two_phase_agg : bool;
+      (** aggregate locally per segment before moving rows (the MPP norm);
+          off = gather everything and aggregate once *)
+  enable_partition_wise_join : bool;
+      (** ablation of the related-work alternative (paper §5): expand a
+          key-to-key join of identically partitioned, co-located tables into
+          an Append of per-partition joins — re-coupling plan size to the
+          partition count *)
+  nsegments : int;
+}
+
+val default_config : config
+
+type t
+
+val create :
+  ?config:config ->
+  ?stats:Mpp_stats.Stats_source.t ->
+  catalog:Mpp_catalog.Catalog.t ->
+  unit ->
+  t
+
+exception Invalid_plan of string
+
+val optimize : t -> Logical.t -> Plan.t
+(** Optimize into an executable physical plan; raises {!Invalid_plan} if the
+    result violates the Motion/selector rules (a bug, not an input error). *)
+
+val estimate : t -> Logical.t -> float
+(** Estimated cost of the plan the optimizer would pick. *)

@@ -1,0 +1,29 @@
+(** PartitionSelector placement — the paper's Algorithms 1–4 (§2.3) with the
+    multi-level extension of §2.4.
+
+    Input: a physical tree containing DynamicScans but no selectors.
+    Output: the same tree with every selector placed —
+
+    - Filter predicates on the partitioning key fold into the spec on the
+      way down (Algorithm 3), including a scan's own residual qual;
+    - a join whose predicate constrains the key of a scan in its right
+      (inner) child pushes the spec into its left (outer) child: dynamic
+      partition elimination (Algorithm 4);
+    - other operators forward specs toward the defining child or enforce
+      them on top when the scan is out of scope (Algorithm 2);
+    - a spec reaching its own DynamicScan becomes a leaf selector ordered by
+      a [Sequence] (Figure 5(a–c)). *)
+
+module Plan = Mpp_plan.Plan
+
+val place_part_selectors :
+  ?eliminate:bool -> Part_spec.t list -> Plan.t -> Plan.t
+(** Algorithm 1 ([PlacePartSelectors]) over explicit input specs. *)
+
+val initial_specs :
+  catalog:Mpp_catalog.Catalog.t -> Plan.t -> Part_spec.t list
+(** One fresh spec per unresolved DynamicScan in the tree. *)
+
+val place : ?eliminate:bool -> catalog:Mpp_catalog.Catalog.t -> Plan.t -> Plan.t
+(** End-to-end pass.  [eliminate:false] places only Φ selectors (no
+    partition elimination — the Figure-17 ablation). *)

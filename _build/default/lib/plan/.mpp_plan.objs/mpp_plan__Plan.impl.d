@@ -1,0 +1,1 @@
+lib/plan/plan.ml: Colref Expr Format Int List Mpp_catalog Mpp_expr Printf String

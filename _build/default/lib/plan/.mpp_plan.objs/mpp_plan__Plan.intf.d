@@ -1,0 +1,1 @@
+lib/plan/plan.mli: Colref Expr Format Mpp_catalog Mpp_expr

@@ -1,0 +1,1 @@
+lib/plan/plan_size.ml: List Mpp_catalog Mpp_expr Plan

@@ -1,0 +1,1 @@
+lib/plan/plan_size.mli: Mpp_catalog Plan

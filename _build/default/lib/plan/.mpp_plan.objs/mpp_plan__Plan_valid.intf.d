@@ -1,0 +1,1 @@
+lib/plan/plan_valid.mli: Plan

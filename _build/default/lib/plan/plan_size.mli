@@ -1,0 +1,13 @@
+(** The plan-size model behind the paper's §4.4 experiments: per-node
+    headers, serialized expressions, a fat relation descriptor per scan
+    (which makes Planner-style partition enumerations grow with the
+    partition count), and the partition-constraint metadata each
+    PartitionSelector ships to segments (the mild Orca growth of Figures
+    18(b)/(c)).  Constants are calibrated to plan structure, not to
+    Greenplum's absolute byte counts. *)
+
+val bytes : catalog:Mpp_catalog.Catalog.t -> Plan.t -> int
+(** Serialized size in bytes; [catalog] supplies partition counts for the
+    selector metadata charge. *)
+
+val kilobytes : catalog:Mpp_catalog.Catalog.t -> Plan.t -> float

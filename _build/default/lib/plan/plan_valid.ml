@@ -1,0 +1,111 @@
+(** Structural validity of plans containing partition selection.
+
+    Two rules from the paper:
+    - every [DynamicScan] must have a matching [PartitionSelector] somewhere
+      in the plan (and vice versa);
+    - a communicating selector/scan pair relies on shared memory, so no
+      [Motion] may sit between either of them and their lowest common
+      ancestor (§3.1, Figure 12) — a Motion is a process boundary.
+
+    [check] walks the tree once, carrying unmatched producer/consumer
+    endpoints upward; passing a [Motion] taints the endpoints below it, and
+    a pair that meets with a tainted endpoint is a violation. *)
+
+type role = Producer | Consumer
+
+type endpoint = { id : int; role : role; crossed_motion : bool }
+
+type violation =
+  | Motion_between of int
+      (** a Motion separates the selector and scan of this part_scan_id *)
+  | Unmatched_scan of int  (** DynamicScan with no PartitionSelector *)
+  | Unmatched_selector of int  (** PartitionSelector with no DynamicScan *)
+  | Consumer_before_producer of int
+      (** within a Sequence, the DynamicScan executes before its selector *)
+
+let violation_to_string = function
+  | Motion_between id ->
+      Printf.sprintf "Motion between PartitionSelector and DynamicScan %d" id
+  | Unmatched_scan id ->
+      Printf.sprintf "DynamicScan %d has no PartitionSelector" id
+  | Unmatched_selector id ->
+      Printf.sprintf "PartitionSelector %d has no DynamicScan" id
+  | Consumer_before_producer id ->
+      Printf.sprintf
+        "DynamicScan %d executes before its PartitionSelector in a Sequence" id
+
+(* Match producers with consumers present in [endpoints]; report Motion
+   violations; return the leftovers.  A producer may serve several consumers
+   (the Planner's guarded per-partition scans all read the same channel), so
+   matching is by id: once both roles are present, every endpoint of that id
+   resolves here, and any of them having crossed a Motion is a violation. *)
+let match_pairs endpoints violations =
+  List.filter
+    (fun e ->
+      let both_roles =
+        List.exists (fun e' -> e'.id = e.id && e'.role = Producer) endpoints
+        && List.exists (fun e' -> e'.id = e.id && e'.role = Consumer) endpoints
+      in
+      if both_roles && e.crossed_motion then
+        violations := Motion_between e.id :: !violations;
+      not both_roles)
+    endpoints
+
+let check (plan : Plan.t) : violation list =
+  let violations = ref [] in
+  let rec walk (p : Plan.t) : endpoint list =
+    let own =
+      match p with
+      | Plan.Partition_selector { part_scan_id; _ } ->
+          [ { id = part_scan_id; role = Producer; crossed_motion = false } ]
+      | Plan.Dynamic_scan { part_scan_id; _ } ->
+          [ { id = part_scan_id; role = Consumer; crossed_motion = false } ]
+      | Plan.Table_scan { guard = Some id; _ } ->
+          [ { id; role = Consumer; crossed_motion = false } ]
+      | _ -> []
+    in
+    let from_children =
+      match p with
+      | Plan.Sequence cs ->
+          (* A Sequence orders execution left to right: a consumer appearing
+             in an earlier child than its producer never receives OIDs. *)
+          let per_child = List.map walk cs in
+          List.iteri
+            (fun i eps ->
+              List.iter
+                (fun e ->
+                  if e.role = Consumer then
+                    List.iteri
+                      (fun j eps' ->
+                        if j > i then
+                          List.iter
+                            (fun e' ->
+                              if e'.role = Producer && e'.id = e.id then
+                                violations :=
+                                  Consumer_before_producer e.id :: !violations)
+                            eps')
+                      per_child)
+                eps)
+            per_child;
+          List.concat per_child
+      | _ -> List.concat_map walk (Plan.children p)
+    in
+    let endpoints = own @ from_children in
+    let leftovers = match_pairs endpoints violations in
+    match p with
+    | Plan.Motion _ ->
+        List.map (fun e -> { e with crossed_motion = true }) leftovers
+    | _ -> leftovers
+  in
+  let leftovers = walk plan in
+  List.iter
+    (fun e ->
+      violations :=
+        (match e.role with
+        | Producer -> Unmatched_selector e.id
+        | Consumer -> Unmatched_scan e.id)
+        :: !violations)
+    leftovers;
+  List.sort_uniq compare (List.rev !violations)
+
+let is_valid plan = check plan = []

@@ -1,0 +1,20 @@
+(** Structural validity of plans with partition selection (paper §3.1,
+    Figure 12): every DynamicScan needs a matching PartitionSelector, no
+    Motion may separate a communicating pair from their lowest common
+    ancestor (Motions are process boundaries), and within a Sequence the
+    producer must run before the consumer. *)
+
+type violation =
+  | Motion_between of int
+      (** a Motion separates the selector and scan of this part_scan_id *)
+  | Unmatched_scan of int  (** DynamicScan with no PartitionSelector *)
+  | Unmatched_selector of int  (** PartitionSelector with no DynamicScan *)
+  | Consumer_before_producer of int
+      (** within a Sequence, the DynamicScan executes before its selector *)
+
+val violation_to_string : violation -> string
+
+val check : Plan.t -> violation list
+(** All violations, deduplicated; [[]] means the plan is well-formed. *)
+
+val is_valid : Plan.t -> bool

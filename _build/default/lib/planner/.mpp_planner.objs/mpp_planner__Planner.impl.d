@@ -1,0 +1,1 @@
+lib/planner/planner.ml: Array Colref Expr List Mpp_catalog Mpp_expr Mpp_plan Orca String

@@ -1,0 +1,1 @@
+lib/planner/planner.mli: Mpp_catalog Mpp_plan Orca

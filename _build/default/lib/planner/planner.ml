@@ -1,0 +1,344 @@
+(** The legacy "Planner" baseline — the comparison system of the paper's
+    evaluation (§4).
+
+    Faithful to the documented behaviour of the pre-Orca Greenplum planner
+    (PostgreSQL inheritance):
+
+    - a partitioned table is expanded into an [Append] of one [Table_scan]
+      per leaf partition, so {e plan size grows with the partition count};
+    - {e static} partition elimination is constraint exclusion: leaves whose
+      check constraint contradicts the query's constant predicates are
+      dropped from the Append at plan time;
+    - {e dynamic} elimination exists but is rudimentary: only for a direct
+      equality join against the level-0 partitioning key of a plain
+      (possibly filtered) partitioned-table expansion.  The partition OIDs
+      are computed at run time into a parameter — modelled by a
+      [Partition_selector] feeding the [guard] field of the leaf scans — but
+      the plan still lists {e every} surviving leaf (paper §4.4.2);
+    - join orientation is as written (no cost-based flip), with a broadcast
+      of the build side when not co-located;
+    - DML over partitioned tables enumerates the join per target leaf,
+      which makes DML plan size quadratic in the partition count (§4.4.3). *)
+
+open Mpp_expr
+module Plan = Mpp_plan.Plan
+module Table = Mpp_catalog.Table
+module Partition = Mpp_catalog.Partition
+module Distribution = Mpp_catalog.Distribution
+module Logical = Orca.Logical
+
+type config = {
+  enable_static_elimination : bool;
+  enable_dynamic_elimination : bool;
+  nsegments : int;
+}
+
+let default_config =
+  {
+    enable_static_elimination = true;
+    enable_dynamic_elimination = true;
+    nsegments = 4;
+  }
+
+type t = {
+  catalog : Mpp_catalog.Catalog.t;
+  config : config;
+  mutable next_scan_id : int;
+}
+
+let create ?(config = default_config) ~catalog () =
+  { catalog; config; next_scan_id = 1 }
+
+let fresh_scan_id t =
+  let id = t.next_scan_id in
+  t.next_scan_id <- id + 1;
+  id
+
+(* Information about a subtree that is still a plain expansion of one
+   partitioned table — the only shape the legacy planner can apply dynamic
+   elimination to. *)
+type expansion = {
+  exp_rel : int;
+  exp_table : Table.t;
+  exp_partitioning : Partition.t;
+  exp_leaves : Partition.leaf list;  (** survivors of static exclusion *)
+  exp_filter : Expr.t option;
+}
+
+type sub = {
+  plan : Plan.t;
+  dist : [ `Hashed of Colref.t list | `Replicated | `Other ];
+  expansion : expansion option;
+}
+
+let append_of_expansion ?guard (e : expansion) : Plan.t =
+  Plan.Append
+    (List.map
+       (fun (lf : Partition.leaf) ->
+         Plan.table_scan ?filter:e.exp_filter ?guard ~rel:e.exp_rel
+           lf.Partition.leaf_oid)
+       e.exp_leaves)
+
+let finalize (s : sub) : Plan.t =
+  match s.expansion with Some e -> append_of_expansion e | None -> s.plan
+
+(* Constraint exclusion: drop the leaves whose constraints contradict the
+   constant restrictions derivable from [pred]. *)
+let static_exclusion t (e : expansion) pred : expansion =
+  if not t.config.enable_static_elimination then e
+  else begin
+    let keys = Table.part_key_colrefs e.exp_table ~rel:e.exp_rel in
+    let restrictions =
+      List.map
+        (fun key ->
+          match Expr.restriction key pred with
+          | Some set -> Some set
+          | None -> None)
+        keys
+      |> Array.of_list
+    in
+    let surviving = Partition.select e.exp_partitioning restrictions in
+    let surviving_oids =
+      List.map (fun (lf : Partition.leaf) -> lf.Partition.leaf_oid) surviving
+    in
+    {
+      e with
+      exp_leaves =
+        List.filter
+          (fun (lf : Partition.leaf) ->
+            List.mem lf.Partition.leaf_oid surviving_oids)
+          e.exp_leaves;
+    }
+  end
+
+let dist_of_table (table : Table.t) ~rel =
+  match table.Table.distribution with
+  | Distribution.Hashed cols ->
+      `Hashed
+        (List.map
+           (fun i ->
+             let name, dtype = table.Table.columns.(i) in
+             Colref.make ~rel ~index:i ~name ~dtype)
+           cols)
+  | Distribution.Replicated -> `Replicated
+  | Distribution.Random | Distribution.Singleton -> `Other
+
+let plan_get t ~rel name : sub =
+  let table = Mpp_catalog.Catalog.find t.catalog name in
+  let dist = dist_of_table table ~rel in
+  match table.Table.partitioning with
+  | None -> { plan = Plan.table_scan ~rel table.Table.oid; dist; expansion = None }
+  | Some p ->
+      {
+        plan = Plan.Append [] (* replaced by [finalize] *);
+        dist;
+        expansion =
+          Some
+            {
+              exp_rel = rel;
+              exp_table = table;
+              exp_partitioning = p;
+              exp_leaves = Array.to_list p.Partition.leaves;
+              exp_filter = None;
+            };
+      }
+
+let plan_select t pred (child : sub) : sub =
+  match child.expansion with
+  | Some e ->
+      let e =
+        {
+          e with
+          exp_filter =
+            (match e.exp_filter with
+            | None -> Some pred
+            | Some f -> Some (Expr.conj [ f; pred ]));
+        }
+      in
+      { child with expansion = Some (static_exclusion t e pred) }
+  | None -> (
+      match child.plan with
+      | Plan.Table_scan ({ filter = None; _ } as s) ->
+          { child with plan = Plan.Table_scan { s with filter = Some pred } }
+      | p -> { child with plan = Plan.filter pred p })
+
+(* The single pattern the legacy planner's dynamic elimination handles:
+   equality between the probe expansion's level-0 partitioning key and an
+   expression over the build side. *)
+let planner_dpe_predicate ~(probe : expansion) ~build_rels pred =
+  match Table.part_key_colrefs probe.exp_table ~rel:probe.exp_rel with
+  | [ key ] -> (
+      match
+        List.find_opt
+          (function
+            | Expr.Cmp (Expr.Eq, a, b) ->
+                let is_key e =
+                  match e with Expr.Col c -> Colref.equal c key | _ -> false
+                in
+                let other_side e =
+                  Expr.rels e <> []
+                  && List.for_all (fun r -> List.mem r build_rels) (Expr.rels e)
+                in
+                (is_key a && other_side b) || (is_key b && other_side a)
+            | _ -> false)
+          (Expr.conjuncts pred)
+      with
+      | Some c -> Some (key, c)
+      | None -> None)
+  | _ -> None (* multi-level: not supported by the legacy planner *)
+
+let plan_join t ~kind ~pred (left : sub) (right : sub) : sub =
+  (* As-written orientation (left = build) — except semi joins, whose
+     preserved side is the logical left and must be the probe. *)
+  let build, probe =
+    match kind with Plan.Semi -> (right, left) | _ -> (left, right)
+  in
+  let build_plan = finalize build in
+  let build_rels = Plan.output_rels build_plan in
+  (* co-location: only when the build side is already replicated; the legacy
+     planner otherwise broadcasts the build side *)
+  let build_plan =
+    match (build.dist, probe.dist) with
+    | `Replicated, _ -> build_plan
+    | _, `Replicated ->
+        (* the probe side lives everywhere: the distributed build side can
+           stay in place *)
+        build_plan
+    | (`Hashed _ | `Other), _ -> Plan.motion Plan.Broadcast build_plan
+  in
+  let join_plan =
+    match probe.expansion with
+    | Some e when t.config.enable_dynamic_elimination -> (
+        match planner_dpe_predicate ~probe:e ~build_rels pred with
+        | Some (key, key_pred) ->
+            (* runtime parameter: selector on the build side fills the
+               channel; every leaf scan is guarded by it *)
+            let part_scan_id = fresh_scan_id t in
+            let selector =
+              Plan.partition_selector ~child:build_plan ~part_scan_id
+                ~root_oid:e.exp_table.Table.oid ~keys:[ key ]
+                ~predicates:[ Some key_pred ] ()
+            in
+            let guarded = append_of_expansion ~guard:part_scan_id e in
+            Plan.Hash_join { kind; pred; left = selector; right = guarded }
+        | None ->
+            Plan.Hash_join
+              { kind; pred; left = build_plan; right = finalize probe })
+    | _ ->
+        Plan.Hash_join { kind; pred; left = build_plan; right = finalize probe }
+  in
+  {
+    plan = join_plan;
+    dist =
+      (match (probe.dist, build.dist) with
+      | `Replicated, ((`Hashed _ | `Other) as d) -> d
+      | d, _ -> d);
+    expansion = None;
+  }
+
+let gather (s : sub) : Plan.t =
+  let p = finalize s in
+  match s.dist with
+  | `Other | `Hashed _ -> Plan.motion Plan.Gather p
+  | `Replicated -> Plan.motion Plan.Gather_one p
+
+let rec build t (lg : Logical.t) : sub =
+  match lg with
+  | Logical.Get { rel; table_name } -> plan_get t ~rel table_name
+  | Logical.Select { pred; child } -> plan_select t pred (build t child)
+  | Logical.Join { kind; pred; left; right } ->
+      plan_join t ~kind ~pred (build t left) (build t right)
+  | Logical.Aggregate { group_by; aggs; child } ->
+      let c = build t child in
+      {
+        plan = Plan.agg ~group_by ~aggs (gather c);
+        dist = `Other;
+        expansion = None;
+      }
+  | Logical.Project { exprs; child } ->
+      let c = build t child in
+      { plan = Plan.Project { exprs; child = finalize c }; dist = c.dist;
+        expansion = None }
+  | Logical.Sort { keys; child } ->
+      let c = build t child in
+      { plan = Plan.Sort { keys; child = gather c }; dist = `Other;
+        expansion = None }
+  | Logical.Limit { rows; child } ->
+      let c = build t child in
+      { plan = Plan.Limit { rows; child = gather c }; dist = `Other;
+        expansion = None }
+  | Logical.Update { rel; table_name; set_cols; child } ->
+      plan_dml t ~rel ~table_name ~set_cols:(Some set_cols) child
+  | Logical.Delete { rel; table_name; child } ->
+      plan_dml t ~rel ~table_name ~set_cols:None child
+  | Logical.Insert { table_name; rows } ->
+      let table = Mpp_catalog.Catalog.find t.catalog table_name in
+      { plan = Plan.Insert { table_oid = table.Table.oid; rows };
+        dist = `Other; expansion = None }
+
+(* DML: the legacy planner plans the (join) child once per leaf of the
+   target table — each target leaf joined against the full expansion of the
+   other side — which is the quadratic plan growth of paper §4.4.3. *)
+and plan_dml t ~rel ~table_name ~set_cols child : sub =
+  let table = Mpp_catalog.Catalog.find t.catalog table_name in
+  let set_exprs =
+    match set_cols with
+    | None -> None
+    | Some cols ->
+        Some (List.map (fun (c, e) -> (Table.col_index table c, e)) cols)
+  in
+  let dml_node body =
+    match set_exprs with
+    | Some set_exprs ->
+        Plan.Update { rel; table_oid = table.Table.oid; set_exprs; child = body }
+    | None -> Plan.Delete { rel; table_oid = table.Table.oid; child = body }
+  in
+  match table.Table.partitioning with
+  | None ->
+      let c = build t child in
+      { plan = dml_node (finalize c); dist = `Other; expansion = None }
+  | Some p ->
+      (* Rebuild the child once per target leaf, with the target Get
+         replaced by a scan of that leaf. *)
+      let leaves = Array.to_list p.Partition.leaves in
+      let per_leaf (lf : Partition.leaf) =
+        let rec subst (lg : Logical.t) : sub =
+          match lg with
+          | Logical.Get { rel = r; table_name = n } when r = rel && n = table_name
+            ->
+              {
+                plan = Plan.table_scan ~rel:r lf.Partition.leaf_oid;
+                dist = dist_of_table table ~rel:r;
+                expansion = None;
+              }
+          | Logical.Get { rel = r; table_name = n } -> plan_get t ~rel:r n
+          | Logical.Select { pred; child } -> plan_select t pred (subst child)
+          | Logical.Join { kind; pred; left; right } ->
+              plan_join t ~kind ~pred (subst left) (subst right)
+          | _ -> { plan = finalize (build t lg); dist = `Other; expansion = None }
+        in
+        finalize (subst child)
+      in
+      let body = Plan.Append (List.map per_leaf leaves) in
+      { plan = dml_node body; dist = `Other; expansion = None }
+
+exception Invalid_plan of string
+
+(** Plan a logical tree with the legacy planner. *)
+let plan t (lg : Logical.t) : Plan.t =
+  t.next_scan_id <- 1;
+  let s = build t lg in
+  let p =
+    match lg with
+    | Logical.Update _ | Logical.Delete _ | Logical.Insert _
+    | Logical.Aggregate _ | Logical.Sort _ | Logical.Limit _ ->
+        finalize s
+    | _ -> gather s
+  in
+  match Mpp_plan.Plan_valid.check p with
+  | [] -> p
+  | violations ->
+      raise
+        (Invalid_plan
+           (String.concat "; "
+              (List.map Mpp_plan.Plan_valid.violation_to_string violations)))

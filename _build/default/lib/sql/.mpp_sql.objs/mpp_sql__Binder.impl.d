@@ -1,0 +1,1 @@
+lib/sql/binder.ml: Array Ast Colref Expr List Mpp_catalog Mpp_expr Mpp_plan Orca Printf String Value

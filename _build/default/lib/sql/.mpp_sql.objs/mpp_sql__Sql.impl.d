@@ -1,0 +1,1 @@
+lib/sql/sql.ml: Binder Lexer Orca Parser

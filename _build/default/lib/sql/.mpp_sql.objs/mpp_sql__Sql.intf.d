@@ -1,0 +1,1 @@
+lib/sql/sql.mli: Ast Mpp_catalog Orca

@@ -1,0 +1,78 @@
+(** Abstract syntax of the supported SQL subset (pre-binding: names, not
+    column references). *)
+
+type expr =
+  | E_int of int
+  | E_float of float
+  | E_string of string
+  | E_null
+  | E_param of int
+  | E_star  (** only valid inside count( * ) or a bare select list *)
+  | E_column of string option * string  (** optional qualifier, column *)
+  | E_cmp of Mpp_expr.Expr.cmp_op * expr * expr
+  | E_and of expr * expr
+  | E_or of expr * expr
+  | E_not of expr
+  | E_arith of Mpp_expr.Expr.arith_op * expr * expr
+  | E_between of expr * expr * expr
+  | E_in_list of expr * expr list
+  | E_in_select of expr * select  (** IN (SELECT col FROM ...) — semi join *)
+  | E_is_null of expr
+  | E_func of string * expr list  (** includes aggregates *)
+
+and select_item = { item : expr; alias : string option }
+
+and from_item = { table : string; table_alias : string option }
+
+and select = {
+  items : select_item list;
+  from : from_item list;  (** comma list and/or JOIN chain, flattened *)
+  join_on : expr list;  (** ON predicates collected from JOIN syntax *)
+  where : expr option;
+  group_by : expr list;
+  order_by : expr list;
+  limit : int option;
+}
+
+type update = {
+  u_table : string;
+  u_alias : string option;
+  u_set : (string * expr) list;
+  u_from : from_item list;
+  u_where : expr option;
+}
+
+type delete = {
+  d_table : string;
+  d_alias : string option;
+  d_using : from_item list;
+  d_where : expr option;
+}
+
+type insert = {
+  i_table : string;
+  i_columns : string list option;  (** [None] = declared column order *)
+  i_rows : expr list list;
+}
+
+type statement =
+  | Select of select
+  | Update of update
+  | Delete of delete
+  | Insert of insert
+
+let aggregate_functions = [ "count"; "sum"; "avg"; "min"; "max" ]
+
+let rec expr_has_aggregate = function
+  | E_func (f, _) when List.mem f aggregate_functions -> true
+  | E_func (_, args) -> List.exists expr_has_aggregate args
+  | E_cmp (_, a, b) | E_and (a, b) | E_or (a, b) | E_arith (_, a, b) ->
+      expr_has_aggregate a || expr_has_aggregate b
+  | E_between (a, b, c) ->
+      expr_has_aggregate a || expr_has_aggregate b || expr_has_aggregate c
+  | E_not e | E_is_null e -> expr_has_aggregate e
+  | E_in_list (e, es) -> List.exists expr_has_aggregate (e :: es)
+  | E_in_select (e, _) -> expr_has_aggregate e
+  | E_int _ | E_float _ | E_string _ | E_null | E_param _ | E_star
+  | E_column _ ->
+      false

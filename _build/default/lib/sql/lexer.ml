@@ -1,0 +1,121 @@
+(** Hand-rolled SQL lexer for the dialect subset the binder supports. *)
+
+type token =
+  | IDENT of string  (** lower-cased identifier *)
+  | INT of int
+  | FLOAT of float
+  | STRING of string  (** contents of a '...' literal *)
+  | PARAM of int  (** $1, $2, ... *)
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | DOT
+  | STAR
+  | PLUS
+  | MINUS
+  | SLASH
+  | PERCENT
+  | EQ
+  | NEQ
+  | LT
+  | LE
+  | GT
+  | GE
+  | SEMI
+  | EOF
+
+exception Lex_error of string
+
+let keyword_like s = IDENT (String.lowercase_ascii s)
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+(** Tokenize [input]; raises {!Lex_error} on malformed input. *)
+let tokenize (input : string) : token list =
+  let n = String.length input in
+  let rec go i acc =
+    if i >= n then List.rev (EOF :: acc)
+    else
+      let c = input.[i] in
+      if c = ' ' || c = '\t' || c = '\n' || c = '\r' then go (i + 1) acc
+      else if c = '-' && i + 1 < n && input.[i + 1] = '-' then begin
+        (* line comment *)
+        let rec skip j = if j < n && input.[j] <> '\n' then skip (j + 1) else j in
+        go (skip i) acc
+      end
+      else if is_ident_start c then begin
+        let rec stop j = if j < n && is_ident_char input.[j] then stop (j + 1) else j in
+        let j = stop i in
+        go j (keyword_like (String.sub input i (j - i)) :: acc)
+      end
+      else if is_digit c then begin
+        let rec stop j =
+          if j < n && (is_digit input.[j] || input.[j] = '.') then stop (j + 1)
+          else j
+        in
+        let j = stop i in
+        let s = String.sub input i (j - i) in
+        if String.contains s '.' then go j (FLOAT (float_of_string s) :: acc)
+        else go j (INT (int_of_string s) :: acc)
+      end
+      else if c = '\'' then begin
+        let buf = Buffer.create 16 in
+        let rec scan j =
+          if j >= n then raise (Lex_error "unterminated string literal")
+          else if input.[j] = '\'' then
+            if j + 1 < n && input.[j + 1] = '\'' then begin
+              Buffer.add_char buf '\'';
+              scan (j + 2)
+            end
+            else j + 1
+          else begin
+            Buffer.add_char buf input.[j];
+            scan (j + 1)
+          end
+        in
+        let j = scan (i + 1) in
+        go j (STRING (Buffer.contents buf) :: acc)
+      end
+      else if c = '$' then begin
+        let rec stop j = if j < n && is_digit input.[j] then stop (j + 1) else j in
+        let j = stop (i + 1) in
+        if j = i + 1 then raise (Lex_error "expected digits after $");
+        go j (PARAM (int_of_string (String.sub input (i + 1) (j - i - 1))) :: acc)
+      end
+      else
+        let two = if i + 1 < n then String.sub input i 2 else "" in
+        match two with
+        | "<>" | "!=" -> go (i + 2) (NEQ :: acc)
+        | "<=" -> go (i + 2) (LE :: acc)
+        | ">=" -> go (i + 2) (GE :: acc)
+        | _ -> (
+            match c with
+            | '(' -> go (i + 1) (LPAREN :: acc)
+            | ')' -> go (i + 1) (RPAREN :: acc)
+            | ',' -> go (i + 1) (COMMA :: acc)
+            | '.' -> go (i + 1) (DOT :: acc)
+            | '*' -> go (i + 1) (STAR :: acc)
+            | '+' -> go (i + 1) (PLUS :: acc)
+            | '-' -> go (i + 1) (MINUS :: acc)
+            | '/' -> go (i + 1) (SLASH :: acc)
+            | '%' -> go (i + 1) (PERCENT :: acc)
+            | '=' -> go (i + 1) (EQ :: acc)
+            | '<' -> go (i + 1) (LT :: acc)
+            | '>' -> go (i + 1) (GT :: acc)
+            | ';' -> go (i + 1) (SEMI :: acc)
+            | _ -> raise (Lex_error (Printf.sprintf "unexpected character %c" c)))
+  in
+  go 0 []
+
+let token_to_string = function
+  | IDENT s -> s
+  | INT i -> string_of_int i
+  | FLOAT f -> string_of_float f
+  | STRING s -> "'" ^ s ^ "'"
+  | PARAM i -> "$" ^ string_of_int i
+  | LPAREN -> "(" | RPAREN -> ")" | COMMA -> "," | DOT -> "." | STAR -> "*"
+  | PLUS -> "+" | MINUS -> "-" | SLASH -> "/" | PERCENT -> "%"
+  | EQ -> "=" | NEQ -> "<>" | LT -> "<" | LE -> "<=" | GT -> ">" | GE -> ">="
+  | SEMI -> ";" | EOF -> "<eof>"

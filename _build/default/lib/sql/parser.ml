@@ -1,0 +1,398 @@
+(** Recursive-descent parser for the SQL subset.
+
+    Grammar (informal):
+    {v
+    statement := select | update | delete | insert
+    select    := SELECT items FROM from (JOIN table [alias] ON expr)*
+                 [WHERE expr] [GROUP BY exprs] [ORDER BY exprs] [LIMIT n]
+    update    := UPDATE t [alias] SET col = expr, ... [FROM from] [WHERE expr]
+    delete    := DELETE FROM t [alias] [USING from] [WHERE expr]
+    insert    := INSERT INTO t [(cols)] VALUES (exprs) [, (exprs)]*
+    expr      := or-chain of AND-chains of atoms with comparisons,
+                 BETWEEN/IN/IS NULL postfixes, arithmetic +-*/% terms
+    v} *)
+
+open Lexer
+
+exception Parse_error of string
+
+type state = { mutable toks : token list }
+
+let peek st = match st.toks with [] -> EOF | t :: _ -> t
+
+let peek2 st = match st.toks with _ :: t :: _ -> t | _ -> EOF
+
+let advance st = match st.toks with [] -> () | _ :: r -> st.toks <- r
+
+let expect st tok =
+  if peek st = tok then advance st
+  else
+    raise
+      (Parse_error
+         (Printf.sprintf "expected %s but found %s" (token_to_string tok)
+            (token_to_string (peek st))))
+
+let expect_kw st kw =
+  match peek st with
+  | IDENT s when s = kw -> advance st
+  | t ->
+      raise
+        (Parse_error
+           (Printf.sprintf "expected %s but found %s" kw (token_to_string t)))
+
+let accept_kw st kw =
+  match peek st with
+  | IDENT s when s = kw ->
+      advance st;
+      true
+  | _ -> false
+
+let ident st =
+  match peek st with
+  | IDENT s ->
+      advance st;
+      s
+  | t -> raise (Parse_error ("expected identifier, found " ^ token_to_string t))
+
+let reserved =
+  [ "select"; "from"; "where"; "group"; "order"; "by"; "limit"; "join";
+    "inner"; "left"; "on"; "and"; "or"; "not"; "between"; "in"; "is";
+    "null"; "as"; "update"; "set"; "delete"; "using"; "asc"; "desc";
+    "insert"; "into"; "values" ]
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_expr st : Ast.expr = parse_or st
+
+and parse_or st =
+  let left = parse_and st in
+  if accept_kw st "or" then Ast.E_or (left, parse_or st) else left
+
+and parse_and st =
+  let left = parse_not st in
+  if accept_kw st "and" then Ast.E_and (left, parse_and st) else left
+
+and parse_not st =
+  if accept_kw st "not" then Ast.E_not (parse_not st) else parse_comparison st
+
+and parse_comparison st =
+  let left = parse_additive st in
+  match peek st with
+  | EQ -> advance st; Ast.E_cmp (Mpp_expr.Expr.Eq, left, parse_additive st)
+  | NEQ -> advance st; Ast.E_cmp (Mpp_expr.Expr.Neq, left, parse_additive st)
+  | LT -> advance st; Ast.E_cmp (Mpp_expr.Expr.Lt, left, parse_additive st)
+  | LE -> advance st; Ast.E_cmp (Mpp_expr.Expr.Le, left, parse_additive st)
+  | GT -> advance st; Ast.E_cmp (Mpp_expr.Expr.Gt, left, parse_additive st)
+  | GE -> advance st; Ast.E_cmp (Mpp_expr.Expr.Ge, left, parse_additive st)
+  | IDENT "between" ->
+      advance st;
+      let lo = parse_additive st in
+      expect_kw st "and";
+      let hi = parse_additive st in
+      Ast.E_between (left, lo, hi)
+  | IDENT "in" ->
+      advance st;
+      expect st LPAREN;
+      let result =
+        match peek st with
+        | IDENT "select" -> Ast.E_in_select (left, parse_select st)
+        | _ ->
+            let rec items acc =
+              let e = parse_expr st in
+              if peek st = COMMA then begin
+                advance st;
+                items (e :: acc)
+              end
+              else List.rev (e :: acc)
+            in
+            Ast.E_in_list (left, items [])
+      in
+      expect st RPAREN;
+      result
+  | IDENT "is" ->
+      advance st;
+      if accept_kw st "not" then begin
+        expect_kw st "null";
+        Ast.E_not (Ast.E_is_null left)
+      end
+      else begin
+        expect_kw st "null";
+        Ast.E_is_null left
+      end
+  | _ -> left
+
+and parse_additive st =
+  let rec go left =
+    match peek st with
+    | PLUS -> advance st; go (Ast.E_arith (Mpp_expr.Expr.Add, left, parse_multiplicative st))
+    | MINUS -> advance st; go (Ast.E_arith (Mpp_expr.Expr.Sub, left, parse_multiplicative st))
+    | _ -> left
+  in
+  go (parse_multiplicative st)
+
+and parse_multiplicative st =
+  let rec go left =
+    match peek st with
+    | STAR -> advance st; go (Ast.E_arith (Mpp_expr.Expr.Mul, left, parse_primary st))
+    | SLASH -> advance st; go (Ast.E_arith (Mpp_expr.Expr.Div, left, parse_primary st))
+    | PERCENT -> advance st; go (Ast.E_arith (Mpp_expr.Expr.Mod, left, parse_primary st))
+    | _ -> left
+  in
+  go (parse_primary st)
+
+and parse_primary st : Ast.expr =
+  match peek st with
+  | INT i -> advance st; Ast.E_int i
+  | FLOAT f -> advance st; Ast.E_float f
+  | STRING s -> advance st; Ast.E_string s
+  | PARAM i -> advance st; Ast.E_param i
+  | MINUS ->
+      advance st;
+      (match parse_primary st with
+      | Ast.E_int i -> Ast.E_int (-i)
+      | Ast.E_float f -> Ast.E_float (-.f)
+      | e -> Ast.E_arith (Mpp_expr.Expr.Sub, Ast.E_int 0, e))
+  | STAR -> advance st; Ast.E_star
+  | LPAREN ->
+      advance st;
+      let e = parse_expr st in
+      expect st RPAREN;
+      e
+  | IDENT "null" -> advance st; Ast.E_null
+  | IDENT "date"
+    when (match peek2 st with STRING _ -> true | _ -> false) -> (
+      (* DATE '2013-10-01' literal; plain `date` is an ordinary column *)
+      advance st;
+      match peek st with
+      | STRING s -> advance st; Ast.E_string s
+      | _ -> assert false)
+  | IDENT name -> (
+      advance st;
+      match peek st with
+      | LPAREN ->
+          advance st;
+          let args =
+            if peek st = RPAREN then []
+            else
+              let rec items acc =
+                let e = parse_expr st in
+                if peek st = COMMA then begin advance st; items (e :: acc) end
+                else List.rev (e :: acc)
+              in
+              items []
+          in
+          expect st RPAREN;
+          Ast.E_func (name, args)
+      | DOT ->
+          advance st;
+          let col = ident st in
+          Ast.E_column (Some name, col)
+      | _ -> Ast.E_column (None, name))
+  | t -> raise (Parse_error ("unexpected token " ^ token_to_string t))
+
+(* ------------------------------------------------------------------ *)
+(* FROM clause                                                         *)
+(* ------------------------------------------------------------------ *)
+
+and parse_from_item st : Ast.from_item =
+  let table = ident st in
+  let table_alias =
+    match peek st with
+    | IDENT a when not (List.mem a reserved) ->
+        advance st;
+        Some a
+    | IDENT "as" ->
+        advance st;
+        Some (ident st)
+    | _ -> None
+  in
+  { Ast.table; table_alias }
+
+and parse_from_list st : Ast.from_item list * Ast.expr list =
+  let rec go items preds =
+    let item = parse_from_item st in
+    let items = items @ [ item ] in
+    match peek st with
+    | COMMA ->
+        advance st;
+        go items preds
+    | IDENT "join" | IDENT "inner" ->
+        if accept_kw st "inner" then ();
+        expect_kw st "join";
+        let item2 = parse_from_item st in
+        expect_kw st "on";
+        let pred = parse_expr st in
+        let rec joins items preds =
+          match peek st with
+          | IDENT "join" | IDENT "inner" ->
+              if accept_kw st "inner" then ();
+              expect_kw st "join";
+              let it = parse_from_item st in
+              expect_kw st "on";
+              let p = parse_expr st in
+              joins (items @ [ it ]) (preds @ [ p ])
+          | _ -> (items, preds)
+        in
+        joins (items @ [ item2 ]) (preds @ [ pred ])
+    | _ -> (items, preds)
+  in
+  go [] []
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+and parse_select st : Ast.select =
+  expect_kw st "select";
+  let rec items acc =
+    let item = parse_expr st in
+    let alias =
+      if accept_kw st "as" then Some (ident st)
+      else
+        match peek st with
+        | IDENT a when not (List.mem a reserved) ->
+            advance st;
+            Some a
+        | _ -> None
+    in
+    let acc = acc @ [ { Ast.item; alias } ] in
+    if peek st = COMMA then begin
+      advance st;
+      items acc
+    end
+    else acc
+  in
+  let items = items [] in
+  expect_kw st "from";
+  let from, join_on = parse_from_list st in
+  let where = if accept_kw st "where" then Some (parse_expr st) else None in
+  let group_by =
+    if accept_kw st "group" then begin
+      expect_kw st "by";
+      let rec go acc =
+        let e = parse_expr st in
+        if peek st = COMMA then begin advance st; go (acc @ [ e ]) end
+        else acc @ [ e ]
+      in
+      go []
+    end
+    else []
+  in
+  let order_by =
+    if accept_kw st "order" then begin
+      expect_kw st "by";
+      let rec go acc =
+        let e = parse_expr st in
+        let _ = accept_kw st "asc" || accept_kw st "desc" in
+        if peek st = COMMA then begin advance st; go (acc @ [ e ]) end
+        else acc @ [ e ]
+      in
+      go []
+    end
+    else []
+  in
+  let limit =
+    if accept_kw st "limit" then
+      match peek st with
+      | INT i ->
+          advance st;
+          Some i
+      | t -> raise (Parse_error ("expected integer after LIMIT, found " ^ token_to_string t))
+    else None
+  in
+  { Ast.items; from; join_on; where; group_by; order_by; limit }
+
+and parse_update st : Ast.update =
+  expect_kw st "update";
+  let u_table = ident st in
+  let u_alias =
+    match peek st with
+    | IDENT a when not (List.mem a reserved) -> advance st; Some a
+    | _ -> None
+  in
+  expect_kw st "set";
+  let rec sets acc =
+    let col = ident st in
+    expect st EQ;
+    let e = parse_expr st in
+    let acc = acc @ [ (col, e) ] in
+    if peek st = COMMA then begin advance st; sets acc end else acc
+  in
+  let u_set = sets [] in
+  let u_from =
+    if accept_kw st "from" then fst (parse_from_list st) else []
+  in
+  let u_where = if accept_kw st "where" then Some (parse_expr st) else None in
+  { Ast.u_table; u_alias; u_set; u_from; u_where }
+
+and parse_insert st : Ast.insert =
+  expect_kw st "insert";
+  expect_kw st "into";
+  let i_table = ident st in
+  let i_columns =
+    if peek st = LPAREN then begin
+      advance st;
+      let rec cols acc =
+        let c = ident st in
+        if peek st = COMMA then begin advance st; cols (acc @ [ c ]) end
+        else acc @ [ c ]
+      in
+      let cs = cols [] in
+      expect st RPAREN;
+      Some cs
+    end
+    else None
+  in
+  expect_kw st "values";
+  let row () =
+    expect st LPAREN;
+    let rec items acc =
+      let e = parse_expr st in
+      if peek st = COMMA then begin advance st; items (acc @ [ e ]) end
+      else acc @ [ e ]
+    in
+    let r = items [] in
+    expect st RPAREN;
+    r
+  in
+  let rec rows acc =
+    let r = row () in
+    if peek st = COMMA then begin advance st; rows (acc @ [ r ]) end
+    else acc @ [ r ]
+  in
+  { Ast.i_table; i_columns; i_rows = rows [] }
+
+and parse_delete st : Ast.delete =
+  expect_kw st "delete";
+  expect_kw st "from";
+  let d_table = ident st in
+  let d_alias =
+    match peek st with
+    | IDENT a when not (List.mem a reserved) -> advance st; Some a
+    | _ -> None
+  in
+  let d_using =
+    if accept_kw st "using" then fst (parse_from_list st) else []
+  in
+  let d_where = if accept_kw st "where" then Some (parse_expr st) else None in
+  { Ast.d_table; d_alias; d_using; d_where }
+
+(** Parse one SQL statement. *)
+let parse (sql : string) : Ast.statement =
+  let st = { toks = tokenize sql } in
+  let stmt =
+    match peek st with
+    | IDENT "select" -> Ast.Select (parse_select st)
+    | IDENT "update" -> Ast.Update (parse_update st)
+    | IDENT "delete" -> Ast.Delete (parse_delete st)
+    | IDENT "insert" -> Ast.Insert (parse_insert st)
+    | t -> raise (Parse_error ("expected statement, found " ^ token_to_string t))
+  in
+  if peek st = SEMI then advance st;
+  (match peek st with
+  | EOF -> ()
+  | t -> raise (Parse_error ("trailing input: " ^ token_to_string t)));
+  ignore (peek2 st);
+  stmt

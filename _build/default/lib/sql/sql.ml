@@ -1,0 +1,14 @@
+(** Facade: parse + bind in one call. *)
+
+exception Error of string
+
+(** [to_logical catalog sql] parses [sql] and binds it against [catalog].
+    Raises {!Error} with a human-readable message on any failure. *)
+let to_logical catalog (sql : string) : Orca.Logical.t =
+  try Binder.bind catalog (Parser.parse sql) with
+  | Lexer.Lex_error m -> raise (Error ("lex error: " ^ m))
+  | Parser.Parse_error m -> raise (Error ("parse error: " ^ m))
+  | Binder.Bind_error m -> raise (Error ("bind error: " ^ m))
+
+let parse = Parser.parse
+let bind = Binder.bind

@@ -1,0 +1,15 @@
+(** SQL facade: parse + bind in one call.  The dialect covers the shapes the
+    paper's examples use: SELECT with joins (comma list and JOIN … ON),
+    WHERE with BETWEEN / IN lists / IN (SELECT …) subqueries (bound as semi
+    joins) / IS NULL, GROUP BY, ORDER BY, LIMIT, aggregates, `$n`
+    parameters, plus UPDATE … FROM, DELETE FROM … USING and
+    INSERT … VALUES. *)
+
+exception Error of string
+
+val to_logical : Mpp_catalog.Catalog.t -> string -> Orca.Logical.t
+(** Parse and bind; raises {!Error} with a readable message on lex, parse or
+    bind failures. *)
+
+val parse : string -> Ast.statement
+val bind : Mpp_catalog.Catalog.t -> Ast.statement -> Orca.Logical.t

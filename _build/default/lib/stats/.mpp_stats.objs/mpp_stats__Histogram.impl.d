@@ -1,0 +1,1 @@
+lib/stats/histogram.ml: Array Date Float Format Interval List Mpp_expr Value

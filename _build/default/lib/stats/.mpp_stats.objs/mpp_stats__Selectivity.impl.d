@@ -1,0 +1,1 @@
+lib/stats/selectivity.ml: Array Colref Expr Float Histogram Interval List Mpp_expr Stats Value

@@ -1,0 +1,1 @@
+lib/stats/stats.ml: Array Histogram List Mpp_catalog Mpp_expr Mpp_storage Value

@@ -1,0 +1,1 @@
+lib/stats/stats.mli: Histogram Mpp_catalog Mpp_storage

@@ -1,0 +1,1 @@
+lib/stats/stats_source.ml: Array Hashtbl Mpp_catalog Mpp_storage Stats

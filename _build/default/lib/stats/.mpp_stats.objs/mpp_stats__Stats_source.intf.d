@@ -1,0 +1,1 @@
+lib/stats/stats_source.mli: Mpp_catalog Mpp_storage Stats

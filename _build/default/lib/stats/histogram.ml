@@ -1,0 +1,145 @@
+(** Equi-depth histograms over {!Mpp_expr.Value.t}.
+
+    Buckets are closed-open ranges except the last, which is closed; each
+    bucket carries its row count and a distinct-value estimate.  Histograms
+    drive the selectivity estimates of {!Selectivity}. *)
+
+open Mpp_expr
+
+type bucket = {
+  lo : Value.t;
+  hi : Value.t;
+  rows : int;
+  ndv : int;
+  hi_inclusive : bool;
+}
+
+type t = { buckets : bucket array; null_rows : int; total_rows : int }
+
+let empty = { buckets = [||]; null_rows = 0; total_rows = 0 }
+
+(** Build an equi-depth histogram with at most [nbuckets] buckets. *)
+let build ?(nbuckets = 32) (values : Value.t list) : t =
+  let nulls, non_null = List.partition Value.is_null values in
+  let sorted = List.sort Value.compare non_null |> Array.of_list in
+  let n = Array.length sorted in
+  let total_rows = n + List.length nulls in
+  if n = 0 then { empty with null_rows = List.length nulls; total_rows }
+  else begin
+    let nbuckets = min nbuckets n in
+    let per = max 1 (n / nbuckets) in
+    let buckets = ref [] in
+    let i = ref 0 in
+    while !i < n do
+      let start = !i in
+      let stop0 = min (n - 1) (start + per - 1) in
+      (* extend the bucket so equal values never straddle a boundary *)
+      let stop = ref stop0 in
+      while !stop < n - 1 && Value.equal sorted.(!stop) sorted.(!stop + 1) do
+        incr stop
+      done;
+      let rows = !stop - start + 1 in
+      let ndv = ref 1 in
+      for k = start + 1 to !stop do
+        if not (Value.equal sorted.(k) sorted.(k - 1)) then incr ndv
+      done;
+      buckets :=
+        {
+          lo = sorted.(start);
+          hi = sorted.(!stop);
+          rows;
+          ndv = !ndv;
+          hi_inclusive = !stop = n - 1;
+        }
+        :: !buckets;
+      i := !stop + 1
+    done;
+    {
+      buckets = Array.of_list (List.rev !buckets);
+      null_rows = List.length nulls;
+      total_rows;
+    }
+  end
+
+let ndv t = Array.fold_left (fun acc b -> acc + b.ndv) 0 t.buckets
+
+let min_value t =
+  if Array.length t.buckets = 0 then None else Some t.buckets.(0).lo
+
+let max_value t =
+  let n = Array.length t.buckets in
+  if n = 0 then None else Some t.buckets.(n - 1).hi
+
+let bucket_interval b =
+  if b.hi_inclusive then
+    match Interval.make (Interval.B (b.lo, true)) (Interval.B (b.hi, true)) with
+    | Some i -> i
+    | None -> Interval.point b.lo
+  else
+    match Interval.closed_open b.lo b.hi with
+    | Some i -> i
+    | None -> Interval.point b.lo
+
+(* Fraction of bucket [b] that interval [iv] covers, with linear
+   interpolation for numeric/date domains and a containment test otherwise. *)
+let bucket_fraction b iv =
+  match Interval.intersect (bucket_interval b) iv with
+  | None -> 0.0
+  | Some cut when Interval.is_point cut <> None ->
+      (* an equality hit: one of the bucket's distinct values *)
+      1.0 /. float_of_int (max 1 b.ndv)
+  | Some cut ->
+      let numeric v =
+        match v with
+        | Value.Int i -> Some (float_of_int i)
+        | Value.Float f -> Some f
+        | Value.Date d -> Some (float_of_int (d : Date.t :> int))
+        | _ -> None
+      in
+      (match (numeric b.lo, numeric b.hi) with
+      | Some lo, Some hi when hi > lo ->
+          let bound_val default = function
+            | Interval.Neg_inf | Interval.Pos_inf -> default
+            | Interval.B (v, _) -> (
+                match numeric v with Some f -> f | None -> default)
+          in
+          let clo = bound_val lo cut.Interval.lo
+          and chi = bound_val hi cut.Interval.hi in
+          Float.max 0.0 (Float.min 1.0 ((chi -. clo) /. (hi -. lo)))
+      | _ ->
+          (* non-numeric: count the cut as covering the whole bucket if it
+             spans both bucket ends, half otherwise *)
+          if Interval.contains cut b.lo && Interval.contains cut b.hi then 1.0
+          else 0.5)
+
+(** Estimated fraction of non-null rows whose value falls in [set]. *)
+let selectivity t (set : Interval.Set.t) =
+  let non_null = t.total_rows - t.null_rows in
+  if non_null = 0 then 0.0
+  else if Interval.Set.is_full set then 1.0
+  else
+    let rows =
+      Array.fold_left
+        (fun acc b ->
+          let f =
+            List.fold_left
+              (fun m iv -> Float.min 1.0 (m +. bucket_fraction b iv))
+              0.0
+              (Interval.Set.to_list set)
+          in
+          acc +. (f *. float_of_int b.rows))
+        0.0 t.buckets
+    in
+    Float.max 0.0 (Float.min 1.0 (rows /. float_of_int non_null))
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>histogram: %d rows (%d null), %d buckets@,"
+    t.total_rows t.null_rows (Array.length t.buckets);
+  Array.iter
+    (fun b ->
+      Format.fprintf fmt "  [%a, %a%s rows=%d ndv=%d@," Value.pp b.lo Value.pp
+        b.hi
+        (if b.hi_inclusive then "]" else ")")
+        b.rows b.ndv)
+    t.buckets;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,32 @@
+(** Equi-depth histograms over {!Mpp_expr.Value.t}: closed-open buckets
+    (last closed) with row and distinct-value counts, driving the
+    selectivity estimates of {!Selectivity}. *)
+
+open Mpp_expr
+
+type bucket = {
+  lo : Value.t;
+  hi : Value.t;
+  rows : int;
+  ndv : int;
+  hi_inclusive : bool;
+}
+
+type t = { buckets : bucket array; null_rows : int; total_rows : int }
+
+val empty : t
+
+val build : ?nbuckets:int -> Value.t list -> t
+(** Equi-depth histogram with at most [nbuckets] buckets (default 32);
+    equal values never straddle a bucket boundary. *)
+
+val ndv : t -> int
+val min_value : t -> Value.t option
+val max_value : t -> Value.t option
+
+val selectivity : t -> Interval.Set.t -> float
+(** Estimated fraction of non-null rows inside the set, in [\[0, 1\]];
+    linear interpolation within numeric/date buckets, frequency (1/ndv) for
+    point hits. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,76 @@
+(** Predicate selectivity estimation over a single relation instance.
+
+    The estimator handles the shapes that matter for partitioned-table
+    workloads — range and equality restrictions on (partitioning-key)
+    columns — via the histogram, and falls back to textbook default
+    selectivities elsewhere. *)
+
+open Mpp_expr
+
+let default_eq = 0.005
+let default_range = 0.33
+let default_other = 0.25
+
+(* Selectivity of one conjunct against the stats of relation [rel]. *)
+let rec conjunct_selectivity ~(stats : Stats.table_stats) ~rel e =
+  match e with
+  | Expr.Const (Value.Bool true) -> 1.0
+  | Expr.Const (Value.Bool false) -> 0.0
+  | Expr.And es ->
+      List.fold_left
+        (fun acc c -> acc *. conjunct_selectivity ~stats ~rel c)
+        1.0 es
+  | Expr.Or es ->
+      (* inclusion-exclusion under independence *)
+      List.fold_left
+        (fun acc c ->
+          let s = conjunct_selectivity ~stats ~rel c in
+          acc +. s -. (acc *. s))
+        0.0 es
+  | Expr.Not e -> 1.0 -. conjunct_selectivity ~stats ~rel e
+  | Expr.Is_null (Expr.Col c) when c.Colref.rel = rel ->
+      if c.Colref.index < Array.length stats.columns then
+        stats.columns.(c.Colref.index).null_frac
+      else default_other
+  | _ -> (
+      (* try the histogram: single-column restriction on this relation *)
+      match Expr.free_cols e with
+      | [ c ] when c.Colref.rel = rel
+                   && c.Colref.index < Array.length stats.columns -> (
+          let col = stats.columns.(c.Colref.index) in
+          match Expr.restriction c e with
+          | Some set ->
+              if Interval.Set.is_empty set then 0.0
+              else Histogram.selectivity col.histogram set
+          | None -> (
+              match e with
+              | Expr.Cmp (Expr.Eq, _, _) ->
+                  1.0 /. float_of_int (max 1 col.ndv)
+              | Expr.Cmp (_, _, _) -> default_range
+              | _ -> default_other))
+      | _ -> (
+          match e with
+          | Expr.Cmp (Expr.Eq, _, _) -> default_eq
+          | Expr.Cmp (_, _, _) -> default_range
+          | _ -> default_other))
+
+(** Estimated fraction of rows of relation instance [rel] (with statistics
+    [stats]) that satisfy [pred].  Conjuncts referencing other relations
+    (join predicates) are ignored here — they are costed by the join
+    estimator. *)
+let estimate ~(stats : Stats.table_stats) ~rel pred =
+  let local =
+    List.filter
+      (fun c -> match Expr.rels c with [ r ] -> r = rel | [] -> true | _ -> false)
+      (Expr.conjuncts pred)
+  in
+  List.fold_left
+    (fun acc c -> acc *. conjunct_selectivity ~stats ~rel c)
+    1.0 local
+  |> Float.max 0.0 |> Float.min 1.0
+
+(** Join cardinality under the standard containment assumption:
+    |R ⋈ S| = |R|·|S| / max(ndv(R.a), ndv(S.b)) for an equi-join. *)
+let join_rows ~left_rows ~right_rows ~left_ndv ~right_ndv =
+  let denom = float_of_int (max 1 (max left_ndv right_ndv)) in
+  Float.max 1.0 (left_rows *. right_rows /. denom)

@@ -1,0 +1,13 @@
+(** Predicate selectivity over a single relation instance: histogram-driven
+    for the range/equality shapes that matter to partitioned workloads,
+    textbook defaults elsewhere. *)
+
+val estimate : stats:Stats.table_stats -> rel:int -> Mpp_expr.Expr.t -> float
+(** Fraction of rows of relation instance [rel] satisfying the predicate's
+    local conjuncts (join conjuncts are the join estimator's job); clamped
+    to [\[0, 1\]]. *)
+
+val join_rows :
+  left_rows:float -> right_rows:float -> left_ndv:int -> right_ndv:int -> float
+(** Equi-join cardinality under the containment assumption:
+    |R ⋈ S| = |R|·|S| / max(ndv_l, ndv_r), at least 1. *)

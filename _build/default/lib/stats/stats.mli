@@ -1,0 +1,20 @@
+(** Table- and column-level statistics collected from storage — the ANALYZE
+    of the simulated system. *)
+
+type column_stats = {
+  histogram : Histogram.t;
+  ndv : int;
+  null_frac : float;
+}
+
+type table_stats = {
+  rowcount : int;
+  avg_width : int;  (** average tuple width in bytes *)
+  columns : column_stats array;
+}
+
+val analyze : Mpp_storage.Storage.t -> Mpp_catalog.Table.t -> table_stats
+(** Full pass over the table's heaps (replicated tables counted once). *)
+
+val defaults : Mpp_catalog.Table.t -> table_stats
+(** Textbook defaults when nothing has been analyzed. *)

@@ -1,0 +1,48 @@
+(** The optimizer's window onto statistics: a cache of analyzed tables plus
+    an error-injection hook.
+
+    [set_row_scale] multiplies the row-count estimate the optimizer sees for
+    one table without touching the data — exactly the kind of cardinality
+    misestimate the paper blames for its Table-3 / Figure-17 outliers, which
+    we use to reproduce them deterministically. *)
+
+type t = {
+  catalog : Mpp_catalog.Catalog.t;
+  storage : Mpp_storage.Storage.t;
+  cache : (int, Stats.table_stats) Hashtbl.t;  (** by root OID *)
+  row_scale : (int, float) Hashtbl.t;  (** injected misestimates *)
+}
+
+let create ~catalog ~storage =
+  { catalog; storage; cache = Hashtbl.create 32; row_scale = Hashtbl.create 4 }
+
+(** Inject a row-count misestimate: the optimizer will believe [table] has
+    [factor] times its actual row count. *)
+let set_row_scale t ~table_oid ~factor =
+  Hashtbl.replace t.row_scale table_oid factor
+
+let clear_row_scales t = Hashtbl.reset t.row_scale
+
+let table_stats t (table : Mpp_catalog.Table.t) : Stats.table_stats =
+  let base =
+    match Hashtbl.find_opt t.cache table.oid with
+    | Some s -> s
+    | None ->
+        let s = Stats.analyze t.storage table in
+        Hashtbl.replace t.cache table.oid s;
+        s
+  in
+  match Hashtbl.find_opt t.row_scale table.oid with
+  | None -> base
+  | Some f ->
+      {
+        base with
+        rowcount =
+          max 1 (int_of_float (float_of_int base.rowcount *. f));
+      }
+
+let column_stats t (table : Mpp_catalog.Table.t) ~col_index =
+  (table_stats t table).columns.(col_index)
+
+(** Invalidate the cache (after loading more data). *)
+let refresh t = Hashtbl.reset t.cache

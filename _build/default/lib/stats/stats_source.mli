@@ -1,0 +1,21 @@
+(** The optimizer's window onto statistics: a cache of analyzed tables plus
+    an error-injection hook — {!set_row_scale} multiplies the row-count
+    estimate the optimizer sees for one table, the mechanism behind the
+    paper's Table-3 / Figure-17 sub-optimal-plan cases ("cardinality
+    estimation errors"). *)
+
+type t
+
+val create :
+  catalog:Mpp_catalog.Catalog.t -> storage:Mpp_storage.Storage.t -> t
+
+val set_row_scale : t -> table_oid:int -> factor:float -> unit
+val clear_row_scales : t -> unit
+
+val table_stats : t -> Mpp_catalog.Table.t -> Stats.table_stats
+(** Cached ANALYZE result, with any injected misestimate applied. *)
+
+val column_stats : t -> Mpp_catalog.Table.t -> col_index:int -> Stats.column_stats
+
+val refresh : t -> unit
+(** Invalidate the cache (after loading more data). *)

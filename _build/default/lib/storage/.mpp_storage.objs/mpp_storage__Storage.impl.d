@@ -1,0 +1,1 @@
+lib/storage/storage.ml: Array Hashtbl List Mpp_catalog Mpp_expr Printf Seq Value Vec

@@ -1,0 +1,1 @@
+lib/storage/storage.mli: Mpp_catalog Mpp_expr Seq Value

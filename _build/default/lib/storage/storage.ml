@@ -1,0 +1,121 @@
+(** The storage layer of the simulated MPP cluster.
+
+    Tuples live in per-(segment, physical-table) heaps.  For a partitioned
+    table the physical tables are its leaf partitions — separate tables with
+    their own OIDs, as in the paper's runtime (§3.2) — so "scanning partition
+    [p] on segment [s]" is a single heap lookup.  The distribution policy
+    decides which segment a tuple lands on; the partitioning function [f_T]
+    decides which leaf.
+
+    Tuples that [f_T] maps to the invalid partition ⊥ are rejected at load
+    time, mirroring a constraint violation in a real system. *)
+
+open Mpp_expr
+
+type tuple = Value.t array
+
+exception No_partition_for_tuple of { table : string; tuple : tuple }
+
+type heap = tuple Vec.t
+
+type t = {
+  nsegments : int;
+  heaps : (int * int, heap) Hashtbl.t;  (** (segment, physical oid) → rows *)
+  mutable row_counter : int;  (** drives round-robin for Random policy *)
+}
+
+let create ~nsegments =
+  if nsegments <= 0 then invalid_arg "Storage.create: nsegments must be > 0";
+  { nsegments; heaps = Hashtbl.create 1024; row_counter = 0 }
+
+let nsegments t = t.nsegments
+
+let heap t ~segment ~oid =
+  match Hashtbl.find_opt t.heaps (segment, oid) with
+  | Some h -> h
+  | None ->
+      let h = Vec.create () in
+      Hashtbl.replace t.heaps (segment, oid) h;
+      h
+
+(** Physical OID the tuple belongs to: a leaf partition for a partitioned
+    table, the table itself otherwise. *)
+let physical_oid (table : Mpp_catalog.Table.t) (tuple : tuple) =
+  match table.partitioning with
+  | None -> table.oid
+  | Some p ->
+      let keys =
+        Array.map
+          (fun (lv : Mpp_catalog.Partition.level) -> tuple.(lv.key_index))
+          p.levels
+      in
+      (match Mpp_catalog.Partition.route p keys with
+      | Some lf -> lf.leaf_oid
+      | None -> raise (No_partition_for_tuple { table = table.name; tuple }))
+
+(** Insert one tuple, honouring both the distribution policy and the
+    partitioning function. *)
+let insert t (table : Mpp_catalog.Table.t) (tuple : tuple) =
+  if Array.length tuple <> Mpp_catalog.Table.ncols table then
+    invalid_arg
+      (Printf.sprintf "Storage.insert: arity mismatch for %s" table.name);
+  let oid = physical_oid table tuple in
+  let rowno = t.row_counter in
+  t.row_counter <- rowno + 1;
+  match
+    Mpp_catalog.Distribution.segment_of ~nsegments:t.nsegments
+      table.distribution tuple ~rowno
+  with
+  | Some seg -> Vec.push (heap t ~segment:seg ~oid) tuple
+  | None ->
+      for seg = 0 to t.nsegments - 1 do
+        Vec.push (heap t ~segment:seg ~oid) tuple
+      done
+
+let load t table tuples = List.iter (insert t table) tuples
+let load_seq t table tuples = Seq.iter (insert t table) tuples
+
+(** Rows of physical table [oid] on [segment] (empty if none). *)
+let scan t ~segment ~oid : tuple array =
+  match Hashtbl.find_opt t.heaps (segment, oid) with
+  | Some h -> Vec.to_array h
+  | None -> [||]
+
+(** Same as {!scan} but as a list, without copying the heap into an
+    intermediate array — the executor's hot path. *)
+let scan_list t ~segment ~oid : tuple list =
+  match Hashtbl.find_opt t.heaps (segment, oid) with
+  | Some h -> Vec.to_list h
+  | None -> []
+
+let count_segment t ~segment ~oid =
+  match Hashtbl.find_opt t.heaps (segment, oid) with
+  | Some h -> Vec.length h
+  | None -> 0
+
+(** Total rows of physical table [oid] across all segments.  For replicated
+    tables this counts each copy. *)
+let count t ~oid =
+  let c = ref 0 in
+  for seg = 0 to t.nsegments - 1 do
+    c := !c + count_segment t ~segment:seg ~oid
+  done;
+  !c
+
+(** Total rows of [table] across segments and (for partitioned tables) all
+    leaf partitions. *)
+let count_table t (table : Mpp_catalog.Table.t) =
+  match table.partitioning with
+  | None -> count t ~oid:table.oid
+  | Some p ->
+      List.fold_left
+        (fun acc oid -> acc + count t ~oid)
+        0
+        (Mpp_catalog.Partition.leaf_oids p)
+
+(** Destructively replace the rows of [oid] on [segment] — used by the DML
+    executor. *)
+let replace_heap t ~segment ~oid tuples =
+  Hashtbl.replace t.heaps (segment, oid) (Vec.of_list tuples)
+
+let clear t = Hashtbl.reset t.heaps

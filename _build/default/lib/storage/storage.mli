@@ -1,0 +1,48 @@
+(** The storage layer of the simulated MPP cluster.
+
+    Tuples live in per-(segment, physical-table) heaps.  For a partitioned
+    table the physical tables are its leaf partitions — separate tables with
+    their own OIDs (paper §3.2) — so "scan partition [p] on segment [s]" is
+    one heap lookup.  The distribution policy picks the segment; [f_T] picks
+    the leaf.  Tuples mapped to the invalid partition ⊥ are rejected. *)
+
+open Mpp_expr
+
+type tuple = Value.t array
+
+exception No_partition_for_tuple of { table : string; tuple : tuple }
+
+type t
+
+val create : nsegments:int -> t
+val nsegments : t -> int
+
+val physical_oid : Mpp_catalog.Table.t -> tuple -> int
+(** Leaf partition (via [f_T]) for partitioned tables, the table itself
+    otherwise.  Raises {!No_partition_for_tuple} on ⊥. *)
+
+val insert : t -> Mpp_catalog.Table.t -> tuple -> unit
+(** Routes by distribution policy and partitioning function; checks arity. *)
+
+val load : t -> Mpp_catalog.Table.t -> tuple list -> unit
+val load_seq : t -> Mpp_catalog.Table.t -> tuple Seq.t -> unit
+
+val scan : t -> segment:int -> oid:int -> tuple array
+(** Rows of physical table [oid] on [segment] (empty if none). *)
+
+val scan_list : t -> segment:int -> oid:int -> tuple list
+(** Like {!scan} but without the intermediate array copy — the executor's
+    hot path. *)
+
+val count_segment : t -> segment:int -> oid:int -> int
+
+val count : t -> oid:int -> int
+(** Across all segments; counts each copy of replicated tables. *)
+
+val count_table : t -> Mpp_catalog.Table.t -> int
+(** Across segments and (for partitioned tables) all leaves. *)
+
+val replace_heap : t -> segment:int -> oid:int -> tuple list -> unit
+(** Destructive heap replacement — the DML executor's primitive. *)
+
+val clear : t -> unit

@@ -1,0 +1,47 @@
+(** A minimal growable array (OCaml 5.1 predates [Dynarray]). *)
+
+type 'a t = { mutable data : 'a array; mutable len : int }
+
+let create () = { data = [||]; len = 0 }
+
+let length v = v.len
+
+let push v x =
+  let cap = Array.length v.data in
+  if v.len = cap then begin
+    let ncap = if cap = 0 then 8 else cap * 2 in
+    let ndata = Array.make ncap x in
+    Array.blit v.data 0 ndata 0 v.len;
+    v.data <- ndata
+  end;
+  v.data.(v.len) <- x;
+  v.len <- v.len + 1
+
+let get v i =
+  if i < 0 || i >= v.len then invalid_arg "Vec.get";
+  v.data.(i)
+
+let iter f v =
+  for i = 0 to v.len - 1 do
+    f v.data.(i)
+  done
+
+let fold f acc v =
+  let acc = ref acc in
+  for i = 0 to v.len - 1 do
+    acc := f !acc v.data.(i)
+  done;
+  !acc
+
+let to_array v = Array.sub v.data 0 v.len
+
+(* Build the list directly (no intermediate array copy): scans of large
+   heaps would otherwise allocate the whole heap once more per scan. *)
+let to_list v =
+  let rec go i acc = if i < 0 then acc else go (i - 1) (v.data.(i) :: acc) in
+  go (v.len - 1) []
+
+let of_list l =
+  let v = create () in
+  List.iter (push v) l;
+  v

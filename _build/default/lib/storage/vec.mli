@@ -1,0 +1,19 @@
+(** A minimal growable array (OCaml 5.1 predates [Dynarray]). *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val push : 'a t -> 'a -> unit
+
+val get : 'a t -> int -> 'a
+(** Raises [Invalid_argument] out of bounds. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+val fold : ('b -> 'a -> 'b) -> 'b -> 'a t -> 'b
+val to_array : 'a t -> 'a array
+
+val to_list : 'a t -> 'a list
+(** Builds the list directly, without an intermediate array copy. *)
+
+val of_list : 'a list -> 'a t

@@ -1,0 +1,1 @@
+lib/workload/classify.ml: Hashtbl List Queries Runner String

@@ -1,0 +1,1 @@
+lib/workload/runner.ml: List Mpp_catalog Mpp_exec Mpp_expr Mpp_plan Mpp_planner Mpp_sql Mpp_stats Mpp_storage Orca Queries String Tpcds Unix

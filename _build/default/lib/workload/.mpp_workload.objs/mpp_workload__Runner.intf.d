@@ -1,0 +1,1 @@
+lib/workload/runner.mli: Mpp_catalog Mpp_expr Mpp_plan Mpp_stats Mpp_storage Queries Tpcds

@@ -1,0 +1,1 @@
+lib/workload/tpcds.ml: Array Date Interval List Mpp_catalog Mpp_expr Mpp_storage Rng Value

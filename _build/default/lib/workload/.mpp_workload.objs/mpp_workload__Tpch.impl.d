@@ -1,0 +1,1 @@
+lib/workload/tpch.ml: Date Interval List Mpp_catalog Mpp_expr Mpp_storage Option Rng Value

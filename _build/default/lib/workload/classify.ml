@@ -1,0 +1,74 @@
+(** Workload classification by partition-elimination outcome — the logic
+    behind the paper's Table 3 and Figure 16. *)
+
+type outcome = {
+  query : Queries.query;
+  orca_parts : int;
+  planner_parts : int;
+  total_parts : int;
+  category : Queries.category;
+}
+
+let categorize ~orca ~planner ~total : Queries.category =
+  if orca = planner then Queries.Equal
+  else if orca < planner then
+    if planner >= total then Queries.Orca_only else Queries.Orca_more
+  else if orca >= total then Queries.Planner_only
+  else Queries.Orca_fewer
+
+(** Run every workload query under both optimizers and classify it. *)
+let run_workload env : outcome list =
+  List.map
+    (fun qu ->
+      let o = Runner.run env Runner.Orca qu in
+      let p = Runner.run env Runner.Legacy_planner qu in
+      let orca_parts = Runner.total_parts_scanned o in
+      let planner_parts = Runner.total_parts_scanned p in
+      let total_parts = Runner.total_parts o in
+      {
+        query = qu;
+        orca_parts;
+        planner_parts;
+        total_parts;
+        category = categorize ~orca:orca_parts ~planner:planner_parts
+            ~total:total_parts;
+      })
+    Queries.all
+
+(** Percentage breakdown by category, in the paper's Table-3 row order. *)
+let breakdown (outcomes : outcome list) :
+    (Queries.category * int * float) list =
+  let n = List.length outcomes in
+  List.map
+    (fun cat ->
+      let count =
+        List.length (List.filter (fun o -> o.category = cat) outcomes)
+      in
+      (cat, count, 100.0 *. float_of_int count /. float_of_int (max 1 n)))
+    [ Queries.Orca_only; Queries.Orca_more; Queries.Equal;
+      Queries.Orca_fewer; Queries.Planner_only ]
+
+(** Per-fact-table totals of partitions scanned across the whole workload
+    (Figure 16). *)
+let parts_by_table env :
+    (string * int * int * int) list (* table, planner, orca, total *) =
+  let acc : (string, int * int * int) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun qu ->
+      let o = Runner.run env Runner.Orca qu in
+      let p = Runner.run env Runner.Legacy_planner qu in
+      List.iter2
+        (fun (name, oparts) (_, pparts) ->
+          let po, pp, tot =
+            match Hashtbl.find_opt acc name with
+            | Some x -> x
+            | None -> (0, 0, 0)
+          in
+          let total = List.assoc name o.Runner.parts_total in
+          Hashtbl.replace acc name (po + oparts, pp + pparts, tot + total))
+        o.Runner.parts_scanned p.Runner.parts_scanned)
+    Queries.all;
+  Hashtbl.fold
+    (fun name (oparts, pparts, total) l -> (name, pparts, oparts, total) :: l)
+    acc []
+  |> List.sort (fun (a, _, _, _) (b, _, _, _) -> String.compare a b)

@@ -1,0 +1,179 @@
+(** The evaluation query workload (paper §4.3).
+
+    Thirty-nine query templates over the seven partitioned fact tables,
+    engineered to cover the plan-space categories of the paper's Table 3:
+
+    - {e Equal}: static elimination or simple joins the legacy Planner's
+      rudimentary dynamic elimination also handles — the bulk of the
+      workload (the paper reports 80%);
+    - {e Orca_only}: multi-join star queries where the partitioned fact is
+      no longer a plain inheritance expansion when the date dimension is
+      joined, so only Orca's selector placement eliminates (paper: 11%);
+    - {e Orca_more}: multi-level partitioning, where the Planner's
+      single-level dynamic elimination leaves partitions on the table
+      (paper: 3%);
+    - {e Orca_fewer} / {e Planner_only}: queries with injected cardinality
+      misestimates that make Orca's cost-based join orientation abandon the
+      DPE-friendly shape (the paper's sub-optimal 3% + 3%). *)
+
+type category = Orca_only | Orca_more | Equal | Orca_fewer | Planner_only
+
+let category_to_string = function
+  | Orca_only -> "Orca eliminates parts, Planner does not"
+  | Orca_more -> "Orca eliminates more parts than Planner"
+  | Equal -> "Orca and Planner eliminate parts equally"
+  | Orca_fewer -> "Orca eliminates fewer parts than Planner"
+  | Planner_only -> "Orca does not eliminate parts, Planner does"
+
+type runtime_class = Short | Medium | Long
+
+type query = {
+  name : string;
+  sql : string;
+  misestimates : (string * float) list;
+      (** (table, factor): row-count misestimates injected before Orca
+          optimizes — the Planner is not cost-based and ignores them *)
+  expected : category;
+  runtime_class : runtime_class;
+}
+
+let q ?(mis = []) ?(rt = Medium) name expected sql =
+  { name; sql; misestimates = mis; expected; runtime_class = rt }
+
+let all : query list =
+  [
+    (* ---- static partition elimination: both optimizers prune ---- *)
+    q "ss_static_quarter" Equal ~rt:Short
+      "SELECT avg(ss_price) FROM store_sales WHERE ss_sold_date BETWEEN \
+       '2013-10-01' AND '2013-12-31'";
+    q "ss_static_month" Equal ~rt:Short
+      "SELECT count(*), sum(ss_price) FROM store_sales WHERE ss_sold_date >= \
+       '2013-06-01' AND ss_sold_date < '2013-07-01'";
+    q "ss_static_2011" Equal ~rt:Short
+      "SELECT max(ss_price) FROM store_sales WHERE ss_sold_date < '2011-03-01'";
+    q "ws_static_range" Equal ~rt:Short
+      "SELECT avg(ws_price) FROM web_sales WHERE ws_sold_date_id BETWEEN 900 \
+       AND 989";
+    q "ws_static_tail" Equal ~rt:Short
+      "SELECT count(*) FROM web_sales WHERE ws_sold_date_id >= 1000";
+    q "cs_static_quarter" Equal ~rt:Short
+      "SELECT sum(cs_price) FROM catalog_sales WHERE cs_sold_date BETWEEN \
+       '2012-04-01' AND '2012-06-30'";
+    q "sr_static_by_reason" Equal ~rt:Short
+      "SELECT sr_reason, count(*) FROM store_returns WHERE sr_returned_date \
+       >= '2013-10-01' GROUP BY sr_reason";
+    q "wr_static_month" Equal ~rt:Short
+      "SELECT sum(wr_qty) FROM web_returns WHERE wr_returned_date BETWEEN \
+       '2013-03-01' AND '2013-03-31'";
+    q "cr_static_two_level" Equal ~rt:Short
+      "SELECT count(*) FROM catalog_returns WHERE cr_returned_date >= \
+       '2013-07-01' AND cr_channel = 'web'";
+    q "cr_static_date_only" Equal ~rt:Short
+      "SELECT sum(cr_qty) FROM catalog_returns WHERE cr_returned_date \
+       BETWEEN '2012-01-01' AND '2012-02-29'";
+    q "inv_static_narrow" Equal ~rt:Short
+      "SELECT sum(inv_qty) FROM inventory WHERE inv_date BETWEEN \
+       '2013-11-01' AND '2013-11-14'";
+    q "inv_static_half" Equal ~rt:Medium
+      "SELECT avg(inv_qty) FROM inventory WHERE inv_date >= '2012-07-01'";
+    q "ss_in_list_dates" Equal ~rt:Short
+      "SELECT count(*) FROM store_sales WHERE ss_sold_date IN ('2013-01-15', \
+       '2013-02-15')";
+    q "sr_reasons_and_date" Equal ~rt:Short
+      "SELECT count(*) FROM store_returns WHERE sr_reason IN ('damaged', \
+       'late') AND sr_returned_date >= '2013-06-01'";
+    q "ss_static_price_filter" Equal ~rt:Short
+      "SELECT count(*) FROM store_sales WHERE ss_sold_date >= '2013-09-01' \
+       AND ss_price > 250.0";
+    (* ---- static elimination + dimension joins off the partition key ---- *)
+    q "ss_item_category" Equal ~rt:Medium
+      "SELECT i.i_category, sum(ss.ss_price) FROM store_sales ss, item i \
+       WHERE ss.ss_item = i.i_id AND ss.ss_sold_date BETWEEN '2013-10-01' \
+       AND '2013-12-31' GROUP BY i.i_category";
+    q "ss_customer_state" Equal ~rt:Medium
+      "SELECT count(*) FROM store_sales ss, customer c WHERE ss.ss_customer \
+       = c.c_id AND c.c_state = 'CA' AND ss.ss_sold_date >= '2013-11-01'";
+    q "cs_item_join" Equal ~rt:Medium
+      "SELECT avg(cs.cs_price) FROM catalog_sales cs, item i WHERE \
+       cs.cs_item = i.i_id AND i.i_category = 'books' AND cs.cs_sold_date < \
+       '2011-04-01'";
+    q "wr_item_join" Equal ~rt:Medium
+      "SELECT count(*) FROM web_returns wr, item i WHERE wr.wr_item = i.i_id \
+       AND i.i_category = 'music' AND wr.wr_returned_date >= '2013-10-01'";
+    q "inv_warehouse_join" Equal ~rt:Medium
+      "SELECT sum(inv.inv_qty) FROM inventory inv, warehouse w WHERE \
+       inv.inv_warehouse = w.w_id AND w.w_state = 'TX' AND inv.inv_date \
+       BETWEEN '2013-01-01' AND '2013-01-31'";
+    (* ---- no elimination possible: equal by vacuity ---- *)
+    q "ss_full_scan" Equal ~rt:Long
+      "SELECT count(*), avg(ss_price) FROM store_sales";
+    q "wr_full_scan" Equal ~rt:Long "SELECT sum(wr_qty) FROM web_returns";
+    q "cs_group_by_month" Equal ~rt:Long
+      "SELECT month(cs_sold_date), sum(cs_price) FROM catalog_sales GROUP BY \
+       month(cs_sold_date)";
+    q "sr_dow_join" Equal ~rt:Long
+      "SELECT count(*) FROM store_returns sr, date_dim d WHERE \
+       sr.sr_returned_date = d.d_date AND d.d_dow = 1";
+    (* ---- simple joins the Planner's rudimentary DPE also handles ---- *)
+    q "ss_datedim_month" Equal ~rt:Short
+      "SELECT count(*) FROM date_dim d, store_sales s WHERE s.ss_sold_date = \
+       d.d_date AND d.d_year = 2013 AND d.d_month = 11";
+    q "cs_datedim_quarter" Equal ~rt:Medium
+      "SELECT sum(s.cs_price) FROM date_dim d, catalog_sales s WHERE \
+       s.cs_sold_date = d.d_date AND d.d_year = 2012 AND d.d_quarter = 2";
+    q "ws_datedim_surrogate" Equal ~rt:Medium
+      "SELECT avg(w.ws_price) FROM date_dim d, web_sales w WHERE \
+       w.ws_sold_date_id = d.d_date_id AND d.d_year = 2013 AND d.d_month \
+       BETWEEN 10 AND 12";
+    q "ss_in_subquery" Equal ~rt:Medium
+      "SELECT avg(ss_price) FROM store_sales WHERE ss_sold_date IN (SELECT \
+       d_date FROM date_dim WHERE d_year = 2013 AND d_month BETWEEN 10 AND \
+       12)";
+    q "inv_datedim_month" Equal ~rt:Medium
+      "SELECT sum(i.inv_qty) FROM date_dim d, inventory i WHERE i.inv_date = \
+       d.d_date AND d.d_year = 2011 AND d.d_month = 2";
+    (* ---- multi-join stars: only Orca's placement eliminates ---- *)
+    q "ss_star_december" Orca_only ~rt:Long
+      "SELECT sum(ss.ss_price) FROM store_sales ss, item i, date_dim d WHERE \
+       ss.ss_item = i.i_id AND ss.ss_sold_date = d.d_date AND d.d_year = \
+       2013 AND d.d_month = 12 AND i.i_category = 'books'";
+    q "cs_star_q3" Orca_only ~rt:Long
+      "SELECT count(*) FROM catalog_sales cs, item i, date_dim d WHERE \
+       cs.cs_item = i.i_id AND cs.cs_sold_date = d.d_date AND d.d_year = \
+       2013 AND d.d_quarter = 3 AND i.i_category = 'electronics'";
+    q "ws_star_surrogate" Orca_only ~rt:Long
+      "SELECT sum(ws.ws_price) FROM web_sales ws, customer c, date_dim d \
+       WHERE ws.ws_customer = c.c_id AND ws.ws_sold_date_id = d.d_date_id \
+       AND d.d_year = 2012 AND d.d_month = 6 AND c.c_state = 'NY'";
+    q "inv_star_january" Orca_only ~rt:Long
+      "SELECT sum(inv.inv_qty) FROM inventory inv, warehouse w, date_dim d \
+       WHERE inv.inv_warehouse = w.w_id AND inv.inv_date = d.d_date AND \
+       d.d_year = 2013 AND d.d_month = 1 AND w.w_state = 'CA'";
+    q "ss_star_may" Orca_only ~rt:Long
+      "SELECT avg(ss.ss_price) FROM store_sales ss, customer c, date_dim d \
+       WHERE ss.ss_customer = c.c_id AND ss.ss_sold_date = d.d_date AND \
+       d.d_year = 2012 AND d.d_month = 5 AND c.c_state = 'WA'";
+    q "ss_static_week" Equal ~rt:Short
+      "SELECT count(*) FROM store_sales WHERE ss_sold_date BETWEEN \
+       '2012-08-06' AND '2012-08-12'";
+    q "ss_datedim_august" Equal ~rt:Short
+      "SELECT count(*) FROM date_dim d, store_sales s WHERE s.ss_sold_date = \
+       d.d_date AND d.d_year = 2011 AND d.d_month = 8";
+    (* ---- multi-level: Orca eliminates on both levels ---- *)
+    q "cr_multilevel_dpe" Orca_more ~rt:Medium
+      "SELECT count(*) FROM catalog_returns cr, date_dim d WHERE \
+       cr.cr_returned_date = d.d_date AND d.d_year = 2013 AND d.d_month = 12 \
+       AND cr.cr_channel = 'web'";
+    (* ---- injected misestimates: Orca picks the wrong orientation ---- *)
+    q "ss_misestimate_no_dpe" Planner_only ~rt:Medium
+      ~mis:[ ("date_dim", 1000.0); ("store_sales", 0.001) ]
+      "SELECT count(*) FROM date_dim d, store_sales s WHERE s.ss_sold_date = \
+       d.d_date AND d.d_year = 2012 AND d.d_month = 3";
+    q "ss_misestimate_partial" Orca_fewer ~rt:Medium
+      ~mis:[ ("date_dim", 1000.0); ("store_sales", 0.001) ]
+      "SELECT count(*) FROM date_dim d, store_sales s WHERE s.ss_sold_date = \
+       d.d_date AND s.ss_sold_date >= '2013-07-01' AND d.d_year = 2013 AND \
+       d.d_month = 9";
+  ]
+
+let find name = List.find (fun qu -> String.equal qu.name name) all

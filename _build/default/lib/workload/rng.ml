@@ -1,0 +1,25 @@
+(** Deterministic pseudo-random generator (xorshift64-star) so every workload
+    build is reproducible across runs and machines. *)
+
+type t = { mutable state : int64 }
+
+let create ?(seed = 0x9E3779B97F4A7C15L) () =
+  { state = (if seed = 0L then 1L else seed) }
+
+let next t =
+  let s = t.state in
+  let s = Int64.logxor s (Int64.shift_left s 13) in
+  let s = Int64.logxor s (Int64.shift_right_logical s 7) in
+  let s = Int64.logxor s (Int64.shift_left s 17) in
+  t.state <- s;
+  s
+
+(** Uniform integer in [0, bound). *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int";
+  Int64.to_int (Int64.rem (Int64.logand (next t) Int64.max_int)
+                  (Int64.of_int bound))
+
+let float t max = float_of_int (int t 1_000_000) /. 1_000_000.0 *. max
+
+let pick t arr = arr.(int t (Array.length arr))

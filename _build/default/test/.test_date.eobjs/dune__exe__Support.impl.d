@@ -1,0 +1,1 @@
+test/support.ml: Alcotest Array Colref Date Expr Float Interval List Mpp_catalog Mpp_exec Mpp_expr Mpp_storage Printf QCheck2 Value

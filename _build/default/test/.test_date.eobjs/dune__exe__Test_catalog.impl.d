@@ -1,0 +1,1 @@
+test/test_catalog.ml: Alcotest Colref Date Interval List Mpp_catalog Mpp_expr Option Printf QCheck2 QCheck_alcotest Support Value

@@ -1,0 +1,1 @@
+test/test_date.ml: Alcotest Date List Mpp_expr Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_exec.ml: Alcotest Array Colref Expr Int List Mpp_catalog Mpp_exec Mpp_expr Mpp_plan Mpp_storage Option Printf QCheck2 QCheck_alcotest Support Value

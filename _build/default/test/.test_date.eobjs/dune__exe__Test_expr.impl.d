@@ -1,0 +1,1 @@
+test/test_expr.ml: Alcotest Colref Expr Interval List Mpp_expr QCheck2 QCheck_alcotest Support Value

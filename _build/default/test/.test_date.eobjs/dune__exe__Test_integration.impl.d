@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Date List Mpp_catalog Mpp_exec Mpp_expr Mpp_plan Mpp_sql Mpp_storage Orca Support Value

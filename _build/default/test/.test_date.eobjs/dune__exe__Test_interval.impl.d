@@ -1,0 +1,1 @@
+test/test_interval.ml: Alcotest Interval List Mpp_expr Option QCheck2 QCheck_alcotest Support Value

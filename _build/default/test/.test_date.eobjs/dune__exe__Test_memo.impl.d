@@ -1,0 +1,1 @@
+test/test_memo.ml: Alcotest Expr List Mpp_catalog Mpp_exec Mpp_expr Mpp_plan Mpp_storage Option Orca Printf Value

@@ -1,0 +1,1 @@
+test/test_optimizer.ml: Alcotest Array Date Expr List Mpp_catalog Mpp_exec Mpp_expr Mpp_plan Mpp_stats Mpp_storage Option Orca QCheck2 QCheck_alcotest Support Value

@@ -1,0 +1,1 @@
+test/test_placement.ml: Alcotest Expr Int List Mpp_catalog Mpp_expr Mpp_plan Option Orca Support Value

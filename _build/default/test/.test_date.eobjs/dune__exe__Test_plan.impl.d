@@ -1,0 +1,1 @@
+test/test_plan.ml: Alcotest Colref Expr Float List Mpp_catalog Mpp_expr Mpp_plan Value

@@ -1,0 +1,1 @@
+test/test_planner.ml: Alcotest Date Expr List Mpp_catalog Mpp_exec Mpp_expr Mpp_plan Mpp_planner Mpp_storage Orca QCheck2 QCheck_alcotest Support Value

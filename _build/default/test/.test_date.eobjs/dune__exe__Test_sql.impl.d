@@ -1,0 +1,1 @@
+test/test_sql.ml: Alcotest Expr List Mpp_expr Mpp_plan Mpp_sql Mpp_workload Orca Support Value

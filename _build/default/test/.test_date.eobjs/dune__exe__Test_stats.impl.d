@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Expr Float Interval List Mpp_catalog Mpp_expr Mpp_stats Mpp_storage QCheck2 QCheck_alcotest Support Value

@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Array Date List Mpp_catalog Mpp_expr Mpp_storage Option Printf QCheck2 QCheck_alcotest Support Value

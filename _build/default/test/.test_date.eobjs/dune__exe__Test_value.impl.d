@@ -1,0 +1,1 @@
+test/test_value.ml: Alcotest List Mpp_expr QCheck2 QCheck_alcotest Support Value

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Lazy List Mpp_catalog Mpp_storage Mpp_workload Printf Support

@@ -1,0 +1,276 @@
+(** Catalog and partition-metadata tests: the partitioning function f_T
+    ({!Mpp_catalog.Partition.route}), the selection function f*_T
+    ({!Mpp_catalog.Partition.select}), multi-level layouts, default
+    partitions and the Table-1 builtins. *)
+
+open Mpp_expr
+module Cat = Mpp_catalog.Catalog
+module Part = Mpp_catalog.Partition
+module Dist = Mpp_catalog.Distribution
+module Table = Mpp_catalog.Table
+module Builtins = Mpp_catalog.Builtins
+
+let d = Value.date_of_string
+
+let test_monthly_ranges () =
+  let cs = Part.monthly_ranges ~start_year:2012 ~start_month:1 ~months:24 in
+  Alcotest.(check int) "24 constraints" 24 (List.length cs);
+  (* contiguity: every day of the two years is covered exactly once *)
+  let start = Date.of_ymd 2012 1 1 in
+  for day = 0 to 730 do
+    let v = Value.Date (Date.add_days start day) in
+    let hits =
+      List.length
+        (List.filter
+           (function
+             | Part.Cset s -> Interval.Set.contains s v
+             | Part.Default -> false)
+           cs)
+    in
+    if Date.add_days start day < Date.of_ymd 2014 1 1 then
+      Alcotest.(check int) (Printf.sprintf "day %d covered once" day) 1 hits
+  done
+
+let test_route_single_level () =
+  let catalog, orders = Support.orders_schema () in
+  ignore catalog;
+  let p = Option.get orders.Table.partitioning in
+  (match Part.route p [| d "2012-01-15" |] with
+  | Some lf ->
+      Alcotest.(check string) "first month" "orders_1_prt_1" lf.Part.leaf_name
+  | None -> Alcotest.fail "in-range date must route");
+  (match Part.route p [| d "2013-12-31" |] with
+  | Some lf ->
+      Alcotest.(check string) "last month" "orders_1_prt_24" lf.Part.leaf_name
+  | None -> Alcotest.fail "in-range date must route");
+  Alcotest.(check bool) "out of range routes to ⊥" true
+    (Part.route p [| d "2014-06-01" |] = None);
+  Alcotest.(check bool) "null routes to ⊥ (no default)" true
+    (Part.route p [| Value.Null |] = None)
+
+let test_default_partition () =
+  let catalog = Cat.create () in
+  let constrs =
+    Part.int_ranges ~start:0 ~width:10 ~count:3 @ [ Part.Default ]
+  in
+  let p =
+    Part.single_level
+      ~alloc_oid:(fun () -> Cat.alloc_oid catalog)
+      ~key_index:0 ~key_name:"k" ~scheme:Part.Range ~table_name:"t" constrs
+  in
+  let leaf_of v =
+    match Part.route p [| v |] with
+    | Some lf -> lf.Part.leaf_name
+    | None -> "⊥"
+  in
+  Alcotest.(check string) "covered value in range part" "t_1_prt_1"
+    (leaf_of (Value.Int 5));
+  Alcotest.(check string) "uncovered value in default" "t_1_prt_4"
+    (leaf_of (Value.Int 999));
+  Alcotest.(check string) "null lands in default" "t_1_prt_4"
+    (leaf_of Value.Null);
+  (* selection: a restriction outside the ranges keeps only the default *)
+  let sel r = Part.select_oids p [| Some r |] in
+  Alcotest.(check int) "out-of-range restriction selects default only" 1
+    (List.length (sel (Interval.Set.point (Value.Int 500))));
+  Alcotest.(check int) "in-range point selects its part only" 1
+    (List.length (sel (Interval.Set.point (Value.Int 5))));
+  Alcotest.(check int)
+    "restriction across covered+uncovered selects part and default" 2
+    (List.length
+       (sel
+          (Interval.Set.of_list
+             [ Interval.point (Value.Int 5); Interval.point (Value.Int 500) ])))
+
+let test_select_single_level () =
+  let _, orders = Support.orders_schema () in
+  let p = Option.get orders.Table.partitioning in
+  let q4_2013 =
+    Interval.Set.of_interval_opt
+      (Interval.closed_open (d "2013-10-01") (d "2014-01-01"))
+  in
+  Alcotest.(check int) "Q4 selects 3 parts" 3
+    (List.length (Part.select_oids p [| Some q4_2013 |]));
+  Alcotest.(check int) "no restriction selects all" 24
+    (List.length (Part.select_oids p [| None |]));
+  Alcotest.(check int) "empty restriction selects none" 0
+    (List.length (Part.select_oids p [| Some Interval.Set.empty |]))
+
+let test_multilevel_figure10 () =
+  (* the paper's Figure 10: month × region selection *)
+  let _, orders = Support.multilevel_schema () in
+  let p = Option.get orders.Table.partitioning in
+  Alcotest.(check int) "12 months x 2 regions" 24 (Part.nparts p);
+  let jan =
+    Interval.Set.of_interval_opt
+      (Interval.closed_open (d "2012-01-01") (d "2012-02-01"))
+  in
+  let east = Interval.Set.point (Value.String "east") in
+  Alcotest.(check int) "date only: one month, all regions" 2
+    (List.length (Part.select_oids p [| Some jan; None |]));
+  Alcotest.(check int) "region only: all months, one region" 12
+    (List.length (Part.select_oids p [| None; Some east |]));
+  Alcotest.(check int) "both: exactly one leaf" 1
+    (List.length (Part.select_oids p [| Some jan; Some east |]));
+  Alcotest.(check int) "Φ: all leaves" 24
+    (List.length (Part.select_oids p [| None; None |]))
+
+let test_multilevel_route () =
+  let _, orders = Support.multilevel_schema () in
+  let p = Option.get orders.Table.partitioning in
+  match Part.route p [| d "2012-03-10"; Value.String "west" |] with
+  | Some lf ->
+      (* level-1 part 3 (March), level-2 part 2 (west) *)
+      Alcotest.(check string) "routes by both levels" "orders_1_prt_3_2_prt_2"
+        lf.Part.leaf_name
+  | None -> Alcotest.fail "must route"
+
+let test_three_level_partitioning () =
+  (* month × region × channel: the §2.4 machinery at depth 3 *)
+  let catalog = Cat.create () in
+  let p =
+    Part.multi_level
+      ~alloc_oid:(fun () -> Cat.alloc_oid catalog)
+      ~table_name:"t"
+      [ ({ Part.key_index = 0; key_name = "date"; scheme = Part.Range },
+         Part.monthly_ranges ~start_year:2012 ~start_month:1 ~months:6);
+        ({ Part.key_index = 1; key_name = "region"; scheme = Part.Categorical },
+         Part.categorical [ [ Value.String "east" ]; [ Value.String "west" ] ]);
+        ({ Part.key_index = 2; key_name = "channel"; scheme = Part.Categorical },
+         Part.categorical
+           [ [ Value.String "web" ]; [ Value.String "store" ];
+             [ Value.String "phone" ] ]) ]
+  in
+  Alcotest.(check int) "6 x 2 x 3 leaves" 36 (Part.nparts p);
+  Alcotest.(check int) "3 levels" 3 (Part.nlevels p);
+  (* route hits exactly one leaf and selection composes across levels *)
+  (match Part.route p [| d "2012-03-10"; Value.String "west"; Value.String "phone" |]
+   with
+  | Some lf ->
+      Alcotest.(check string) "deep leaf name" "t_1_prt_3_2_prt_2_3_prt_3"
+        lf.Part.leaf_name
+  | None -> Alcotest.fail "must route");
+  let mar =
+    Interval.Set.of_interval_opt
+      (Interval.closed_open (d "2012-03-01") (d "2012-04-01"))
+  in
+  Alcotest.(check int) "one month, all below" 6
+    (List.length (Part.select_oids p [| Some mar; None; None |]));
+  Alcotest.(check int) "month+region" 3
+    (List.length
+       (Part.select_oids p
+          [| Some mar; Some (Interval.Set.point (Value.String "east")); None |]));
+  Alcotest.(check int) "fully pinned" 1
+    (List.length
+       (Part.select_oids p
+          [| Some mar;
+             Some (Interval.Set.point (Value.String "east"));
+             Some (Interval.Set.point (Value.String "web")) |]))
+
+let test_catalog_registry () =
+  let catalog, orders = Support.orders_schema () in
+  Alcotest.(check bool) "find by name" true (Cat.find catalog "orders" == orders);
+  Alcotest.(check bool) "find by oid" true
+    (Cat.find_oid catalog orders.Table.oid == orders);
+  Alcotest.(check bool) "find_opt misses" true (Cat.find_opt catalog "nope" = None);
+  (* leaf → root mapping *)
+  let p = Option.get orders.Table.partitioning in
+  let leaf = Part.leaf_oids p |> List.hd in
+  Alcotest.(check (option int)) "leaf resolves to root"
+    (Some orders.Table.oid)
+    (Cat.root_of_leaf catalog leaf);
+  Alcotest.check_raises "duplicate table rejected"
+    (Invalid_argument "Catalog.add_table: duplicate table orders") (fun () ->
+      ignore
+        (Cat.add_table catalog ~name:"orders" ~columns:[ ("x", Value.Tint) ]
+           ~distribution:Dist.Random ()))
+
+let test_table_helpers () =
+  let _, orders = Support.orders_schema () in
+  Alcotest.(check int) "col_index" 2 (Table.col_index orders "date");
+  Alcotest.(check bool) "col_type" true (Table.col_type orders "date" = Value.Tdate);
+  let keys = Table.part_key_colrefs orders ~rel:7 in
+  (match keys with
+  | [ k ] ->
+      Alcotest.(check int) "key rel" 7 k.Colref.rel;
+      Alcotest.(check string) "key name" "date" k.Colref.name
+  | _ -> Alcotest.fail "one partitioning key");
+  Alcotest.(check int) "nparts" 24 (Table.nparts orders)
+
+let test_builtins () =
+  let catalog, orders = Support.orders_schema () in
+  let oid = orders.Table.oid in
+  Alcotest.(check int) "partition_expansion yields all leaves" 24
+    (List.length (Builtins.partition_expansion catalog oid));
+  (match Builtins.partition_selection catalog oid [| d "2013-10-15" |] with
+  | Some leaf ->
+      Alcotest.(check bool) "selection returns a leaf of the root" true
+        (List.mem leaf (Builtins.partition_expansion catalog oid))
+  | None -> Alcotest.fail "in-range value selects a partition");
+  Alcotest.(check bool) "out-of-range selection is ⊥" true
+    (Builtins.partition_selection catalog oid [| d "2030-01-01" |] = None);
+  let constraints = Builtins.partition_constraints catalog oid in
+  Alcotest.(check int) "one constraint row per leaf" 24
+    (List.length constraints);
+  let first = List.hd constraints in
+  Alcotest.(check bool) "first partition starts at 2012-01-01 inclusive" true
+    (first.Builtins.min = Some (d "2012-01-01") && first.Builtins.min_incl);
+  Alcotest.(check bool) "first partition ends before 2012-02-01" true
+    (first.Builtins.max = Some (d "2012-02-01") && not first.Builtins.max_incl)
+
+(* f*_T soundness: whatever leaf f_T routes a value to is among the leaves
+   f*_T selects for any restriction containing that value. *)
+let prop_select_covers_route =
+  let catalog = Cat.create () in
+  let constrs = Part.int_ranges ~start:0 ~width:7 ~count:10 @ [ Part.Default ] in
+  let p =
+    Part.single_level
+      ~alloc_oid:(fun () -> Cat.alloc_oid catalog)
+      ~key_index:0 ~key_name:"k" ~scheme:Part.Range ~table_name:"t" constrs
+  in
+  QCheck2.Test.make ~count:2000
+    ~name:"f*_T never drops the leaf f_T routes to"
+    QCheck2.Gen.(pair Support.int_value_gen Support.interval_set_gen)
+    (fun (v, restriction) ->
+      if not (Interval.Set.contains restriction v) then true
+      else
+        match Part.route p [| v |] with
+        | None -> true
+        | Some lf ->
+            List.mem lf.Part.leaf_oid
+              (Part.select_oids p [| Some restriction |]))
+
+let prop_route_deterministic =
+  let _, orders = Support.orders_schema () in
+  let p = Option.get orders.Mpp_catalog.Table.partitioning in
+  QCheck2.Test.make ~count:1000 ~name:"f_T routes each date to exactly one leaf"
+    QCheck2.Gen.(int_range 0 730)
+    (fun day ->
+      let v = Value.Date (Date.add_days (Date.of_ymd 2012 1 1) day) in
+      match Part.route p [| v |] with
+      | None -> false
+      | Some lf -> (
+          match Part.find_leaf p lf.Part.leaf_oid with
+          | Some lf' -> lf == lf'
+          | None -> false))
+
+let () =
+  Alcotest.run "catalog"
+    [ ("partitioning",
+       [ Alcotest.test_case "monthly ranges contiguous" `Quick
+           test_monthly_ranges;
+         Alcotest.test_case "route (f_T)" `Quick test_route_single_level;
+         Alcotest.test_case "default partition" `Quick test_default_partition;
+         Alcotest.test_case "select (f*_T)" `Quick test_select_single_level;
+         Alcotest.test_case "multi-level Figure 10" `Quick
+           test_multilevel_figure10;
+         Alcotest.test_case "multi-level route" `Quick test_multilevel_route;
+         Alcotest.test_case "three-level hierarchy" `Quick
+           test_three_level_partitioning ]);
+      ("catalog",
+       [ Alcotest.test_case "registry" `Quick test_catalog_registry;
+         Alcotest.test_case "table helpers" `Quick test_table_helpers;
+         Alcotest.test_case "Table-1 builtins" `Quick test_builtins ]);
+      ("properties",
+       List.map QCheck_alcotest.to_alcotest
+         [ prop_select_covers_route; prop_route_deterministic ]) ]

@@ -1,0 +1,525 @@
+(** Executor tests: every physical operator against hand-checked inputs —
+    scans and filters, join kinds, aggregation, motions, the
+    selector→channel→DynamicScan pipeline, guarded scans, and DML. *)
+
+open Mpp_expr
+module Cat = Mpp_catalog.Catalog
+module Dist = Mpp_catalog.Distribution
+module Storage = Mpp_storage.Storage
+module Plan = Mpp_plan.Plan
+module Exec = Mpp_exec.Exec
+module Metrics = Mpp_exec.Metrics
+module Channel = Mpp_exec.Channel
+
+(* small two-table fixture: t(a int, b int) hashed on a; dim(k int, s text)
+   replicated *)
+let fixture () =
+  let catalog = Cat.create () in
+  let t =
+    Cat.add_table catalog ~name:"t"
+      ~columns:[ ("a", Value.Tint); ("b", Value.Tint) ]
+      ~distribution:(Dist.Hashed [ 0 ]) ()
+  in
+  let dim =
+    Cat.add_table catalog ~name:"dim"
+      ~columns:[ ("k", Value.Tint); ("s", Value.Tstring) ]
+      ~distribution:Dist.Replicated ()
+  in
+  let storage = Storage.create ~nsegments:4 in
+  for i = 0 to 19 do
+    Storage.insert storage t [| Value.Int i; Value.Int (i mod 5) |]
+  done;
+  for k = 0 to 4 do
+    Storage.insert storage dim
+      [| Value.Int k; Value.String (if k mod 2 = 0 then "even" else "odd") |]
+  done;
+  (catalog, storage, t, dim)
+
+let col ~rel ~index ~name = Colref.make ~rel ~index ~name ~dtype:Value.Tint
+
+let t_a = col ~rel:0 ~index:0 ~name:"a"
+let t_b = col ~rel:0 ~index:1 ~name:"b"
+let dim_k = col ~rel:1 ~index:0 ~name:"k"
+let dim_s = Colref.make ~rel:1 ~index:1 ~name:"s" ~dtype:Value.Tstring
+
+let run ~catalog ~storage plan = Exec.run ~catalog ~storage plan
+
+let gather p = Plan.motion Plan.Gather p
+
+let test_scan_and_filter () =
+  let catalog, storage, t, _ = fixture () in
+  let scan =
+    Plan.table_scan
+      ~filter:(Expr.lt (Expr.col t_a) (Expr.int 5))
+      ~rel:0 t.Mpp_catalog.Table.oid
+  in
+  let rows, m = run ~catalog ~storage (gather scan) in
+  Alcotest.(check int) "filtered rows" 5 (List.length rows);
+  Alcotest.(check int) "all 20 tuples read" 20 m.Metrics.tuples_scanned
+
+let test_hash_join_inner () =
+  let catalog, storage, t, dim = fixture () in
+  let join =
+    Plan.hash_join ~kind:Plan.Inner
+      ~pred:(Expr.eq (Expr.col dim_k) (Expr.col t_b))
+      (Plan.table_scan ~rel:1 dim.Mpp_catalog.Table.oid)
+      (Plan.table_scan ~rel:0 t.Mpp_catalog.Table.oid)
+  in
+  let rows, _ = run ~catalog ~storage (gather join) in
+  (* every t row matches exactly one dim row *)
+  Alcotest.(check int) "20 join rows" 20 (List.length rows);
+  (* layout is build ++ probe: [k; s; a; b] *)
+  List.iter
+    (fun r -> Alcotest.(check bool) "join key equal" true (r.(0) = r.(3)))
+    rows
+
+let test_nl_join_matches_hash_join () =
+  let catalog, storage, t, dim = fixture () in
+  let pred = Expr.eq (Expr.col dim_k) (Expr.col t_b) in
+  let mk ctor =
+    gather
+      (ctor ~kind:Plan.Inner ~pred
+         (Plan.table_scan ~rel:1 dim.Mpp_catalog.Table.oid)
+         (Plan.table_scan ~rel:0 t.Mpp_catalog.Table.oid))
+  in
+  let h, _ = run ~catalog ~storage (mk Plan.hash_join) in
+  let n, _ = run ~catalog ~storage (mk Plan.nl_join) in
+  Support.check_rows_equal "hash vs nested-loop" h n
+
+let test_non_equi_join () =
+  let catalog, storage, t, dim = fixture () in
+  let pred = Expr.lt (Expr.col dim_k) (Expr.col t_b) in
+  let plan =
+    gather
+      (Plan.nl_join ~kind:Plan.Inner ~pred
+         (Plan.table_scan ~rel:1 dim.Mpp_catalog.Table.oid)
+         (Plan.table_scan ~rel:0 t.Mpp_catalog.Table.oid))
+  in
+  let rows, _ = run ~catalog ~storage plan in
+  (* b in 0..4 uniform (4 each); matches = sum over b of b dims = 4*(0+1+2+3+4) *)
+  Alcotest.(check int) "non-equi matches" 40 (List.length rows)
+
+let test_semi_join () =
+  let catalog, storage, t, dim = fixture () in
+  let plan =
+    gather
+      (Plan.hash_join ~kind:Plan.Semi
+         ~pred:
+           (Expr.And
+              [ Expr.eq (Expr.col dim_k) (Expr.col t_b);
+                Expr.eq (Expr.col dim_s) (Expr.str "even") ])
+         (Plan.table_scan ~rel:1 dim.Mpp_catalog.Table.oid)
+         (Plan.table_scan ~rel:0 t.Mpp_catalog.Table.oid))
+  in
+  let rows, _ = run ~catalog ~storage plan in
+  (* b ∈ {0,2,4}: 12 of 20 rows; output arity = probe side only *)
+  Alcotest.(check int) "semi join keeps matching probe rows once" 12
+    (List.length rows);
+  List.iter
+    (fun r -> Alcotest.(check int) "probe arity" 2 (Array.length r))
+    rows
+
+let test_left_outer_join () =
+  let catalog, storage, t, dim = fixture () in
+  (* preserve dim (build side); restrict probe to b=1 rows *)
+  let plan =
+    gather
+      (Plan.hash_join ~kind:Plan.Left_outer
+         ~pred:(Expr.eq (Expr.col dim_k) (Expr.col t_b))
+         (Plan.table_scan ~rel:1 dim.Mpp_catalog.Table.oid)
+         (Plan.table_scan
+            ~filter:(Expr.eq (Expr.col t_b) (Expr.int 1))
+            ~rel:0 t.Mpp_catalog.Table.oid))
+  in
+  let rows, _ = run ~catalog ~storage plan in
+  (* dim is replicated over 4 segments (each copy preserved per segment);
+     k=1 matches the b=1 probe rows where they live, all other dim copies
+     are null-padded — including k=1 copies on segments with no b=1 row *)
+  let matched, padded =
+    List.partition (fun r -> not (Value.is_null r.(2))) rows
+  in
+  let b1_keys = [ 1; 6; 11; 16 ] in
+  let segments_with_b1 =
+    List.map
+      (fun a ->
+        Mpp_catalog.Distribution.segment_for_values ~nsegments:4
+          [ Value.Int a ])
+      b1_keys
+    |> List.sort_uniq Int.compare |> List.length
+  in
+  Alcotest.(check int) "each b=1 row matched once" 4 (List.length matched);
+  Alcotest.(check int) "null-padded dim copies"
+    (20 - segments_with_b1)
+    (List.length padded)
+
+let test_agg_group_by () =
+  let catalog, storage, t, _ = fixture () in
+  let plan =
+    Plan.agg
+      ~group_by:[ Expr.col t_b ]
+      ~aggs:
+        [ ("n", Plan.Count_star); ("sum_a", Plan.Sum (Expr.col t_a));
+          ("max_a", Plan.Max (Expr.col t_a)) ]
+      (gather (Plan.table_scan ~rel:0 t.Mpp_catalog.Table.oid))
+  in
+  let rows, _ = run ~catalog ~storage plan in
+  Alcotest.(check int) "5 groups" 5 (List.length rows);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "each group has 4 rows" true (r.(1) = Value.Int 4))
+    rows
+
+let test_agg_scalar_empty () =
+  let catalog, storage, t, _ = fixture () in
+  let plan =
+    Plan.agg ~group_by:[]
+      ~aggs:[ ("n", Plan.Count_star); ("avg_a", Plan.Avg (Expr.col t_a)) ]
+      (gather
+         (Plan.table_scan ~filter:Expr.false_ ~rel:0 t.Mpp_catalog.Table.oid))
+  in
+  let rows, _ = run ~catalog ~storage plan in
+  match rows with
+  | [ r ] ->
+      Alcotest.(check bool) "count over empty is 0" true (r.(0) = Value.Int 0);
+      Alcotest.(check bool) "avg over empty is null" true (Value.is_null r.(1))
+  | _ -> Alcotest.fail "scalar agg yields exactly one row"
+
+let test_sort_limit () =
+  let catalog, storage, t, _ = fixture () in
+  let plan =
+    Plan.Limit
+      { rows = 3;
+        child =
+          Plan.Sort
+            { keys = [ Expr.col t_a ];
+              child = gather (Plan.table_scan ~rel:0 t.Mpp_catalog.Table.oid) } }
+  in
+  let rows, _ = run ~catalog ~storage plan in
+  Alcotest.(check (list int)) "lowest three a values" [ 0; 1; 2 ]
+    (List.map (fun r -> Value.to_int r.(0)) rows)
+
+let test_redistribute_colocates () =
+  let catalog, storage, t, _ = fixture () in
+  (* redistribute on b: all rows with equal b end up on one segment *)
+  let plan =
+    Plan.motion (Plan.Redistribute [ t_b ])
+      (Plan.table_scan ~rel:0 t.Mpp_catalog.Table.oid)
+  in
+  let ctx = Exec.create_ctx ~catalog ~storage () in
+  let r = Exec.exec ctx plan in
+  let nseg = Storage.nsegments storage in
+  for b = 0 to 4 do
+    let segments_with_b = ref 0 in
+    for seg = 0 to nseg - 1 do
+      if List.exists (fun row -> row.(1) = Value.Int b) r.Exec.rows.(seg) then
+        incr segments_with_b
+    done;
+    Alcotest.(check int)
+      (Printf.sprintf "b=%d on exactly one segment" b)
+      1 !segments_with_b
+  done
+
+let test_broadcast_and_gather () =
+  let catalog, storage, t, _ = fixture () in
+  let ctx = Exec.create_ctx ~catalog ~storage () in
+  let b =
+    Exec.exec ctx
+      (Plan.motion Plan.Broadcast (Plan.table_scan ~rel:0 t.Mpp_catalog.Table.oid))
+  in
+  Array.iter
+    (fun rows -> Alcotest.(check int) "each segment has all rows" 20
+        (List.length rows))
+    b.Exec.rows;
+  let ctx2 = Exec.create_ctx ~catalog ~storage () in
+  let g =
+    Exec.exec ctx2
+      (Plan.motion Plan.Gather (Plan.table_scan ~rel:0 t.Mpp_catalog.Table.oid))
+  in
+  Alcotest.(check int) "gather puts everything on segment 0" 20
+    (List.length g.Exec.rows.(0));
+  Alcotest.(check int) "other segments empty" 0 (List.length g.Exec.rows.(1))
+
+let test_gather_one () =
+  let catalog, storage, _, dim = fixture () in
+  let plan =
+    Plan.motion Plan.Gather_one
+      (Plan.table_scan ~rel:1 dim.Mpp_catalog.Table.oid)
+  in
+  let rows, _ = run ~catalog ~storage plan in
+  Alcotest.(check int) "replicated table read once, not 4 times" 5
+    (List.length rows)
+
+(* ---- partition selection pipeline ---- *)
+
+let partitioned_fixture () =
+  let catalog, orders = Support.orders_schema () in
+  let storage = Storage.create ~nsegments:4 in
+  Support.load_orders storage orders 1000;
+  (catalog, storage, orders)
+
+let o_date orders = Mpp_catalog.Table.colref orders ~rel:0 "date"
+
+let test_static_selector_pipeline () =
+  let catalog, storage, orders = partitioned_fixture () in
+  let pred =
+    Expr.between
+      (Expr.col (o_date orders))
+      (Expr.date "2013-10-01") (Expr.date "2013-12-31")
+  in
+  let plan =
+    gather
+      (Plan.Sequence
+         [ Plan.partition_selector ~part_scan_id:1
+             ~root_oid:orders.Mpp_catalog.Table.oid
+             ~keys:[ o_date orders ] ~predicates:[ Some pred ] ();
+           Plan.dynamic_scan ~filter:pred ~rel:0 ~part_scan_id:1
+             orders.Mpp_catalog.Table.oid ])
+  in
+  let rows, m = run ~catalog ~storage plan in
+  Alcotest.(check int) "3 partitions scanned" 3
+    (Metrics.parts_scanned_of m ~root_oid:orders.Mpp_catalog.Table.oid);
+  (* reference: full scan + filter *)
+  let reference =
+    gather
+      (Plan.Sequence
+         [ Plan.partition_selector ~part_scan_id:1
+             ~root_oid:orders.Mpp_catalog.Table.oid
+             ~keys:[ o_date orders ] ~predicates:[ None ] ();
+           Plan.dynamic_scan ~filter:pred ~rel:0 ~part_scan_id:1
+             orders.Mpp_catalog.Table.oid ])
+  in
+  let ref_rows, ref_m = run ~catalog ~storage reference in
+  Alcotest.(check int) "Φ selector scans all parts" 24
+    (Metrics.parts_scanned_of ref_m ~root_oid:orders.Mpp_catalog.Table.oid);
+  Support.check_rows_equal "pruned = unpruned" rows ref_rows
+
+let test_selection_disabled_flag () =
+  let catalog, storage, orders = partitioned_fixture () in
+  let pred = Expr.lt (Expr.col (o_date orders)) (Expr.date "2012-02-01") in
+  let plan =
+    gather
+      (Plan.Sequence
+         [ Plan.partition_selector ~part_scan_id:1
+             ~root_oid:orders.Mpp_catalog.Table.oid
+             ~keys:[ o_date orders ] ~predicates:[ Some pred ] ();
+           Plan.dynamic_scan ~filter:pred ~rel:0 ~part_scan_id:1
+             orders.Mpp_catalog.Table.oid ])
+  in
+  let _, m_on = Exec.run ~catalog ~storage plan in
+  let _, m_off = Exec.run ~selection_enabled:false ~catalog ~storage plan in
+  Alcotest.(check int) "enabled scans 1" 1
+    (Metrics.parts_scanned_of m_on ~root_oid:orders.Mpp_catalog.Table.oid);
+  Alcotest.(check int) "disabled scans all" 24
+    (Metrics.parts_scanned_of m_off ~root_oid:orders.Mpp_catalog.Table.oid)
+
+let test_guarded_scan_skips () =
+  let catalog, storage, orders = partitioned_fixture () in
+  let p = Option.get orders.Mpp_catalog.Table.partitioning in
+  let leaves = Mpp_catalog.Partition.leaf_oids p in
+  let pred = Expr.lt (Expr.col (o_date orders)) (Expr.date "2012-02-01") in
+  (* Planner-style: selector (no child) + Append of guarded per-leaf scans *)
+  let plan =
+    gather
+      (Plan.Sequence
+         [ Plan.partition_selector ~part_scan_id:1
+             ~root_oid:orders.Mpp_catalog.Table.oid
+             ~keys:[ o_date orders ] ~predicates:[ Some pred ] ();
+           Plan.Append
+             (List.map (fun oid -> Plan.table_scan ~guard:1 ~rel:0 oid) leaves) ])
+  in
+  let rows, m = run ~catalog ~storage plan in
+  Alcotest.(check int) "only January scanned" 1
+    (Metrics.parts_scanned_of m ~root_oid:orders.Mpp_catalog.Table.oid);
+  Alcotest.(check bool) "rows produced" true (List.length rows > 0)
+
+let test_channel () =
+  let ch = Channel.create () in
+  Channel.propagate ch ~segment:0 ~part_scan_id:1 42;
+  Channel.propagate ch ~segment:0 ~part_scan_id:1 42;
+  Channel.propagate ch ~segment:0 ~part_scan_id:1 7;
+  Channel.propagate ch ~segment:1 ~part_scan_id:1 99;
+  Alcotest.(check (list int)) "dedup + sort" [ 7; 42 ]
+    (Channel.consume ch ~segment:0 ~part_scan_id:1);
+  Alcotest.(check (list int)) "per-segment isolation" [ 99 ]
+    (Channel.consume ch ~segment:1 ~part_scan_id:1);
+  Alcotest.(check (list int)) "unknown id empty" []
+    (Channel.consume ch ~segment:0 ~part_scan_id:9)
+
+(* ---- DML ---- *)
+
+let test_update () =
+  let catalog, storage, orders = partitioned_fixture () in
+  (* move every October-2013 order's amount to 0 *)
+  let pred =
+    Expr.between
+      (Expr.col (o_date orders))
+      (Expr.date "2013-10-01") (Expr.date "2013-10-31")
+  in
+  let child =
+    Plan.Sequence
+      [ Plan.partition_selector ~part_scan_id:1
+          ~root_oid:orders.Mpp_catalog.Table.oid
+          ~keys:[ o_date orders ] ~predicates:[ Some pred ] ();
+        Plan.dynamic_scan ~filter:pred ~rel:0 ~part_scan_id:1
+          orders.Mpp_catalog.Table.oid ]
+  in
+  let update =
+    Plan.Update
+      { rel = 0; table_oid = orders.Mpp_catalog.Table.oid;
+        set_exprs = [ (1, Expr.Const (Value.Float 0.0)) ]; child }
+  in
+  let before = Storage.count_table storage orders in
+  let rows, m = run ~catalog ~storage update in
+  let updated = match rows with [ r ] -> Value.to_int r.(0) | _ -> -1 in
+  Alcotest.(check bool) "updated some rows" true (updated > 0);
+  Alcotest.(check int) "metrics agree" updated m.Metrics.rows_updated;
+  Alcotest.(check int) "row count preserved" before
+    (Storage.count_table storage orders);
+  (* all October amounts are now zero *)
+  let check_pred =
+    Expr.And [ pred; Expr.gt (Expr.col (Colref.make ~rel:0 ~index:1
+                                          ~name:"amount" ~dtype:Value.Tfloat))
+                 (Expr.Const (Value.Float 0.0)) ]
+  in
+  let verify =
+    gather
+      (Plan.Sequence
+         [ Plan.partition_selector ~part_scan_id:1
+             ~root_oid:orders.Mpp_catalog.Table.oid
+             ~keys:[ o_date orders ] ~predicates:[ None ] ();
+           Plan.dynamic_scan ~filter:check_pred ~rel:0 ~part_scan_id:1
+             orders.Mpp_catalog.Table.oid ])
+  in
+  let leftover, _ = run ~catalog ~storage verify in
+  Alcotest.(check int) "no non-zero October amounts left" 0
+    (List.length leftover)
+
+let test_update_moves_partition () =
+  (* updating the partitioning key must move the tuple to the right leaf *)
+  let catalog, storage, orders = partitioned_fixture () in
+  ignore catalog;
+  let p = Option.get orders.Mpp_catalog.Table.partitioning in
+  let leaves = Array.of_list (Mpp_catalog.Partition.leaf_oids p) in
+  let jan = leaves.(0) and dec = leaves.(23) in
+  let before_jan = Storage.count storage ~oid:jan in
+  let before_dec = Storage.count storage ~oid:dec in
+  let pred = Expr.lt (Expr.col (o_date orders)) (Expr.date "2012-02-01") in
+  let child =
+    Plan.Sequence
+      [ Plan.partition_selector ~part_scan_id:1
+          ~root_oid:orders.Mpp_catalog.Table.oid
+          ~keys:[ o_date orders ] ~predicates:[ Some pred ] ();
+        Plan.dynamic_scan ~filter:pred ~rel:0 ~part_scan_id:1
+          orders.Mpp_catalog.Table.oid ]
+  in
+  let update =
+    Plan.Update
+      { rel = 0; table_oid = orders.Mpp_catalog.Table.oid;
+        set_exprs = [ (2, Expr.date "2013-12-15") ]; child }
+  in
+  let _, _ = run ~catalog ~storage update in
+  Alcotest.(check int) "January drained" 0 (Storage.count storage ~oid:jan);
+  Alcotest.(check int) "December grew" (before_dec + before_jan)
+    (Storage.count storage ~oid:dec)
+
+let test_delete () =
+  let catalog, storage, orders = partitioned_fixture () in
+  let pred = Expr.ge (Expr.col (o_date orders)) (Expr.date "2013-07-01") in
+  let child =
+    Plan.Sequence
+      [ Plan.partition_selector ~part_scan_id:1
+          ~root_oid:orders.Mpp_catalog.Table.oid
+          ~keys:[ o_date orders ] ~predicates:[ Some pred ] ();
+        Plan.dynamic_scan ~filter:pred ~rel:0 ~part_scan_id:1
+          orders.Mpp_catalog.Table.oid ]
+  in
+  let before = Storage.count_table storage orders in
+  let rows, _ =
+    run ~catalog ~storage
+      (Plan.Delete { rel = 0; table_oid = orders.Mpp_catalog.Table.oid; child })
+  in
+  let deleted = match rows with [ r ] -> Value.to_int r.(0) | _ -> -1 in
+  Alcotest.(check bool) "deleted some" true (deleted > 0);
+  Alcotest.(check int) "count dropped accordingly" (before - deleted)
+    (Storage.count_table storage orders)
+
+(* Hash-join correctness against a naive reference computed directly over
+   the generated data, for random contents and a random cluster size. *)
+let prop_join_matches_reference =
+  QCheck2.Test.make ~count:60 ~name:"hash join = naive reference join"
+    QCheck2.Gen.(
+      triple (int_range 1 6)
+        (list_size (int_range 0 40) (int_range 0 9))
+        (list_size (int_range 0 15) (int_range 0 9)))
+    (fun (nsegments, t_keys, dim_keys) ->
+      let catalog = Cat.create () in
+      let t =
+        Cat.add_table catalog ~name:"t"
+          ~columns:[ ("a", Value.Tint); ("b", Value.Tint) ]
+          ~distribution:(Dist.Hashed [ 0 ]) ()
+      in
+      let dim =
+        Cat.add_table catalog ~name:"dim"
+          ~columns:[ ("k", Value.Tint); ("s", Value.Tstring) ]
+          ~distribution:Dist.Replicated ()
+      in
+      let storage = Storage.create ~nsegments in
+      List.iteri
+        (fun i b -> Storage.insert storage t [| Value.Int i; Value.Int b |])
+        t_keys;
+      List.iteri
+        (fun i k ->
+          Storage.insert storage dim
+            [| Value.Int k; Value.String (string_of_int i) |])
+        dim_keys;
+      let plan =
+        gather
+          (Plan.hash_join ~kind:Plan.Inner
+             ~pred:(Expr.eq (Expr.col dim_k) (Expr.col t_b))
+             (Plan.table_scan ~rel:1 dim.Mpp_catalog.Table.oid)
+             (Plan.table_scan ~rel:0 t.Mpp_catalog.Table.oid))
+      in
+      let rows, _ = run ~catalog ~storage plan in
+      (* reference: each equal-key (dim, t) pair exactly once, counted
+         directly from the generated lists *)
+      let expected =
+        List.fold_left
+          (fun acc k ->
+            acc + List.length (List.filter (fun b -> b = k) t_keys))
+          0 dim_keys
+      in
+      List.length rows = expected)
+
+let () =
+  Alcotest.run "exec"
+    [ ("relational operators",
+       [ Alcotest.test_case "scan + filter" `Quick test_scan_and_filter;
+         Alcotest.test_case "inner hash join" `Quick test_hash_join_inner;
+         Alcotest.test_case "nl join parity" `Quick test_nl_join_matches_hash_join;
+         Alcotest.test_case "non-equi join" `Quick test_non_equi_join;
+         Alcotest.test_case "semi join" `Quick test_semi_join;
+         Alcotest.test_case "left outer join" `Quick test_left_outer_join;
+         Alcotest.test_case "grouped aggregation" `Quick test_agg_group_by;
+         Alcotest.test_case "scalar agg over empty" `Quick test_agg_scalar_empty;
+         Alcotest.test_case "sort + limit" `Quick test_sort_limit ]);
+      ("motions",
+       [ Alcotest.test_case "redistribute co-locates" `Quick
+           test_redistribute_colocates;
+         Alcotest.test_case "broadcast and gather" `Quick
+           test_broadcast_and_gather;
+         Alcotest.test_case "gather-one for replicated" `Quick test_gather_one ]);
+      ("partition selection",
+       [ Alcotest.test_case "static selector pipeline" `Quick
+           test_static_selector_pipeline;
+         Alcotest.test_case "selection-disabled flag" `Quick
+           test_selection_disabled_flag;
+         Alcotest.test_case "guarded scans (Planner DPE)" `Quick
+           test_guarded_scan_skips;
+         Alcotest.test_case "channel semantics" `Quick test_channel ]);
+      ("properties",
+       List.map QCheck_alcotest.to_alcotest [ prop_join_matches_reference ]);
+      ("dml",
+       [ Alcotest.test_case "update in place" `Quick test_update;
+         Alcotest.test_case "update moves partitions" `Quick
+           test_update_moves_partition;
+         Alcotest.test_case "delete" `Quick test_delete ]) ]

@@ -1,0 +1,212 @@
+(** Expression tests: three-valued evaluation, structural helpers, and —
+    crucially — the soundness of {!Mpp_expr.Expr.restriction}, the analysis
+    behind partition selection. *)
+
+open Mpp_expr
+
+let key = Colref.make ~rel:0 ~index:0 ~name:"k" ~dtype:Value.Tint
+let other = Colref.make ~rel:0 ~index:1 ~name:"x" ~dtype:Value.Tint
+let remote = Colref.make ~rel:1 ~index:0 ~name:"a" ~dtype:Value.Tint
+
+let env_with kv xv =
+  {
+    Expr.col =
+      (fun c ->
+        if Colref.equal c key then kv
+        else if Colref.equal c other then xv
+        else invalid_arg "unbound");
+    Expr.param = (fun _ -> invalid_arg "no params");
+  }
+
+let eval_b e kv = Expr.eval (env_with kv Value.Null) e
+
+let test_eval_three_valued () =
+  let p = Expr.lt (Expr.col key) (Expr.int 5) in
+  Alcotest.(check bool) "3 < 5" true (eval_b p (Value.Int 3) = Value.Bool true);
+  Alcotest.(check bool) "7 < 5" true (eval_b p (Value.Int 7) = Value.Bool false);
+  Alcotest.(check bool) "null < 5 unknown" true
+    (eval_b p Value.Null = Value.Null);
+  (* short-circuit laws *)
+  Alcotest.(check bool) "false AND unknown = false" true
+    (eval_b (Expr.And [ Expr.false_; p ]) Value.Null = Value.Bool false);
+  Alcotest.(check bool) "true OR unknown = true" true
+    (eval_b (Expr.Or [ Expr.true_; p ]) Value.Null = Value.Bool true);
+  Alcotest.(check bool) "true AND unknown = unknown" true
+    (eval_b (Expr.And [ Expr.true_; p ]) Value.Null = Value.Null);
+  Alcotest.(check bool) "NOT unknown = unknown" true
+    (eval_b (Expr.Not p) Value.Null = Value.Null)
+
+let test_eval_pred_filters_null () =
+  let p = Expr.eq (Expr.col key) (Expr.int 1) in
+  Alcotest.(check bool) "unknown rejects the row" false
+    (Expr.eval_pred (env_with Value.Null Value.Null) p)
+
+let test_in_list_null () =
+  let p = Expr.In_list (Expr.col key, [ Value.Int 1; Value.Null ]) in
+  Alcotest.(check bool) "1 IN (1, null)" true
+    (eval_b p (Value.Int 1) = Value.Bool true);
+  Alcotest.(check bool) "2 IN (1, null) is unknown" true
+    (eval_b p (Value.Int 2) = Value.Null)
+
+let test_arith () =
+  let env = env_with (Value.Int 7) (Value.Int 2) in
+  Alcotest.(check bool) "7 % 2 = 1" true
+    (Expr.eval env (Expr.Arith (Expr.Mod, Expr.col key, Expr.col other))
+     = Value.Int 1);
+  Alcotest.(check bool) "div by zero is null" true
+    (Expr.eval env (Expr.Arith (Expr.Div, Expr.col key, Expr.int 0))
+     = Value.Null)
+
+let test_date_functions () =
+  let env = env_with (Value.date_of_string "2013-10-01") Value.Null in
+  Alcotest.(check bool) "year()" true
+    (Expr.eval env (Expr.Func ("year", [ Expr.col key ])) = Value.Int 2013);
+  Alcotest.(check bool) "quarter()" true
+    (Expr.eval env (Expr.Func ("quarter", [ Expr.col key ])) = Value.Int 4)
+
+let test_conjuncts () =
+  let a = Expr.eq (Expr.col key) (Expr.int 1)
+  and b = Expr.lt (Expr.col other) (Expr.int 2) in
+  Alcotest.(check int) "nested conjunction flattens" 3
+    (List.length (Expr.conjuncts (Expr.And [ a; Expr.And [ b; a ] ])));
+  Alcotest.(check bool) "conj of none is true" true
+    (Expr.equal (Expr.conj []) Expr.true_);
+  Alcotest.(check bool) "conj of one is itself" true
+    (Expr.equal (Expr.conj [ a ]) a)
+
+let test_find_pred_on_key () =
+  let on_key = Expr.ge (Expr.col key) (Expr.int 10)
+  and off_key = Expr.lt (Expr.col other) (Expr.int 5)
+  and join_pred = Expr.eq (Expr.col key) (Expr.col remote) in
+  (match Expr.find_pred_on_key key (Expr.And [ on_key; off_key ]) with
+  | Some e -> Alcotest.(check bool) "extracts key conjunct" true (Expr.equal e on_key)
+  | None -> Alcotest.fail "expected a predicate");
+  Alcotest.(check bool) "none when key absent" true
+    (Expr.find_pred_on_key key off_key = None);
+  (match Expr.find_pred_on_key key join_pred with
+  | Some e ->
+      Alcotest.(check bool) "join predicates count (DPE)" true
+        (Expr.equal e join_pred)
+  | None -> Alcotest.fail "expected the join predicate")
+
+let test_find_preds_on_keys_multilevel () =
+  let k2 = Colref.make ~rel:0 ~index:2 ~name:"k2" ~dtype:Value.Tstring in
+  let p =
+    Expr.And
+      [ Expr.ge (Expr.col key) (Expr.int 1);
+        Expr.eq (Expr.col k2) (Expr.str "east") ]
+  in
+  match Expr.find_preds_on_keys [ key; k2 ] p with
+  | Some [ Some _; Some _ ] -> ()
+  | _ -> Alcotest.fail "expected predicates on both levels"
+
+let test_subst_and_params () =
+  let p = Expr.eq (Expr.col key) (Expr.col remote) in
+  let p' =
+    Expr.subst_cols
+      (fun c -> if Colref.equal c remote then Some (Value.Int 9) else None)
+      p
+  in
+  Alcotest.(check bool) "remote col replaced" true
+    (Expr.equal p' (Expr.eq (Expr.col key) (Expr.int 9)));
+  let q = Expr.lt (Expr.col key) (Expr.Param 1) in
+  let q' = Expr.bind_params (fun i -> if i = 1 then Some (Value.Int 4) else None) q in
+  Alcotest.(check bool) "param bound" true
+    (Expr.equal q' (Expr.lt (Expr.col key) (Expr.int 4)))
+
+let test_restriction_shapes () =
+  let restr p = Expr.restriction key p in
+  (match restr (Expr.eq (Expr.col key) (Expr.int 5)) with
+  | Some s ->
+      Alcotest.(check bool) "eq yields point" true
+        (Interval.Set.contains s (Value.Int 5)
+        && not (Interval.Set.contains s (Value.Int 6)))
+  | None -> Alcotest.fail "eq analyzable");
+  (match restr (Expr.between (Expr.col key) (Expr.int 1) (Expr.int 3)) with
+  | Some s ->
+      Alcotest.(check bool) "between bounds" true
+        (Interval.Set.contains s (Value.Int 1)
+        && Interval.Set.contains s (Value.Int 3)
+        && not (Interval.Set.contains s (Value.Int 4)))
+  | None -> Alcotest.fail "between analyzable");
+  (match restr (Expr.Not (Expr.eq (Expr.col key) (Expr.int 5))) with
+  | Some s ->
+      Alcotest.(check bool) "not-eq excludes the point" true
+        (not (Interval.Set.contains s (Value.Int 5))
+        && Interval.Set.contains s (Value.Int 4))
+  | None -> Alcotest.fail "negated eq analyzable");
+  Alcotest.(check bool) "opaque predicate is unanalyzable" true
+    (restr (Expr.ge (Expr.Func ("abs", [ Expr.col key ])) (Expr.int 1)) = None);
+  (* AND may skip opaque conjuncts (sound over-approximation) *)
+  (match
+     restr
+       (Expr.And
+          [ Expr.ge (Expr.Func ("abs", [ Expr.col key ])) (Expr.int 1);
+            Expr.le (Expr.col key) (Expr.int 10) ])
+   with
+  | Some s ->
+      Alcotest.(check bool) "AND keeps the analyzable half" true
+        (Interval.Set.contains s (Value.Int 10)
+        && not (Interval.Set.contains s (Value.Int 11)))
+  | None -> Alcotest.fail "partially analyzable AND");
+  (* OR with an opaque branch must give up *)
+  Alcotest.(check bool) "OR with opaque branch gives up" true
+    (restr
+       (Expr.Or
+          [ Expr.eq (Expr.col key) (Expr.int 1);
+            Expr.ge (Expr.Func ("abs", [ Expr.col key ])) (Expr.int 5) ])
+    = None)
+
+(* The load-bearing property: restriction never excludes a key value for
+   which the predicate can be true. *)
+let prop_restriction_sound =
+  QCheck2.Test.make ~count:3000
+    ~name:"restriction soundness: eval true => key in restriction"
+    QCheck2.Gen.(pair (Support.predicate_gen key) Support.int_value_gen)
+    (fun (pred, v) ->
+      match Expr.restriction key pred with
+      | None -> true
+      | Some set ->
+          let env = env_with v Value.Null in
+          (not (Expr.eval_pred env pred)) || Interval.Set.contains set v)
+
+let prop_conj_equiv =
+  QCheck2.Test.make ~count:1000 ~name:"conj [a;b] evaluates like And [a;b]"
+    QCheck2.Gen.(triple (Support.predicate_gen key) (Support.predicate_gen key)
+                   Support.int_value_gen)
+    (fun (a, b, v) ->
+      let env = env_with v Value.Null in
+      Expr.eval_pred env (Expr.conj [ a; b ])
+      = Expr.eval_pred env (Expr.And [ a; b ]))
+
+let prop_push_not_preserves =
+  QCheck2.Test.make ~count:1500 ~name:"restriction of NOT p is sound too"
+    QCheck2.Gen.(pair (Support.predicate_gen key) Support.int_value_gen)
+    (fun (pred, v) ->
+      let notp = Expr.Not pred in
+      match Expr.restriction key notp with
+      | None -> true
+      | Some set ->
+          let env = env_with v Value.Null in
+          (not (Expr.eval_pred env notp)) || Interval.Set.contains set v)
+
+let () =
+  Alcotest.run "expr"
+    [ ("evaluation",
+       [ Alcotest.test_case "three-valued logic" `Quick test_eval_three_valued;
+         Alcotest.test_case "filters reject unknown" `Quick
+           test_eval_pred_filters_null;
+         Alcotest.test_case "IN with null" `Quick test_in_list_null;
+         Alcotest.test_case "arithmetic" `Quick test_arith;
+         Alcotest.test_case "date functions" `Quick test_date_functions ]);
+      ("structure",
+       [ Alcotest.test_case "conjuncts/conj" `Quick test_conjuncts;
+         Alcotest.test_case "FindPredOnKey" `Quick test_find_pred_on_key;
+         Alcotest.test_case "multi-level FindPredOnKey" `Quick
+           test_find_preds_on_keys_multilevel;
+         Alcotest.test_case "subst and params" `Quick test_subst_and_params ]);
+      ("restriction",
+       [ Alcotest.test_case "shapes" `Quick test_restriction_shapes ]);
+      ("properties",
+       List.map QCheck_alcotest.to_alcotest
+         [ prop_restriction_sound; prop_conj_equiv; prop_push_not_preserves ]) ]

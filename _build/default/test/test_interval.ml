@@ -1,0 +1,146 @@
+(** Interval-algebra tests — the foundation of partition constraints and of
+    the partition-selection function f*_T (paper §3.2). *)
+
+open Mpp_expr
+
+let vi i = Value.Int i
+let co a b = Option.get (Interval.closed_open (vi a) (vi b))
+let set l = Interval.Set.of_list l
+
+let test_make_empty () =
+  Alcotest.(check bool) "empty closed-open" true
+    (Interval.closed_open (vi 5) (vi 5) = None);
+  Alcotest.(check bool) "reversed is empty" true
+    (Interval.closed_open (vi 5) (vi 1) = None);
+  Alcotest.(check bool) "point is non-empty" true
+    (Interval.make (Interval.B (vi 5, true)) (Interval.B (vi 5, true)) <> None);
+  Alcotest.(check bool) "open-open same value is empty" true
+    (Interval.make (Interval.B (vi 5, false)) (Interval.B (vi 5, false)) = None)
+
+let test_contains () =
+  let iv = co 10 20 in
+  Alcotest.(check bool) "lo inclusive" true (Interval.contains iv (vi 10));
+  Alcotest.(check bool) "hi exclusive" false (Interval.contains iv (vi 20));
+  Alcotest.(check bool) "mid" true (Interval.contains iv (vi 15));
+  Alcotest.(check bool) "unbounded above" true
+    (Interval.contains (Interval.at_least (vi 3)) (vi 1000));
+  Alcotest.(check bool) "full contains everything" true
+    (Interval.contains Interval.full (Value.String "zz"))
+
+let test_intersect () =
+  (match Interval.intersect (co 0 10) (co 5 15) with
+  | Some iv ->
+      Alcotest.(check bool) "overlap [5,10)" true
+        (Interval.contains iv (vi 5) && not (Interval.contains iv (vi 10)))
+  | None -> Alcotest.fail "expected overlap");
+  Alcotest.(check bool) "disjoint" true
+    (Interval.intersect (co 0 5) (co 5 10) = None);
+  Alcotest.(check bool) "touching closed bounds intersect" true
+    (Interval.intersect (Interval.at_most (vi 5)) (Interval.at_least (vi 5))
+    <> None)
+
+let test_set_normalize () =
+  let s = set [ co 0 5; co 3 8; co 10 12 ] in
+  Alcotest.(check int) "merged to two intervals" 2
+    (List.length (Interval.Set.to_list s));
+  Alcotest.(check bool) "members" true
+    (Interval.Set.contains s (vi 7) && Interval.Set.contains s (vi 11));
+  Alcotest.(check bool) "gap" false (Interval.Set.contains s (vi 9))
+
+let test_set_union_inter () =
+  let a = set [ co 0 10 ] and b = set [ co 5 15; co 20 25 ] in
+  let u = Interval.Set.union a b and i = Interval.Set.inter a b in
+  Alcotest.(check bool) "union covers both" true
+    (Interval.Set.contains u (vi 2) && Interval.Set.contains u (vi 22));
+  Alcotest.(check bool) "inter restricted" true
+    (Interval.Set.contains i (vi 7) && not (Interval.Set.contains i (vi 2)));
+  Alcotest.(check bool) "inter with empty is empty" true
+    (Interval.Set.is_empty (Interval.Set.inter a Interval.Set.empty))
+
+let test_set_complement () =
+  let s = set [ co 0 10 ] in
+  let c = Interval.Set.complement s in
+  Alcotest.(check bool) "below is in complement" true
+    (Interval.Set.contains c (vi (-1)));
+  Alcotest.(check bool) "inside not in complement" false
+    (Interval.Set.contains c (vi 5));
+  Alcotest.(check bool) "hi bound in complement (exclusive)" true
+    (Interval.Set.contains c (vi 10));
+  Alcotest.(check bool) "complement of empty is full" true
+    (Interval.Set.is_full (Interval.Set.complement Interval.Set.empty));
+  Alcotest.(check bool) "complement of full is empty" true
+    (Interval.Set.is_empty (Interval.Set.complement Interval.Set.full))
+
+let test_set_flags () =
+  Alcotest.(check bool) "full is full" true (Interval.Set.is_full Interval.Set.full);
+  Alcotest.(check bool) "empty is empty" true
+    (Interval.Set.is_empty Interval.Set.empty);
+  Alcotest.(check bool) "point set not full" false
+    (Interval.Set.is_full (Interval.Set.point (vi 3)))
+
+(* ---------------- properties ---------------- *)
+
+let prop_contains_intersect =
+  QCheck2.Test.make ~count:2000
+    ~name:"v ∈ a∩b iff v ∈ a and v ∈ b"
+    QCheck2.Gen.(triple Support.interval_gen Support.interval_gen
+                   Support.int_value_gen)
+    (fun (a, b, v) ->
+      let in_inter =
+        match Interval.intersect a b with
+        | None -> false
+        | Some iv -> Interval.contains iv v
+      in
+      in_inter = (Interval.contains a v && Interval.contains b v))
+
+let prop_set_union_membership =
+  QCheck2.Test.make ~count:2000 ~name:"v ∈ A∪B iff v ∈ A or v ∈ B"
+    QCheck2.Gen.(triple Support.interval_set_gen Support.interval_set_gen
+                   Support.int_value_gen)
+    (fun (a, b, v) ->
+      Interval.Set.contains (Interval.Set.union a b) v
+      = (Interval.Set.contains a v || Interval.Set.contains b v))
+
+let prop_set_inter_membership =
+  QCheck2.Test.make ~count:2000 ~name:"v ∈ A∩B iff v ∈ A and v ∈ B"
+    QCheck2.Gen.(triple Support.interval_set_gen Support.interval_set_gen
+                   Support.int_value_gen)
+    (fun (a, b, v) ->
+      Interval.Set.contains (Interval.Set.inter a b) v
+      = (Interval.Set.contains a v && Interval.Set.contains b v))
+
+let prop_set_complement_membership =
+  QCheck2.Test.make ~count:2000 ~name:"v ∈ ¬A iff v ∉ A"
+    QCheck2.Gen.(pair Support.interval_set_gen Support.int_value_gen)
+    (fun (a, v) ->
+      Interval.Set.contains (Interval.Set.complement a) v
+      = not (Interval.Set.contains a v))
+
+let prop_normalize_idempotent =
+  QCheck2.Test.make ~count:1000 ~name:"of_list is idempotent"
+    Support.interval_set_gen
+    (fun s -> Interval.Set.equal s (Interval.Set.of_list (Interval.Set.to_list s)))
+
+let prop_diff_membership =
+  QCheck2.Test.make ~count:2000 ~name:"v ∈ A\\B iff v ∈ A and v ∉ B"
+    QCheck2.Gen.(triple Support.interval_set_gen Support.interval_set_gen
+                   Support.int_value_gen)
+    (fun (a, b, v) ->
+      Interval.Set.contains (Interval.Set.diff a b) v
+      = (Interval.Set.contains a v && not (Interval.Set.contains b v)))
+
+let () =
+  Alcotest.run "interval"
+    [ ("unit",
+       [ Alcotest.test_case "emptiness" `Quick test_make_empty;
+         Alcotest.test_case "contains" `Quick test_contains;
+         Alcotest.test_case "intersect" `Quick test_intersect;
+         Alcotest.test_case "set normalize" `Quick test_set_normalize;
+         Alcotest.test_case "set union/inter" `Quick test_set_union_inter;
+         Alcotest.test_case "set complement" `Quick test_set_complement;
+         Alcotest.test_case "full/empty flags" `Quick test_set_flags ]);
+      ("properties",
+       List.map QCheck_alcotest.to_alcotest
+         [ prop_contains_intersect; prop_set_union_membership;
+           prop_set_inter_membership; prop_set_complement_membership;
+           prop_normalize_idempotent; prop_diff_membership ]) ]

@@ -1,0 +1,203 @@
+(** Memo tests — the property-enforcement framework of paper §3.1 on the
+    R ⋈ S example of Figures 13/14. *)
+
+open Mpp_expr
+module Cat = Mpp_catalog.Catalog
+module Part = Mpp_catalog.Partition
+module Dist = Mpp_catalog.Distribution
+module Table = Mpp_catalog.Table
+module Plan = Mpp_plan.Plan
+module Valid = Mpp_plan.Plan_valid
+module Memo = Orca.Memo
+
+(* R(pk, x) partitioned and hash-distributed on pk; S(a, b) hashed on a. *)
+let figure13_env () =
+  let catalog = Cat.create () in
+  let partitioning =
+    Part.single_level
+      ~alloc_oid:(fun () -> Cat.alloc_oid catalog)
+      ~key_index:0 ~key_name:"pk" ~scheme:Part.Range ~table_name:"r"
+      (Part.int_ranges ~start:0 ~width:10 ~count:10)
+  in
+  let r =
+    Cat.add_table catalog ~name:"r"
+      ~columns:[ ("pk", Value.Tint); ("x", Value.Tint) ]
+      ~distribution:(Dist.Hashed [ 0 ]) ~partitioning ()
+  in
+  let s =
+    Cat.add_table catalog ~name:"s"
+      ~columns:[ ("a", Value.Tint); ("b", Value.Tint) ]
+      ~distribution:(Dist.Hashed [ 0 ]) ()
+  in
+  let lg =
+    Orca.Logical.join
+      (Expr.eq
+         (Expr.col (Table.colref r ~rel:0 "pk"))
+         (Expr.col (Table.colref s ~rel:1 "a")))
+      (Orca.Logical.get ~rel:0 "r")
+      (Orca.Logical.get ~rel:1 "s")
+  in
+  (catalog, lg)
+
+let performs_selection plan =
+  Plan.fold
+    (fun acc p ->
+      match p with
+      | Plan.Partition_selector { child = Some _; predicates; _ } ->
+          acc || List.exists Option.is_some predicates
+      | _ -> acc)
+    false plan
+
+let test_best_plan_exists_and_valid () =
+  let catalog, lg = figure13_env () in
+  match Memo.best_plan ~catalog lg with
+  | Some (plan, cost) ->
+      Alcotest.(check bool) "valid" true (Valid.is_valid plan);
+      Alcotest.(check bool) "positive cost" true (cost > 0.0);
+      Alcotest.(check bool) "contains both relations" true
+        (Plan.fold
+           (fun acc p -> match p with Plan.Table_scan _ -> acc + 1 | _ -> acc)
+           0 plan
+         = 1
+        && Plan.dynamic_scan_ids plan = [ 0 ])
+  | None -> Alcotest.fail "the memo must find a plan"
+
+let test_every_alternative_valid () =
+  let catalog, lg = figure13_env () in
+  let alts = Memo.plan_space ~catalog ~limit:24 lg in
+  Alcotest.(check bool) "several alternatives" true (List.length alts >= 4);
+  List.iteri
+    (fun i plan ->
+      Alcotest.(check bool)
+        (Printf.sprintf "alternative %d valid" i)
+        true (Valid.is_valid plan))
+    alts
+
+let test_plan4_is_enumerated () =
+  (* the paper's Plan 4: the only shape performing partition selection *)
+  let catalog, lg = figure13_env () in
+  let alts = Memo.plan_space ~catalog ~limit:24 lg in
+  let dpe_plans = List.filter performs_selection alts in
+  Alcotest.(check bool) "a selecting plan exists" true (dpe_plans <> []);
+  (* in every selecting plan, the selector sits on the build side and the
+     DynamicScan on the probe side, never separated by a Motion *)
+  List.iter
+    (fun plan ->
+      match plan with
+      | Plan.Hash_join { left; right; _ } ->
+          Alcotest.(check bool) "selector on the build side" true
+            (Plan.selector_ids left = [ 0 ]);
+          Alcotest.(check bool) "scan on the probe side" true
+            (Plan.has_part_scan_id right 0)
+      | _ -> Alcotest.fail "top of a selecting plan is the join")
+    dpe_plans
+
+let test_best_plan_cheaper_than_best_selecting_alternative () =
+  (* with a partitioned R of 10 parts and default stats, the DPE plan should
+     actually win the cost race *)
+  let catalog, lg = figure13_env () in
+  match Memo.best_plan ~catalog lg with
+  | Some (plan, _) ->
+      Alcotest.(check bool) "best plan performs selection" true
+        (performs_selection plan)
+  | None -> Alcotest.fail "plan expected"
+
+let test_unsatisfiable_request () =
+  (* a lone scan group cannot deliver a replicated requirement without a
+     motion, and a motion is blocked when its scan is pinned — exercised
+     indirectly: singleton over partitioned table is still satisfiable *)
+  let catalog, lg = figure13_env () in
+  ignore lg;
+  let r_only = Orca.Logical.get ~rel:0 "r" in
+  match Memo.best_plan ~catalog r_only with
+  | Some (plan, _) ->
+      Alcotest.(check bool) "bare partitioned get valid" true
+        (Valid.is_valid plan)
+  | None -> Alcotest.fail "bare get must plan"
+
+let test_memo_plan_executes () =
+  let catalog, lg = figure13_env () in
+  let storage = Mpp_storage.Storage.create ~nsegments:4 in
+  let r = Cat.find catalog "r" and s = Cat.find catalog "s" in
+  for i = 0 to 99 do
+    Mpp_storage.Storage.insert storage r [| Value.Int i; Value.Int (i * 2) |]
+  done;
+  for i = 0 to 19 do
+    Mpp_storage.Storage.insert storage s [| Value.Int (i * 5); Value.Int i |]
+  done;
+  match Memo.best_plan ~catalog lg with
+  | None -> Alcotest.fail "plan expected"
+  | Some (plan, _) ->
+      let rows, m =
+        Mpp_exec.Exec.run ~catalog ~storage (Plan.motion Plan.Gather plan)
+      in
+      (* r.pk = s.a: s.a ∈ {0,5,…,95} all present in r *)
+      Alcotest.(check int) "20 matches" 20 (List.length rows);
+      Alcotest.(check bool) "selection pruned something" true
+        (Mpp_exec.Metrics.parts_scanned_of m ~root_oid:r.Table.oid <= 10)
+
+let test_three_way_join () =
+  (* the memo's groups compose: (R ⋈ S) ⋈ U with R partitioned *)
+  let catalog, _ = figure13_env () in
+  let u =
+    Cat.add_table catalog ~name:"u"
+      ~columns:[ ("c", Value.Tint) ]
+      ~distribution:Dist.Replicated ()
+  in
+  let r = Cat.find catalog "r" and s = Cat.find catalog "s" in
+  let lg =
+    Orca.Logical.join
+      (Expr.eq
+         (Expr.col (Table.colref s ~rel:1 "b"))
+         (Expr.col (Table.colref u ~rel:2 "c")))
+      (Orca.Logical.join
+         (Expr.eq
+            (Expr.col (Table.colref r ~rel:0 "pk"))
+            (Expr.col (Table.colref s ~rel:1 "a")))
+         (Orca.Logical.get ~rel:0 "r")
+         (Orca.Logical.get ~rel:1 "s"))
+      (Orca.Logical.get ~rel:2 "u")
+  in
+  (match Memo.best_plan ~catalog lg with
+  | Some (plan, _) ->
+      Alcotest.(check bool) "three-way best plan valid" true
+        (Valid.is_valid plan);
+      Alcotest.(check (list int)) "R's scan resolved" [ 0 ]
+        (Plan.dynamic_scan_ids plan)
+  | None -> Alcotest.fail "three-way join must plan");
+  let alts = Memo.plan_space ~catalog ~limit:20 lg in
+  List.iteri
+    (fun i p ->
+      Alcotest.(check bool)
+        (Printf.sprintf "three-way alternative %d valid" i)
+        true (Valid.is_valid p))
+    alts
+
+let test_rejects_unsupported_shapes () =
+  let catalog, _ = figure13_env () in
+  Alcotest.(check bool) "outer join unsupported in the memo" true
+    (try
+       ignore
+         (Memo.best_plan ~catalog
+            (Orca.Logical.join ~kind:Plan.Left_outer Expr.true_
+               (Orca.Logical.get ~rel:0 "r")
+               (Orca.Logical.get ~rel:1 "s")));
+       false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "memo"
+    [ ("figure 13/14",
+       [ Alcotest.test_case "best plan valid" `Quick
+           test_best_plan_exists_and_valid;
+         Alcotest.test_case "all alternatives valid" `Quick
+           test_every_alternative_valid;
+         Alcotest.test_case "plan 4 enumerated" `Quick test_plan4_is_enumerated;
+         Alcotest.test_case "best plan selects" `Quick
+           test_best_plan_cheaper_than_best_selecting_alternative;
+         Alcotest.test_case "bare partitioned get" `Quick
+           test_unsatisfiable_request;
+         Alcotest.test_case "memo plan executes" `Quick test_memo_plan_executes;
+         Alcotest.test_case "three-way join" `Quick test_three_way_join;
+         Alcotest.test_case "unsupported shapes rejected" `Quick
+           test_rejects_unsupported_shapes ]) ]

@@ -1,0 +1,254 @@
+(** Legacy-Planner tests: inheritance expansion, constraint exclusion, the
+    rudimentary dynamic elimination, DML expansion, and result parity with
+    Orca. *)
+
+open Mpp_expr
+module Storage = Mpp_storage.Storage
+module Plan = Mpp_plan.Plan
+module Valid = Mpp_plan.Plan_valid
+module Planner = Mpp_planner.Planner
+module Logical = Orca.Logical
+module Metrics = Mpp_exec.Metrics
+
+let env () =
+  let catalog, orders, date_dim = Support.star_schema () in
+  let storage = Storage.create ~nsegments:4 in
+  Support.load_orders storage orders 1000;
+  Support.load_date_dim storage date_dim;
+  (catalog, storage, orders, date_dim)
+
+let plan_with ?config catalog lg =
+  Planner.plan (Planner.create ?config ~catalog ()) lg
+
+(* count the Table_scan leaves in a plan *)
+let scan_count plan =
+  Plan.fold
+    (fun acc p -> match p with Plan.Table_scan _ -> acc + 1 | _ -> acc)
+    0 plan
+
+let test_expansion () =
+  let catalog, _, _, _ = env () in
+  let p = plan_with catalog (Logical.get ~rel:0 "orders") in
+  Alcotest.(check int) "all 24 leaves listed" 24 (scan_count p);
+  Alcotest.(check bool) "no selectors" true (Plan.selector_ids p = [])
+
+let test_constraint_exclusion () =
+  let catalog, storage, orders, _ = env () in
+  let o_date = Mpp_catalog.Table.colref orders ~rel:0 "date" in
+  let lg =
+    Logical.select
+      (Expr.between (Expr.col o_date) (Expr.date "2013-10-01")
+         (Expr.date "2013-12-31"))
+      (Logical.get ~rel:0 "orders")
+  in
+  let p = plan_with catalog lg in
+  Alcotest.(check int) "only the 3 surviving leaves in the plan" 3
+    (scan_count p);
+  let rows, m = Mpp_exec.Exec.run ~catalog ~storage p in
+  Alcotest.(check int) "3 partitions scanned" 3
+    (Metrics.parts_scanned_of m ~root_oid:orders.Mpp_catalog.Table.oid);
+  Alcotest.(check bool) "rows produced" true (List.length rows > 0)
+
+let test_exclusion_disabled () =
+  let catalog, _, orders, _ = env () in
+  ignore orders;
+  let o_date =
+    Mpp_catalog.Table.colref (Mpp_catalog.Catalog.find catalog "orders")
+      ~rel:0 "date"
+  in
+  let config = { Planner.default_config with enable_static_elimination = false } in
+  let lg =
+    Logical.select
+      (Expr.lt (Expr.col o_date) (Expr.date "2012-02-01"))
+      (Logical.get ~rel:0 "orders")
+  in
+  Alcotest.(check int) "all leaves kept when disabled" 24
+    (scan_count (plan_with ~config catalog lg))
+
+let dpe_logical catalog =
+  let orders = Mpp_catalog.Catalog.find catalog "orders" in
+  let date_dim = Mpp_catalog.Catalog.find catalog "date_dim" in
+  let o_date = Mpp_catalog.Table.colref orders ~rel:1 "date" in
+  let d_date = Mpp_catalog.Table.colref date_dim ~rel:0 "d_date" in
+  let d_month = Mpp_catalog.Table.colref date_dim ~rel:0 "d_month" in
+  let d_year = Mpp_catalog.Table.colref date_dim ~rel:0 "d_year" in
+  (* FROM date_dim, orders — dimension first, the shape the legacy planner's
+     as-written orientation needs *)
+  Logical.join
+    (Expr.eq (Expr.col d_date) (Expr.col o_date))
+    (Logical.select
+       (Expr.conj
+          [ Expr.eq (Expr.col d_year) (Expr.int 2013);
+            Expr.eq (Expr.col d_month) (Expr.int 7) ])
+       (Logical.get ~rel:0 "date_dim"))
+    (Logical.get ~rel:1 "orders")
+
+let test_rudimentary_dpe () =
+  let catalog, storage, orders, _ = env () in
+  let p = plan_with catalog (dpe_logical catalog) in
+  (* the plan still lists every partition *)
+  Alcotest.(check bool) "plan lists all 24 leaves (+dim scan)" true
+    (scan_count p >= 24);
+  (* ... but the guard skips the rest at run time *)
+  let _, m = Mpp_exec.Exec.run ~catalog ~storage p in
+  Alcotest.(check int) "July 2013 only" 1
+    (Metrics.parts_scanned_of m ~root_oid:orders.Mpp_catalog.Table.oid);
+  Alcotest.(check bool) "valid" true (Valid.is_valid p)
+
+let test_dpe_disabled () =
+  let catalog, storage, orders, _ = env () in
+  let config =
+    { Planner.default_config with enable_dynamic_elimination = false }
+  in
+  let p = plan_with ~config catalog (dpe_logical catalog) in
+  let _, m = Mpp_exec.Exec.run ~catalog ~storage p in
+  Alcotest.(check int) "all partitions scanned" 24
+    (Metrics.parts_scanned_of m ~root_oid:orders.Mpp_catalog.Table.oid)
+
+let test_no_dpe_for_multilevel () =
+  (* the legacy planner's DPE pattern is single-level only *)
+  let catalog, orders = Support.multilevel_schema () in
+  let storage = Storage.create ~nsegments:4 in
+  let start = Date.of_ymd 2012 1 1 in
+  for i = 0 to 199 do
+    Storage.insert storage orders
+      [| Value.Int i; Value.Float 1.0;
+         Value.Date (Date.add_days start (i * 365 / 200));
+         Value.String (if i mod 2 = 0 then "east" else "west") |]
+  done;
+  let date_dim =
+    Mpp_catalog.Catalog.add_table catalog ~name:"dd"
+      ~columns:[ ("d", Value.Tdate) ]
+      ~distribution:Mpp_catalog.Distribution.Replicated ()
+  in
+  Storage.insert storage date_dim [| Value.Date (Date.of_ymd 2012 3 15) |];
+  let o_date = Mpp_catalog.Table.colref orders ~rel:1 "date" in
+  let dd_d = Mpp_catalog.Table.colref date_dim ~rel:0 "d" in
+  let lg =
+    Logical.join
+      (Expr.eq (Expr.col dd_d) (Expr.col o_date))
+      (Logical.get ~rel:0 "dd")
+      (Logical.get ~rel:1 "orders")
+  in
+  let p = plan_with catalog lg in
+  let _, m = Mpp_exec.Exec.run ~catalog ~storage p in
+  Alcotest.(check int) "planner scans all multilevel leaves" 24
+    (Metrics.parts_scanned_of m ~root_oid:orders.Mpp_catalog.Table.oid)
+
+let test_dml_quadratic_expansion () =
+  let catalog = Mpp_catalog.Catalog.create () in
+  let mk name =
+    let partitioning =
+      Mpp_catalog.Partition.single_level
+        ~alloc_oid:(fun () -> Mpp_catalog.Catalog.alloc_oid catalog)
+        ~key_index:1 ~key_name:"b" ~scheme:Mpp_catalog.Partition.Range
+        ~table_name:name
+        (Mpp_catalog.Partition.int_ranges ~start:0 ~width:10 ~count:6)
+    in
+    Mpp_catalog.Catalog.add_table catalog ~name
+      ~columns:[ ("a", Value.Tint); ("b", Value.Tint) ]
+      ~distribution:(Mpp_catalog.Distribution.Hashed [ 0 ])
+      ~partitioning ()
+  in
+  let r = mk "r" and s = mk "s" in
+  let r_a = Mpp_catalog.Table.colref r ~rel:0 "a" in
+  let s_a = Mpp_catalog.Table.colref s ~rel:1 "a" in
+  let s_b = Mpp_catalog.Table.colref s ~rel:1 "b" in
+  let lg =
+    Logical.Update
+      { rel = 0; table_name = "r";
+        set_cols = [ ("b", Expr.col s_b) ];
+        child =
+          Logical.join
+            (Expr.eq (Expr.col r_a) (Expr.col s_a))
+            (Logical.get ~rel:0 "r")
+            (Logical.get ~rel:1 "s") }
+  in
+  let p = plan_with catalog lg in
+  (* 6 target leaves × (1 target scan + 6 other-side leaves) = 42 scans *)
+  Alcotest.(check int) "quadratic expansion" 42 (scan_count p)
+
+let test_parity_with_orca () =
+  let catalog, storage, _, _ = env () in
+  let lg = dpe_logical catalog in
+  let p_planner = plan_with catalog lg in
+  let p_orca = Orca.Optimizer.optimize (Orca.Optimizer.create ~catalog ()) lg in
+  let r1, _ = Mpp_exec.Exec.run ~catalog ~storage p_planner in
+  let r2, _ = Mpp_exec.Exec.run ~catalog ~storage p_orca in
+  Support.check_rows_equal "planner = orca" r1 r2
+
+let test_plan_size_vs_orca () =
+  let catalog, _, _, _ = env () in
+  let o_date =
+    Mpp_catalog.Table.colref (Mpp_catalog.Catalog.find catalog "orders")
+      ~rel:0 "date"
+  in
+  let lg =
+    Logical.select
+      (Expr.ge (Expr.col o_date) (Expr.date "2012-01-01"))
+      (Logical.get ~rel:0 "orders")
+  in
+  let planner_kb =
+    Mpp_plan.Plan_size.kilobytes ~catalog (plan_with catalog lg)
+  in
+  let orca_kb =
+    Mpp_plan.Plan_size.kilobytes ~catalog
+      (Orca.Optimizer.optimize (Orca.Optimizer.create ~catalog ()) lg)
+  in
+  Alcotest.(check bool) "full-range planner plan much larger" true
+    (planner_kb > 3.0 *. orca_kb)
+
+(* Whole-baseline soundness: on random range queries the legacy planner and
+   Orca agree, even though their plans differ radically. *)
+let prop_planner_orca_agree =
+  let catalog, orders, date_dim = Support.star_schema () in
+  ignore date_dim;
+  let storage = Storage.create ~nsegments:4 in
+  Support.load_orders storage orders 600;
+  let o_date = Mpp_catalog.Table.colref orders ~rel:0 "date" in
+  let date_of_day day =
+    Value.Date (Date.add_days (Date.of_ymd 2012 1 1) day)
+  in
+  QCheck2.Test.make ~count:40 ~name:"planner and orca agree on range queries"
+    QCheck2.Gen.(pair (int_range 0 730) (int_range 0 730))
+    (fun (d1, d2) ->
+      let lo = min d1 d2 and hi = max d1 d2 in
+      let lg =
+        Logical.select
+          (Expr.between (Expr.col o_date)
+             (Expr.Const (date_of_day lo))
+             (Expr.Const (date_of_day hi)))
+          (Logical.get ~rel:0 "orders")
+      in
+      let p1, _ =
+        Mpp_exec.Exec.run ~catalog ~storage
+          (Planner.plan (Planner.create ~catalog ()) lg)
+      in
+      let p2, _ =
+        Mpp_exec.Exec.run ~catalog ~storage
+          (Orca.Optimizer.optimize (Orca.Optimizer.create ~catalog ()) lg)
+      in
+      Support.rows_equal p1 p2)
+
+let () =
+  Alcotest.run "planner"
+    [ ("expansion",
+       [ Alcotest.test_case "inheritance expansion" `Quick test_expansion;
+         Alcotest.test_case "constraint exclusion" `Quick
+           test_constraint_exclusion;
+         Alcotest.test_case "exclusion disabled" `Quick test_exclusion_disabled ]);
+      ("dynamic elimination",
+       [ Alcotest.test_case "rudimentary DPE with guards" `Quick
+           test_rudimentary_dpe;
+         Alcotest.test_case "DPE disabled" `Quick test_dpe_disabled;
+         Alcotest.test_case "multilevel unsupported" `Quick
+           test_no_dpe_for_multilevel ]);
+      ("dml",
+       [ Alcotest.test_case "quadratic expansion" `Quick
+           test_dml_quadratic_expansion ]);
+      ("comparison",
+       [ Alcotest.test_case "result parity with orca" `Quick
+           test_parity_with_orca;
+         Alcotest.test_case "plan size vs orca" `Quick test_plan_size_vs_orca ]);
+      ("properties",
+       List.map QCheck_alcotest.to_alcotest [ prop_planner_orca_agree ]) ]

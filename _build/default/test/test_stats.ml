@@ -1,0 +1,159 @@
+(** Statistics tests: histogram construction and selectivity, ANALYZE over
+    storage, and misestimate injection. *)
+
+open Mpp_expr
+module Histogram = Mpp_stats.Histogram
+module Stats = Mpp_stats.Stats
+module Stats_source = Mpp_stats.Stats_source
+module Selectivity = Mpp_stats.Selectivity
+module Storage = Mpp_storage.Storage
+
+let ints l = List.map (fun i -> Value.Int i) l
+
+let test_histogram_build () =
+  let h = Histogram.build ~nbuckets:4 (ints (List.init 100 (fun i -> i))) in
+  Alcotest.(check int) "total rows" 100 h.Histogram.total_rows;
+  Alcotest.(check int) "no nulls" 0 h.Histogram.null_rows;
+  Alcotest.(check (option (testable Value.pp Value.equal))) "min"
+    (Some (Value.Int 0)) (Histogram.min_value h);
+  Alcotest.(check (option (testable Value.pp Value.equal))) "max"
+    (Some (Value.Int 99)) (Histogram.max_value h);
+  Alcotest.(check int) "ndv counts distincts" 100 (Histogram.ndv h)
+
+let test_histogram_nulls () =
+  let h = Histogram.build (Value.Null :: ints [ 1; 2; 3 ]) in
+  Alcotest.(check int) "null counted" 1 h.Histogram.null_rows;
+  Alcotest.(check int) "total includes null" 4 h.Histogram.total_rows
+
+let test_histogram_empty () =
+  let h = Histogram.build [] in
+  Alcotest.(check int) "empty" 0 h.Histogram.total_rows;
+  Alcotest.(check (float 0.001)) "selectivity of anything is 0" 0.0
+    (Histogram.selectivity h Interval.Set.full)
+
+let test_histogram_selectivity () =
+  let h = Histogram.build ~nbuckets:10 (ints (List.init 1000 (fun i -> i))) in
+  let sel lo hi =
+    Histogram.selectivity h
+      (Interval.Set.of_interval_opt
+         (Interval.closed_open (Value.Int lo) (Value.Int hi)))
+  in
+  Alcotest.(check bool) "half the domain ~ 0.5" true
+    (Float.abs (sel 0 500 -. 0.5) < 0.1);
+  Alcotest.(check bool) "tenth of the domain ~ 0.1" true
+    (Float.abs (sel 100 200 -. 0.1) < 0.05);
+  Alcotest.(check (float 0.001)) "full domain" 1.0
+    (Histogram.selectivity h Interval.Set.full);
+  Alcotest.(check bool) "out of range ~ 0" true (sel 5000 6000 < 0.01)
+
+let analyzed_env () =
+  let catalog, orders = Support.orders_schema () in
+  let storage = Storage.create ~nsegments:4 in
+  Support.load_orders storage orders 1000;
+  let src = Stats_source.create ~catalog ~storage in
+  (orders, src)
+
+let test_analyze () =
+  let orders, src = analyzed_env () in
+  let st = Stats_source.table_stats src orders in
+  Alcotest.(check int) "rowcount" 1000 st.Stats.rowcount;
+  Alcotest.(check bool) "width positive" true (st.Stats.avg_width > 0);
+  Alcotest.(check int) "per-column stats" 3 (Array.length st.Stats.columns);
+  let amount = st.Stats.columns.(1) in
+  Alcotest.(check bool) "amount ndv ~ 100" true
+    (amount.Stats.ndv >= 90 && amount.Stats.ndv <= 110)
+
+let test_analyze_replicated_counts_once () =
+  let catalog = Mpp_catalog.Catalog.create () in
+  let t =
+    Mpp_catalog.Catalog.add_table catalog ~name:"dim"
+      ~columns:[ ("k", Value.Tint) ]
+      ~distribution:Mpp_catalog.Distribution.Replicated ()
+  in
+  let storage = Storage.create ~nsegments:4 in
+  for i = 0 to 9 do
+    Storage.insert storage t [| Value.Int i |]
+  done;
+  let src = Stats_source.create ~catalog ~storage in
+  Alcotest.(check int) "replicated rows counted once" 10
+    (Stats_source.table_stats src t).Stats.rowcount
+
+let test_misestimate_injection () =
+  let orders, src = analyzed_env () in
+  Stats_source.set_row_scale src ~table_oid:orders.Mpp_catalog.Table.oid
+    ~factor:10.0;
+  Alcotest.(check int) "scaled rowcount" 10_000
+    (Stats_source.table_stats src orders).Stats.rowcount;
+  Stats_source.clear_row_scales src;
+  Alcotest.(check int) "cleared" 1000
+    (Stats_source.table_stats src orders).Stats.rowcount
+
+let test_selectivity_estimates () =
+  let orders, src = analyzed_env () in
+  let st = Stats_source.table_stats src orders in
+  let date = Mpp_catalog.Table.colref orders ~rel:0 "date" in
+  let sel pred = Selectivity.estimate ~stats:st ~rel:0 pred in
+  let quarter =
+    Expr.between (Expr.col date)
+      (Expr.date "2013-10-01") (Expr.date "2013-12-31")
+  in
+  Alcotest.(check bool) "one quarter of two years ~ 1/8" true
+    (Float.abs (sel quarter -. 0.125) < 0.06);
+  Alcotest.(check bool) "true is 1" true (sel Expr.true_ = 1.0);
+  Alcotest.(check bool) "false is 0" true (sel Expr.false_ = 0.0);
+  let amount = Mpp_catalog.Table.colref orders ~rel:0 "amount" in
+  let eq_sel = sel (Expr.eq (Expr.col amount) (Expr.Const (Value.Float 5.0))) in
+  Alcotest.(check bool) "equality ~ 1/ndv" true (eq_sel > 0.001 && eq_sel < 0.05)
+
+let test_join_rows () =
+  Alcotest.(check (float 0.01)) "containment formula" 1000.0
+    (Selectivity.join_rows ~left_rows:1000.0 ~right_rows:100.0 ~left_ndv:100
+       ~right_ndv:100);
+  Alcotest.(check bool) "at least one row" true
+    (Selectivity.join_rows ~left_rows:1.0 ~right_rows:1.0 ~left_ndv:1000
+       ~right_ndv:1000
+    >= 1.0)
+
+let prop_histogram_selectivity_bounded =
+  QCheck2.Test.make ~count:500 ~name:"selectivity stays within [0,1]"
+    QCheck2.Gen.(pair (list_size (int_range 0 200) (int_range (-50) 50))
+                   Support.interval_set_gen)
+    (fun (values, set) ->
+      let h = Histogram.build (ints values) in
+      let s = Histogram.selectivity h set in
+      s >= 0.0 && s <= 1.0)
+
+let prop_point_selectivity_matches_frequency =
+  QCheck2.Test.make ~count:300
+    ~name:"selectivity of a point is roughly its frequency"
+    QCheck2.Gen.(pair (list_size (int_range 50 200) (int_range 0 9))
+                   (int_range 0 9))
+    (fun (values, v) ->
+      let h = Histogram.build ~nbuckets:10 (ints values) in
+      let actual =
+        float_of_int (List.length (List.filter (( = ) v) values))
+        /. float_of_int (List.length values)
+      in
+      let est = Histogram.selectivity h (Interval.Set.point (Value.Int v)) in
+      Float.abs (est -. actual) < 0.35)
+
+let () =
+  Alcotest.run "stats"
+    [ ("histogram",
+       [ Alcotest.test_case "build" `Quick test_histogram_build;
+         Alcotest.test_case "nulls" `Quick test_histogram_nulls;
+         Alcotest.test_case "empty" `Quick test_histogram_empty;
+         Alcotest.test_case "selectivity" `Quick test_histogram_selectivity ]);
+      ("analyze",
+       [ Alcotest.test_case "full analyze" `Quick test_analyze;
+         Alcotest.test_case "replicated counted once" `Quick
+           test_analyze_replicated_counts_once;
+         Alcotest.test_case "misestimate injection" `Quick
+           test_misestimate_injection ]);
+      ("selectivity",
+       [ Alcotest.test_case "estimates" `Quick test_selectivity_estimates;
+         Alcotest.test_case "join cardinality" `Quick test_join_rows ]);
+      ("properties",
+       List.map QCheck_alcotest.to_alcotest
+         [ prop_histogram_selectivity_bounded;
+           prop_point_selectivity_matches_frequency ]) ]

@@ -1,0 +1,172 @@
+(** Storage-layer tests: distribution policies, partition routing on
+    insert, heap scans and the growable vector. *)
+
+open Mpp_expr
+module Cat = Mpp_catalog.Catalog
+module Dist = Mpp_catalog.Distribution
+module Storage = Mpp_storage.Storage
+module Vec = Mpp_storage.Vec
+
+let test_vec () =
+  let v = Vec.create () in
+  Alcotest.(check int) "empty" 0 (Vec.length v);
+  for i = 0 to 99 do
+    Vec.push v i
+  done;
+  Alcotest.(check int) "length" 100 (Vec.length v);
+  Alcotest.(check int) "get" 42 (Vec.get v 42);
+  Alcotest.(check int) "to_list order" 0 (List.hd (Vec.to_list v));
+  Alcotest.(check int) "to_array roundtrip" 99
+    (Array.length (Vec.to_array v) - 1 + Vec.get v 0);
+  Alcotest.(check int) "fold" 4950 (Vec.fold ( + ) 0 v);
+  Alcotest.check_raises "get out of bounds" (Invalid_argument "Vec.get")
+    (fun () -> ignore (Vec.get v 100));
+  Alcotest.(check (list int)) "of_list/to_list" [ 3; 1; 2 ]
+    (Vec.to_list (Vec.of_list [ 3; 1; 2 ]))
+
+let plain_table catalog name dist =
+  Cat.add_table catalog ~name
+    ~columns:[ ("a", Value.Tint); ("b", Value.Tstring) ]
+    ~distribution:dist ()
+
+let test_hashed_distribution () =
+  let catalog = Cat.create () in
+  let t = plain_table catalog "t" (Dist.Hashed [ 0 ]) in
+  let storage = Storage.create ~nsegments:4 in
+  for i = 0 to 99 do
+    Storage.insert storage t [| Value.Int i; Value.String "x" |]
+  done;
+  Alcotest.(check int) "all rows stored once" 100 (Storage.count_table storage t);
+  (* determinism: same key lands on the same segment *)
+  let seg_of i =
+    let found = ref (-1) in
+    for seg = 0 to 3 do
+      Array.iter
+        (fun row -> if row.(0) = Value.Int i then found := seg)
+        (Storage.scan storage ~segment:seg ~oid:t.Mpp_catalog.Table.oid)
+    done;
+    !found
+  in
+  let storage2 = Storage.create ~nsegments:4 in
+  Storage.insert storage2 t [| Value.Int 17; Value.String "y" |];
+  let seg2 = ref (-1) in
+  for seg = 0 to 3 do
+    if Storage.count_segment storage2 ~segment:seg ~oid:t.Mpp_catalog.Table.oid > 0
+    then seg2 := seg
+  done;
+  Alcotest.(check int) "key 17 hashes to the same segment" (seg_of 17) !seg2
+
+let test_replicated_distribution () =
+  let catalog = Cat.create () in
+  let t = plain_table catalog "r" Dist.Replicated in
+  let storage = Storage.create ~nsegments:3 in
+  Storage.insert storage t [| Value.Int 1; Value.String "x" |];
+  for seg = 0 to 2 do
+    Alcotest.(check int)
+      (Printf.sprintf "segment %d holds a copy" seg)
+      1
+      (Storage.count_segment storage ~segment:seg ~oid:t.Mpp_catalog.Table.oid)
+  done
+
+let test_random_distribution_round_robin () =
+  let catalog = Cat.create () in
+  let t = plain_table catalog "rnd" Dist.Random in
+  let storage = Storage.create ~nsegments:4 in
+  for i = 0 to 7 do
+    Storage.insert storage t [| Value.Int i; Value.String "x" |]
+  done;
+  for seg = 0 to 3 do
+    Alcotest.(check int)
+      (Printf.sprintf "segment %d got 2 rows" seg)
+      2
+      (Storage.count_segment storage ~segment:seg ~oid:t.Mpp_catalog.Table.oid)
+  done
+
+let test_partition_routing_on_insert () =
+  let _, orders = Support.orders_schema () in
+  let storage = Storage.create ~nsegments:2 in
+  Storage.insert storage orders
+    [| Value.Int 1; Value.Float 10.0; Value.date_of_string "2013-11-15" |];
+  let p = Option.get orders.Mpp_catalog.Table.partitioning in
+  (* November 2013 is the 23rd monthly partition *)
+  let leaf23 = (Mpp_catalog.Partition.leaf_oids p |> Array.of_list).(22) in
+  Alcotest.(check int) "row stored in the November leaf" 1
+    (Storage.count storage ~oid:leaf23);
+  Alcotest.(check int) "total" 1 (Storage.count_table storage orders)
+
+let test_insert_rejects_unroutable () =
+  let _, orders = Support.orders_schema () in
+  let storage = Storage.create ~nsegments:2 in
+  let bad = [| Value.Int 1; Value.Float 1.0; Value.date_of_string "2031-01-01" |] in
+  Alcotest.(check bool) "out-of-range date raises" true
+    (try
+       Storage.insert storage orders bad;
+       false
+     with Storage.No_partition_for_tuple _ -> true)
+
+let test_arity_check () =
+  let _, orders = Support.orders_schema () in
+  let storage = Storage.create ~nsegments:2 in
+  Alcotest.check_raises "arity mismatch rejected"
+    (Invalid_argument "Storage.insert: arity mismatch for orders") (fun () ->
+      Storage.insert storage orders [| Value.Int 1 |])
+
+let test_scan_list_matches_scan () =
+  let catalog = Cat.create () in
+  let t = plain_table catalog "t" (Dist.Hashed [ 0 ]) in
+  let storage = Storage.create ~nsegments:2 in
+  for i = 0 to 19 do
+    Storage.insert storage t [| Value.Int i; Value.String "s" |]
+  done;
+  for seg = 0 to 1 do
+    Alcotest.(check bool)
+      (Printf.sprintf "segment %d scan/scan_list agree" seg)
+      true
+      (Array.to_list (Storage.scan storage ~segment:seg ~oid:t.Mpp_catalog.Table.oid)
+      = Storage.scan_list storage ~segment:seg ~oid:t.Mpp_catalog.Table.oid)
+  done
+
+let test_replace_heap () =
+  let catalog = Cat.create () in
+  let t = plain_table catalog "t" (Dist.Hashed [ 0 ]) in
+  let storage = Storage.create ~nsegments:1 in
+  Storage.insert storage t [| Value.Int 1; Value.String "a" |];
+  Storage.replace_heap storage ~segment:0 ~oid:t.Mpp_catalog.Table.oid
+    [ [| Value.Int 9; Value.String "z" |] ];
+  Alcotest.(check int) "replaced" 1 (Storage.count_table storage t);
+  Alcotest.(check bool) "new content" true
+    ((Storage.scan storage ~segment:0 ~oid:t.Mpp_catalog.Table.oid).(0).(0)
+    = Value.Int 9)
+
+let prop_load_preserves_rows =
+  QCheck2.Test.make ~count:200 ~name:"every loaded row is scannable somewhere"
+    QCheck2.Gen.(list_size (int_range 0 50) (int_range 0 729))
+    (fun days ->
+      let _, orders = Support.orders_schema () in
+      let storage = Storage.create ~nsegments:3 in
+      let start = Date.of_ymd 2012 1 1 in
+      List.iteri
+        (fun i day ->
+          Storage.insert storage orders
+            [| Value.Int i; Value.Float 0.0; Value.Date (Date.add_days start day) |])
+        days;
+      Storage.count_table storage orders = List.length days)
+
+let () =
+  Alcotest.run "storage"
+    [ ("vec", [ Alcotest.test_case "growable vector" `Quick test_vec ]);
+      ("distribution",
+       [ Alcotest.test_case "hashed" `Quick test_hashed_distribution;
+         Alcotest.test_case "replicated" `Quick test_replicated_distribution;
+         Alcotest.test_case "random round-robin" `Quick
+           test_random_distribution_round_robin ]);
+      ("partitioned heaps",
+       [ Alcotest.test_case "routing on insert" `Quick
+           test_partition_routing_on_insert;
+         Alcotest.test_case "unroutable tuple rejected" `Quick
+           test_insert_rejects_unroutable;
+         Alcotest.test_case "arity check" `Quick test_arity_check;
+         Alcotest.test_case "scan_list = scan" `Quick test_scan_list_matches_scan;
+         Alcotest.test_case "replace_heap" `Quick test_replace_heap ]);
+      ("properties",
+       List.map QCheck_alcotest.to_alcotest [ prop_load_preserves_rows ]) ]

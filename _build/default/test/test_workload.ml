@@ -1,0 +1,145 @@
+(** Workload-level tests: the Table-3 classification reproduces its expected
+    categories, and — most importantly — Orca, the legacy Planner and the
+    selection-disabled configuration all compute identical answers on every
+    query of the evaluation workload. *)
+
+module W = Mpp_workload
+
+let env = lazy (W.Runner.setup_env ~scale:1 ~nsegments:4 ())
+
+let test_classification_golden () =
+  let outcomes = W.Classify.run_workload (Lazy.force env) in
+  Alcotest.(check int) "39 queries" 39 (List.length outcomes);
+  List.iter
+    (fun (o : W.Classify.outcome) ->
+      Alcotest.(check string)
+        (o.query.W.Queries.name ^ " category")
+        (W.Queries.category_to_string o.query.W.Queries.expected)
+        (W.Queries.category_to_string o.category))
+    outcomes
+
+let test_breakdown_shape () =
+  let outcomes = W.Classify.run_workload (Lazy.force env) in
+  let pct cat =
+    match List.find_opt (fun (c, _, _) -> c = cat) (W.Classify.breakdown outcomes)
+    with
+    | Some (_, _, p) -> p
+    | None -> 0.0
+  in
+  (* the paper's Table 3: 11 / 3 / 80 / 3 / 3 *)
+  Alcotest.(check bool) "equal dominates (~80%)" true
+    (pct W.Queries.Equal >= 70.0);
+  Alcotest.(check bool) "orca-only ~10%" true
+    (pct W.Queries.Orca_only >= 8.0 && pct W.Queries.Orca_only <= 18.0);
+  Alcotest.(check bool) "sub-optimal cases exist but are rare" true
+    (pct W.Queries.Orca_fewer +. pct W.Queries.Planner_only <= 10.0)
+
+let test_orca_never_worse_per_table () =
+  (* Figure 16: aggregated per fact table, Orca scans at most as many
+     partitions as the Planner *)
+  List.iter
+    (fun (name, planner, orca, total) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: orca (%d) <= planner (%d)" name orca planner)
+        true (orca <= planner);
+      Alcotest.(check bool) (name ^ ": bounded by totals") true
+        (planner <= total && orca <= total))
+    (W.Classify.parts_by_table (Lazy.force env))
+
+let test_result_parity_three_ways () =
+  let env = Lazy.force env in
+  List.iter
+    (fun qu ->
+      let orca = W.Runner.run env W.Runner.Orca qu in
+      let off = W.Runner.run env W.Runner.Orca_no_selection qu in
+      let planner = W.Runner.run env W.Runner.Legacy_planner qu in
+      let name = qu.W.Queries.name in
+      Alcotest.(check bool) (name ^ ": orca = no-selection") true
+        (Support.rows_equal orca.W.Runner.rows off.W.Runner.rows);
+      Alcotest.(check bool) (name ^ ": orca = planner") true
+        (Support.rows_equal orca.W.Runner.rows planner.W.Runner.rows))
+    W.Queries.all
+
+let test_selection_only_prunes () =
+  (* selection enabled never scans more than disabled *)
+  let env = Lazy.force env in
+  List.iter
+    (fun qu ->
+      let on_ = W.Runner.run env W.Runner.Orca qu in
+      let off = W.Runner.run env W.Runner.Orca_no_selection qu in
+      Alcotest.(check bool)
+        (qu.W.Queries.name ^ ": selection prunes or equals")
+        true
+        (W.Runner.total_parts_scanned on_ <= W.Runner.total_parts_scanned off))
+    W.Queries.all
+
+let test_plan_sizes_bounded () =
+  (* compactness: orca plans stay small even for the fattest queries *)
+  let env = Lazy.force env in
+  List.iter
+    (fun qu ->
+      let orca = W.Runner.run env W.Runner.Orca qu in
+      Alcotest.(check bool)
+        (qu.W.Queries.name ^ ": orca plan below 64 KB")
+        true
+        (orca.W.Runner.plan_bytes < 64 * 1024))
+    W.Queries.all
+
+let test_tpch_scenarios () =
+  List.iter
+    (fun scenario ->
+      let catalog = Mpp_catalog.Catalog.create () in
+      let storage = Mpp_storage.Storage.create ~nsegments:2 in
+      let table = W.Tpch.setup ~catalog ~storage ~scenario ~rows:2000 in
+      Alcotest.(check int)
+        (W.Tpch.scenario_name scenario ^ " partition count")
+        (W.Tpch.scenario_parts scenario)
+        (Mpp_catalog.Table.nparts table);
+      Alcotest.(check int)
+        (W.Tpch.scenario_name scenario ^ " loads every row")
+        2000
+        (Mpp_storage.Storage.count_table storage table))
+    [ W.Tpch.Unpartitioned; W.Tpch.Parts_42; W.Tpch.Parts_84;
+      W.Tpch.Parts_169; W.Tpch.Parts_361 ]
+
+let test_tpcds_schema_shape () =
+  let env = Lazy.force env in
+  let s = env.W.Runner.schema in
+  Alcotest.(check int) "seven fact tables" 7
+    (List.length (W.Tpcds.fact_tables s));
+  Alcotest.(check int) "monthly facts have 36 parts" 36
+    (Mpp_catalog.Table.nparts s.W.Tpcds.store_sales);
+  Alcotest.(check int) "two-level catalog_returns" 108
+    (Mpp_catalog.Table.nparts s.W.Tpcds.catalog_returns);
+  Alcotest.(check int) "bi-weekly inventory" 79
+    (Mpp_catalog.Table.nparts s.W.Tpcds.inventory);
+  Alcotest.(check bool) "date_dim covers the range" true
+    (Mpp_storage.Storage.count_segment env.W.Runner.storage ~segment:0
+       ~oid:s.W.Tpcds.date_dim.Mpp_catalog.Table.oid
+    = W.Tpcds.day_count)
+
+let test_rng_deterministic () =
+  let a = W.Rng.create ~seed:7L () and b = W.Rng.create ~seed:7L () in
+  let xs = List.init 100 (fun _ -> W.Rng.int a 1000) in
+  let ys = List.init 100 (fun _ -> W.Rng.int b 1000) in
+  Alcotest.(check bool) "same seed, same stream" true (xs = ys);
+  Alcotest.(check bool) "values in range" true
+    (List.for_all (fun x -> x >= 0 && x < 1000) xs)
+
+let () =
+  Alcotest.run "workload"
+    [ ("classification (Table 3)",
+       [ Alcotest.test_case "golden categories" `Slow test_classification_golden;
+         Alcotest.test_case "breakdown shape" `Slow test_breakdown_shape;
+         Alcotest.test_case "per-table totals (Figure 16)" `Slow
+           test_orca_never_worse_per_table ]);
+      ("correctness",
+       [ Alcotest.test_case "three-way result parity" `Slow
+           test_result_parity_three_ways;
+         Alcotest.test_case "selection only prunes" `Slow
+           test_selection_only_prunes;
+         Alcotest.test_case "orca plans compact" `Slow test_plan_sizes_bounded ]);
+      ("generators",
+       [ Alcotest.test_case "tpch scenarios" `Quick test_tpch_scenarios;
+         Alcotest.test_case "tpcds schema" `Quick test_tpcds_schema_shape;
+         Alcotest.test_case "deterministic rng" `Quick test_rng_deterministic ]) ]
