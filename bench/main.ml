@@ -2,7 +2,9 @@
     evaluation (§4).
 
     Usage: [bench/main.exe [table2|table3|fig16|fig17|fig18a|fig18b|fig18c|
-    ablation-memo|micro|all]] — no argument runs everything except [micro].
+    ablation-memo|ablation-pwj|micro|obs-overhead|all]] — no argument runs
+    everything except the micro-benchmarks.  Whatever ran is also written as
+    structured data to [BENCH_RESULTS.json].
 
     Absolute numbers differ from the paper (its substrate was a 16-node
     Greenplum cluster over 256 GB of TPC-DS; ours is an in-process simulated
@@ -18,6 +20,8 @@ module Part = Mpp_catalog.Partition
 module Dist = Mpp_catalog.Distribution
 module Storage = Mpp_storage.Storage
 module W = Mpp_workload
+module Json = Mpp_obs.Json
+module Obs = Mpp_obs.Obs
 
 (* A large minor heap keeps GC scheduling from drowning the small
    per-partition overheads Table 2 measures. *)
@@ -27,6 +31,22 @@ let line = String.make 72 '-'
 
 let header title =
   Printf.printf "\n%s\n%s\n%s\n" line title line
+
+(* Structured results: every experiment records a JSON section under its
+   name; whatever ran is written to BENCH_RESULTS.json on exit. *)
+let results : (string * Json.t) list ref = ref []
+let record name json = results := !results @ [ (name, json) ]
+
+let write_results () =
+  if !results <> [] then begin
+    let json =
+      Json.Obj
+        [ ("schema", Json.String "mpp-parts-bench/1");
+          ("experiments", Json.Obj !results) ]
+    in
+    Json.to_file "BENCH_RESULTS.json" json;
+    Printf.printf "\nresults written to BENCH_RESULTS.json\n"
+  end
 
 let median l =
   let s = List.sort Float.compare l in
@@ -92,7 +112,16 @@ let table2 () =
         (if scenario = W.Tpch.Unpartitioned then "-"
          else Printf.sprintf "%+.1f%%" overhead)
         paper)
-    timings
+    timings;
+  record "table2"
+    (Json.List
+       (List.map
+          (fun (scenario, _, t) ->
+            Json.Obj
+              [ ("scenario", Json.String (W.Tpch.scenario_name scenario));
+                ("scan_ms", Json.Float (t *. 1000.0));
+                ("overhead_pct", Json.Float (100.0 *. (t -. base) /. base)) ])
+          timings))
 
 (* ------------------------------------------------------------------ *)
 (* Table 3 + Figure 16: workload classification & parts scanned        *)
@@ -114,6 +143,7 @@ let table3 () =
   let outcomes = W.Classify.run_workload env in
   Printf.printf "%-52s %-10s %-8s %s\n" "Category" "queries" "ours" "paper";
   let paper = [ "11%"; "3%"; "80%"; "3%"; "3%" ] in
+  let breakdown = W.Classify.breakdown outcomes in
   List.iter2
     (fun (cat, count, pct) p ->
       Printf.printf "%-52s %-10d %-8s %s\n"
@@ -121,7 +151,16 @@ let table3 () =
         count
         (Printf.sprintf "%.0f%%" pct)
         p)
-    (W.Classify.breakdown outcomes) paper
+    breakdown paper;
+  record "table3"
+    (Json.List
+       (List.map
+          (fun (cat, count, pct) ->
+            Json.Obj
+              [ ("category", Json.String (W.Queries.category_to_string cat));
+                ("queries", Json.Int count);
+                ("pct", Json.Float pct) ])
+          breakdown))
 
 let fig16 () =
   header
@@ -129,6 +168,7 @@ let fig16 () =
   let env = get_env () in
   Printf.printf "%-18s %-9s %-9s %-14s\n" "table" "Planner" "Orca"
     "Orca saves";
+  let rows = W.Classify.parts_by_table env in
   List.iter
     (fun (name, planner, orca, _total) ->
       Printf.printf "%-18s %-9d %-9d %-14s\n" name planner orca
@@ -136,7 +176,17 @@ let fig16 () =
          else
            Printf.sprintf "%.0f%%"
              (100.0 *. float_of_int (planner - orca) /. float_of_int planner)))
-    (W.Classify.parts_by_table env)
+    rows;
+  record "fig16"
+    (Json.List
+       (List.map
+          (fun (name, planner, orca, total) ->
+            Json.Obj
+              [ ("table", Json.String name);
+                ("planner_parts", Json.Int planner);
+                ("orca_parts", Json.Int orca);
+                ("total_parts", Json.Int total) ])
+          rows))
 
 (* ------------------------------------------------------------------ *)
 (* Figure 17: runtime improvement from partition selection             *)
@@ -195,7 +245,23 @@ let fig17 () =
   Printf.printf
     "\nsummary: %d/%d queries improved; %d/%d improved >= 50%% (paper: more \
      than half); %d/%d improved >= 70%% (paper: over 25%%)\n"
-    improved n above50 n above70 n
+    improved n above50 n above70 n;
+  record "fig17"
+    (Json.Obj
+       [ ("queries",
+          Json.List
+            (List.map
+               (fun (qu, off, on_, imp) ->
+                 Json.Obj
+                   [ ("query", Json.String qu.W.Queries.name);
+                     ("off_ms", Json.Float (off *. 1000.0));
+                     ("on_ms", Json.Float (on_ *. 1000.0));
+                     ("improvement_pct", Json.Float imp) ])
+               sorted));
+         ("improved", Json.Int improved);
+         ("above_50pct", Json.Int above50);
+         ("above_70pct", Json.Int above70);
+         ("total", Json.Int n) ])
 
 (* ------------------------------------------------------------------ *)
 (* Figure 18: plan size                                                 *)
@@ -209,26 +275,33 @@ let fig18a () =
   let storage = Storage.create ~nsegments:4 in
   let _ = W.Tpch.setup ~catalog ~storage ~scenario:W.Tpch.Parts_84 ~rows:0 in
   Printf.printf "%-12s %-14s %-14s\n" "% parts" "Planner (KB)" "Orca (KB)";
-  List.iter
-    (fun pct ->
-      let nparts = max 1 (84 * pct / 100) in
-      (* cutoff date selecting the first [nparts] monthly partitions *)
-      let cutoff = Date.add_months (Date.of_ymd 1992 1 1) nparts in
-      let sql =
-        Printf.sprintf "SELECT * FROM lineitem WHERE l_shipdate < '%s'"
-          (Date.to_string cutoff)
-      in
-      let lg = Mpp_sql.Sql.to_logical catalog sql in
-      let planner_plan =
-        Mpp_planner.Planner.plan (Mpp_planner.Planner.create ~catalog ()) lg
-      in
-      let orca_plan =
-        Orca.Optimizer.optimize (Orca.Optimizer.create ~catalog ()) lg
-      in
-      Printf.printf "%-12d %-14.1f %-14.1f\n" pct
-        (Mpp_plan.Plan_size.kilobytes ~catalog planner_plan)
-        (Mpp_plan.Plan_size.kilobytes ~catalog orca_plan))
-    [ 1; 25; 50; 75; 100 ]
+  let rows =
+    List.map
+      (fun pct ->
+        let nparts = max 1 (84 * pct / 100) in
+        (* cutoff date selecting the first [nparts] monthly partitions *)
+        let cutoff = Date.add_months (Date.of_ymd 1992 1 1) nparts in
+        let sql =
+          Printf.sprintf "SELECT * FROM lineitem WHERE l_shipdate < '%s'"
+            (Date.to_string cutoff)
+        in
+        let lg = Mpp_sql.Sql.to_logical catalog sql in
+        let planner_plan =
+          Mpp_planner.Planner.plan (Mpp_planner.Planner.create ~catalog ()) lg
+        in
+        let orca_plan =
+          Orca.Optimizer.optimize (Orca.Optimizer.create ~catalog ()) lg
+        in
+        let pkb = Mpp_plan.Plan_size.kilobytes ~catalog planner_plan
+        and okb = Mpp_plan.Plan_size.kilobytes ~catalog orca_plan in
+        Printf.printf "%-12d %-14.1f %-14.1f\n" pct pkb okb;
+        Json.Obj
+          [ ("pct_parts", Json.Int pct);
+            ("planner_kb", Json.Float pkb);
+            ("orca_kb", Json.Float okb) ])
+      [ 1; 25; 50; 75; 100 ]
+  in
+  record "fig18a" (Json.List rows)
 
 (* Synthetic R(a,b), S(a,b) partitioned on b, as in §4.4.2/§4.4.3.
    [hash_on_key] distributes on b instead of a (co-location on the
@@ -258,40 +331,54 @@ let fig18b () =
   header
     "Figure 18(b): plan size vs #partitions (join with dynamic elimination)";
   Printf.printf "%-12s %-14s %-14s\n" "#parts" "Planner (KB)" "Orca (KB)";
-  List.iter
-    (fun nparts ->
-      let catalog = make_rs ~nparts () in
-      let sql = "SELECT * FROM r, s WHERE r.b = s.b AND s.a < 100" in
-      let lg = Mpp_sql.Sql.to_logical catalog sql in
-      let planner_plan =
-        Mpp_planner.Planner.plan (Mpp_planner.Planner.create ~catalog ()) lg
-      in
-      let orca_plan =
-        Orca.Optimizer.optimize (Orca.Optimizer.create ~catalog ()) lg
-      in
-      Printf.printf "%-12d %-14.1f %-14.1f\n" nparts
-        (Mpp_plan.Plan_size.kilobytes ~catalog planner_plan)
-        (Mpp_plan.Plan_size.kilobytes ~catalog orca_plan))
-    [ 50; 100; 150; 200; 250; 300 ]
+  let rows =
+    List.map
+      (fun nparts ->
+        let catalog = make_rs ~nparts () in
+        let sql = "SELECT * FROM r, s WHERE r.b = s.b AND s.a < 100" in
+        let lg = Mpp_sql.Sql.to_logical catalog sql in
+        let planner_plan =
+          Mpp_planner.Planner.plan (Mpp_planner.Planner.create ~catalog ()) lg
+        in
+        let orca_plan =
+          Orca.Optimizer.optimize (Orca.Optimizer.create ~catalog ()) lg
+        in
+        let pkb = Mpp_plan.Plan_size.kilobytes ~catalog planner_plan
+        and okb = Mpp_plan.Plan_size.kilobytes ~catalog orca_plan in
+        Printf.printf "%-12d %-14.1f %-14.1f\n" nparts pkb okb;
+        Json.Obj
+          [ ("nparts", Json.Int nparts);
+            ("planner_kb", Json.Float pkb);
+            ("orca_kb", Json.Float okb) ])
+      [ 50; 100; 150; 200; 250; 300 ]
+  in
+  record "fig18b" (Json.List rows)
 
 let fig18c () =
   header "Figure 18(c): plan size vs #partitions (DML over partitioned tables)";
   Printf.printf "%-12s %-14s %-14s\n" "#parts" "Planner (KB)" "Orca (KB)";
-  List.iter
-    (fun nparts ->
-      let catalog = make_rs ~nparts () in
-      let sql = "UPDATE r SET b = s.b FROM s WHERE r.a = s.a" in
-      let lg = Mpp_sql.Sql.to_logical catalog sql in
-      let planner_plan =
-        Mpp_planner.Planner.plan (Mpp_planner.Planner.create ~catalog ()) lg
-      in
-      let orca_plan =
-        Orca.Optimizer.optimize (Orca.Optimizer.create ~catalog ()) lg
-      in
-      Printf.printf "%-12d %-14.1f %-14.1f\n" nparts
-        (Mpp_plan.Plan_size.kilobytes ~catalog planner_plan)
-        (Mpp_plan.Plan_size.kilobytes ~catalog orca_plan))
-    [ 50; 100; 150; 200; 250; 300 ]
+  let rows =
+    List.map
+      (fun nparts ->
+        let catalog = make_rs ~nparts () in
+        let sql = "UPDATE r SET b = s.b FROM s WHERE r.a = s.a" in
+        let lg = Mpp_sql.Sql.to_logical catalog sql in
+        let planner_plan =
+          Mpp_planner.Planner.plan (Mpp_planner.Planner.create ~catalog ()) lg
+        in
+        let orca_plan =
+          Orca.Optimizer.optimize (Orca.Optimizer.create ~catalog ()) lg
+        in
+        let pkb = Mpp_plan.Plan_size.kilobytes ~catalog planner_plan
+        and okb = Mpp_plan.Plan_size.kilobytes ~catalog orca_plan in
+        Printf.printf "%-12d %-14.1f %-14.1f\n" nparts pkb okb;
+        Json.Obj
+          [ ("nparts", Json.Int nparts);
+            ("planner_kb", Json.Float pkb);
+            ("orca_kb", Json.Float okb) ])
+      [ 50; 100; 150; 200; 250; 300 ]
+  in
+  record "fig18c" (Json.List rows)
 
 (* ------------------------------------------------------------------ *)
 (* Ablation: memo property enforcement                                  *)
@@ -327,10 +414,20 @@ let ablation_memo () =
   Printf.printf
     "%d of them perform join-driven partition selection (the paper's Plan 4)\n"
     (List.length with_dpe);
-  (match Orca.Memo.best_plan ~catalog lg with
-  | Some (plan, cost) ->
-      Printf.printf "best plan (cost %.1f):\n%s\n" cost (Plan.to_string plan)
-  | None -> print_endline "no plan found");
+  let best_cost =
+    match Orca.Memo.best_plan ~catalog lg with
+    | Some (plan, cost) ->
+        Printf.printf "best plan (cost %.1f):\n%s\n" cost (Plan.to_string plan);
+        Json.Float cost
+    | None ->
+        print_endline "no plan found";
+        Json.Null
+  in
+  record "ablation_memo"
+    (Json.Obj
+       [ ("alternatives", Json.Int (List.length alts));
+         ("with_dpe", Json.Int (List.length with_dpe));
+         ("best_cost", best_cost) ]);
   match with_dpe with
   | p :: _ ->
       Printf.printf "example partition-selecting plan:\n%s\n" (Plan.to_string p)
@@ -386,10 +483,20 @@ let ablation_pwj () =
       let r1, _ = Mpp_exec.Exec.run ~catalog ~storage dyn in
       let r2, _ = Mpp_exec.Exec.run ~catalog ~storage pwj in
       assert (r1 = r2);
-      Printf.printf "%-10d %-16.1f %-16.1f %-14.2f %-14.2f\n" nparts
-        (Mpp_plan.Plan_size.kilobytes ~catalog dyn)
-        (Mpp_plan.Plan_size.kilobytes ~catalog pwj)
-        (time dyn) (time pwj))
+      let dkb = Mpp_plan.Plan_size.kilobytes ~catalog dyn
+      and pkb = Mpp_plan.Plan_size.kilobytes ~catalog pwj
+      and dms = time dyn
+      and pms = time pwj in
+      Printf.printf "%-10d %-16.1f %-16.1f %-14.2f %-14.2f\n" nparts dkb pkb
+        dms pms;
+      record
+        (Printf.sprintf "ablation_pwj_%d" nparts)
+        (Json.Obj
+           [ ("nparts", Json.Int nparts);
+             ("dynscan_kb", Json.Float dkb);
+             ("partwise_kb", Json.Float pkb);
+             ("dynscan_ms", Json.Float dms);
+             ("partwise_ms", Json.Float pms) ]))
     [ 25; 50; 100; 200 ]
 
 (* ------------------------------------------------------------------ *)
@@ -464,6 +571,73 @@ let micro () =
     results
 
 (* ------------------------------------------------------------------ *)
+(* Observability overhead                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* The instrumentation contract of lib/obs: with the null sink installed
+   every recording site is one flag test, so tracing must be effectively
+   free when off.  Measured three ways: end-to-end runtime with the sink
+   disabled vs enabled, the per-event cost of a disabled-sink recording
+   site, and that cost extrapolated over the events one query emits. *)
+let obs_overhead () =
+  header "Micro: observability overhead (disabled sink vs enabled)";
+  let env = get_env () in
+  let qu = List.hd W.Queries.all in
+  let measure () =
+    let batch () =
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to 10 do
+        ignore (W.Runner.run env W.Runner.Orca qu)
+      done;
+      (Unix.gettimeofday () -. t0) /. 10.0
+    in
+    ignore (batch ());
+    median (List.init 7 (fun _ -> batch ()))
+  in
+  Obs.uninstall ();
+  let disabled = measure () in
+  let sink = Obs.create () in
+  Obs.install sink;
+  (* events a single optimize+run of this query emits *)
+  ignore (W.Runner.run env W.Runner.Orca qu);
+  let events_per_query =
+    List.fold_left (fun acc (_, v) -> acc + v) 0 (Obs.counters sink)
+  in
+  Obs.reset sink;
+  let enabled = measure () in
+  Obs.uninstall ();
+  (* per-event cost of a recording site hitting the disabled sink *)
+  let n = 20_000_000 in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to n do
+    Obs.incr Obs.null "bench.noop"
+  done;
+  let per_event = (Unix.gettimeofday () -. t0) /. float_of_int n in
+  let disabled_pct =
+    100.0 *. per_event *. float_of_int events_per_query /. disabled
+  in
+  let enabled_pct = 100.0 *. ((enabled /. disabled) -. 1.0) in
+  Printf.printf "query: %s\n" qu.W.Queries.name;
+  Printf.printf "disabled sink:      %.3f ms/query\n" (disabled *. 1000.0);
+  Printf.printf "enabled sink:       %.3f ms/query (%+.1f%%)\n"
+    (enabled *. 1000.0) enabled_pct;
+  Printf.printf "disabled-site cost: %.2f ns/event x %d events/query = \
+                 %.3f%% of runtime (budget: 2%%)\n"
+    (per_event *. 1e9) events_per_query disabled_pct;
+  Printf.printf "disabled-sink overhead within budget: %b\n"
+    (disabled_pct <= 2.0);
+  record "obs_overhead"
+    (Json.Obj
+       [ ("query", Json.String qu.W.Queries.name);
+         ("disabled_ms", Json.Float (disabled *. 1000.0));
+         ("enabled_ms", Json.Float (enabled *. 1000.0));
+         ("enabled_overhead_pct", Json.Float enabled_pct);
+         ("disabled_ns_per_event", Json.Float (per_event *. 1e9));
+         ("events_per_query", Json.Int events_per_query);
+         ("disabled_overhead_pct", Json.Float disabled_pct);
+         ("within_budget", Json.Bool (disabled_pct <= 2.0)) ])
+
+(* ------------------------------------------------------------------ *)
 (* Entry point                                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -479,7 +653,7 @@ let all () =
   ablation_pwj ()
 
 let () =
-  match if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" with
+  (match if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" with
   | "table2" -> table2 ()
   | "table3" -> table3 ()
   | "fig16" -> fig16 ()
@@ -490,10 +664,12 @@ let () =
   | "ablation-memo" -> ablation_memo ()
   | "ablation-pwj" -> ablation_pwj ()
   | "micro" -> micro ()
+  | "obs-overhead" -> obs_overhead ()
   | "all" -> all ()
   | other ->
       Printf.eprintf
         "unknown experiment %s (expected table2|table3|fig16|fig17|fig18a|\
-         fig18b|fig18c|ablation-memo|ablation-pwj|micro|all)\n"
+         fig18b|fig18c|ablation-memo|ablation-pwj|micro|obs-overhead|all)\n"
         other;
-      exit 1
+      exit 1);
+  write_results ()

@@ -5,7 +5,8 @@
 
     {v
     mppsim explain "SELECT count(*) FROM store_sales WHERE ss_sold_date >= '2013-10-01'"
-    mppsim run --optimizer planner "SELECT ..."
+    mppsim explain --analyze "SELECT ..."
+    mppsim run --optimizer planner --trace out.json "SELECT ..."
     mppsim repl
     mppsim schema
     v} *)
@@ -13,14 +14,38 @@
 open Cmdliner
 module Plan = Mpp_plan.Plan
 module W = Mpp_workload
+module Obs = Mpp_obs.Obs
+module Json = Mpp_obs.Json
 
 type opt_kind = Orca | Planner
 
 let env_of ~scale ~segments =
   W.Runner.setup_env ~scale ~nsegments:segments ()
 
+(* When tracing, also explore the §3.1 memo on the query's relational core
+   (the shapes {!Orca.Memo} supports), so the trace carries the [memo.*]
+   exploration counters — groups, group expressions, requests, candidates —
+   for this query; unsupported shapes are silently skipped. *)
+let trace_memo_exploration env logical =
+  if Obs.enabled (Obs.current ()) then begin
+    let rec core = function
+      | Orca.Logical.Aggregate { child; _ }
+      | Orca.Logical.Project { child; _ }
+      | Orca.Logical.Sort { child; _ }
+      | Orca.Logical.Limit { child; _ } ->
+          core child
+      | l -> l
+    in
+    try
+      ignore
+        (Orca.Memo.best_plan ~stats:env.W.Runner.stats
+           ~catalog:env.W.Runner.catalog (core logical))
+    with Invalid_argument _ -> ()
+  end
+
 let plan_of env kind ~selection sql =
   let logical = Mpp_sql.Sql.to_logical env.W.Runner.catalog sql in
+  trace_memo_exploration env logical;
   match kind with
   | Planner ->
       Mpp_planner.Planner.plan
@@ -37,7 +62,12 @@ let plan_of env kind ~selection sql =
         logical
 
 let print_metrics env metrics =
-  let facts = W.Tpcds.fact_tables env.W.Runner.schema in
+  (* every partitioned table in the catalog, not only the TPC-DS facts:
+     ad-hoc schemas and dimension partitioning report correctly too *)
+  let partitioned =
+    List.filter Mpp_catalog.Table.is_partitioned
+      (Mpp_catalog.Catalog.tables env.W.Runner.catalog)
+  in
   let scanned =
     List.filter_map
       (fun (t : Mpp_catalog.Table.t) ->
@@ -50,20 +80,59 @@ let print_metrics env metrics =
             (Printf.sprintf "%s: %d/%d" t.Mpp_catalog.Table.name n
                (Mpp_catalog.Table.nparts t))
         else None)
-      facts
+      partitioned
   in
   Printf.printf "tuples scanned: %d; partitions scanned: %s\n"
     metrics.Mpp_exec.Metrics.tuples_scanned
     (if scanned = [] then "(none partitioned)" else String.concat ", " scanned)
 
-let do_explain env kind selection sql =
-  let plan = plan_of env kind ~selection sql in
-  print_endline (Plan.to_string plan);
-  Printf.printf "plan size: %.1f KB, %d nodes\n"
-    (Mpp_plan.Plan_size.kilobytes ~catalog:env.W.Runner.catalog plan)
-    (Plan.node_count plan)
+(* ---------------- tracing ---------------- *)
 
-let do_run env kind selection sql =
+let sink_for trace = match trace with None -> Obs.null | Some _ -> Obs.create ()
+
+(* Export the process-wide trace plus whatever extra sections the command
+   accumulated (EXPLAIN node list, executor metrics). *)
+let write_trace trace sink extras =
+  match trace with
+  | None -> ()
+  | Some file ->
+      Obs.uninstall ();
+      let json =
+        match Obs.to_json sink with
+        | Json.Obj fields -> Json.Obj (fields @ extras)
+        | j -> j
+      in
+      Json.to_file file json;
+      Printf.eprintf "trace written to %s\n%!" file
+
+let do_explain ?(analyze = false) ?trace env kind selection sql =
+  let sink = sink_for trace in
+  if Obs.enabled sink then Obs.install sink;
+  let plan = plan_of env kind ~selection sql in
+  let extras =
+    if analyze then begin
+      let _rows, metrics, stats =
+        Mpp_exec.Exec.run_analyze ~catalog:env.W.Runner.catalog
+          ~storage:env.W.Runner.storage plan
+      in
+      print_string (Mpp_exec.Explain.analyze plan stats);
+      print_metrics env metrics;
+      [ ("explain", Mpp_exec.Explain.to_json plan stats);
+        ("metrics", Mpp_exec.Metrics.to_json metrics) ]
+    end
+    else begin
+      print_endline (Plan.to_string plan);
+      Printf.printf "plan size: %.1f KB, %d nodes\n"
+        (Mpp_plan.Plan_size.kilobytes ~catalog:env.W.Runner.catalog plan)
+        (Plan.node_count plan);
+      []
+    end
+  in
+  write_trace trace sink extras
+
+let do_run ?trace env kind selection sql =
+  let sink = sink_for trace in
+  if Obs.enabled sink then Obs.install sink;
   let plan = plan_of env kind ~selection sql in
   let t0 = Unix.gettimeofday () in
   let rows, metrics =
@@ -84,7 +153,8 @@ let do_run env kind selection sql =
       else if i = 50 then Printf.printf "... (%d rows)\n" (List.length rows))
     rows;
   Printf.printf "(%d rows in %.2f ms)\n" (List.length rows) (dt *. 1000.0);
-  print_metrics env metrics
+  print_metrics env metrics;
+  write_trace trace sink [ ("metrics", Mpp_exec.Metrics.to_json metrics) ]
 
 let do_schema env =
   List.iter
@@ -156,6 +226,16 @@ let segments_arg =
 let sql_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"SQL")
 
+let analyze_arg =
+  Arg.(value & flag & info [ "analyze" ]
+         ~doc:"Execute the plan and annotate every node with actual rows, \
+               partitions scanned/total and wall time (EXPLAIN ANALYZE).")
+
+let trace_arg =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+         ~doc:"Write a JSON trace (optimizer counters and spans, executor \
+               metrics) to $(docv).")
+
 let with_env f kind no_selection scale segments verbose =
   setup_logs verbose;
   let env = env_of ~scale ~segments in
@@ -163,17 +243,18 @@ let with_env f kind no_selection scale segments verbose =
 
 let explain_cmd =
   Cmd.v (Cmd.info "explain" ~doc:"Show the plan for a SQL statement.")
-    Term.(const (fun k n sc sg v sql -> with_env
-                    (fun env k sel -> do_explain env k sel sql) k n sc sg v)
+    Term.(const (fun k n sc sg v analyze trace sql -> with_env
+                    (fun env k sel -> do_explain ~analyze ?trace env k sel sql)
+                    k n sc sg v)
           $ optimizer_arg $ no_selection_arg $ scale_arg $ segments_arg
-          $ verbose_arg $ sql_arg)
+          $ verbose_arg $ analyze_arg $ trace_arg $ sql_arg)
 
 let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Execute a SQL statement on the demo cluster.")
-    Term.(const (fun k n sc sg v sql -> with_env
-                    (fun env k sel -> do_run env k sel sql) k n sc sg v)
+    Term.(const (fun k n sc sg v trace sql -> with_env
+                    (fun env k sel -> do_run ?trace env k sel sql) k n sc sg v)
           $ optimizer_arg $ no_selection_arg $ scale_arg $ segments_arg
-          $ verbose_arg $ sql_arg)
+          $ verbose_arg $ trace_arg $ sql_arg)
 
 let repl_cmd =
   Cmd.v (Cmd.info "repl" ~doc:"Interactive SQL prompt on the demo cluster.")

@@ -26,10 +26,14 @@ type ctx = {
       (** when [false], PartitionSelectors ignore their predicates and push
           every leaf OID — the "partition selection disabled" configuration
           of the paper's Figure 17 *)
+  stats : Node_stats.t option;
+      (** when set, the interpreter records per-plan-node actual rows,
+          partitions scanned and wall time (the EXPLAIN ANALYZE data);
+          [None] skips all per-node bookkeeping *)
 }
 
-let create_ctx ?(params = [||]) ?(selection_enabled = true) ~catalog ~storage
-    () =
+let create_ctx ?(params = [||]) ?(selection_enabled = true) ?stats ~catalog
+    ~storage () =
   {
     catalog;
     storage;
@@ -37,6 +41,7 @@ let create_ctx ?(params = [||]) ?(selection_enabled = true) ~catalog ~storage
     metrics = Metrics.create ();
     params;
     selection_enabled;
+    stats;
   }
 
 type result = {
@@ -669,7 +674,88 @@ let exec_motion ctx ~kind ~(child : result) =
 (* Top-level interpreter                                               *)
 (* ------------------------------------------------------------------ *)
 
-let rec exec ctx (plan : Plan.t) : result =
+(* Plan nodes are identified by pre-order index (root = 0; a node's first
+   child is its own index + 1; siblings follow the whole subtree).  The
+   numbering is recomputed by {!Explain} to attach the stats back to the
+   rendered tree. *)
+let child_ids id plan =
+  let next = ref (id + 1) in
+  List.map
+    (fun c ->
+      let cid = !next in
+      next := cid + Plan.node_count c;
+      cid)
+    (Plan.children plan)
+
+(* Distinct OIDs pushed to [part_scan_id]'s channel, over all segments. *)
+let channel_oid_count ctx ~part_scan_id =
+  let seen = Hashtbl.create 16 in
+  for segment = 0 to nsegments ctx - 1 do
+    List.iter
+      (fun oid -> Hashtbl.replace seen oid ())
+      (Channel.consume ctx.channel ~segment ~part_scan_id)
+  done;
+  Hashtbl.length seen
+
+let nparts_of_root ctx root_oid =
+  Mpp_catalog.Table.nparts (Mpp_catalog.Catalog.find_oid ctx.catalog root_oid)
+
+let rec exec_at ctx id (plan : Plan.t) : result =
+  match ctx.stats with
+  | None -> exec_node ctx id plan
+  | Some st ->
+      let n = Node_stats.node st id in
+      let t0 = Node_stats.time st in
+      let r = exec_node ctx id plan in
+      n.Node_stats.time_s <-
+        n.Node_stats.time_s +. (Node_stats.time st -. t0);
+      n.Node_stats.invocations <- n.Node_stats.invocations + 1;
+      let emitted =
+        Array.fold_left (fun acc l -> acc + List.length l) 0 r.rows
+      in
+      n.Node_stats.rows <- n.Node_stats.rows + emitted;
+      (match plan with
+      | Plan.Dynamic_scan { part_scan_id; root_oid; _ } ->
+          n.Node_stats.parts_scanned <- channel_oid_count ctx ~part_scan_id;
+          n.Node_stats.parts_total <- nparts_of_root ctx root_oid
+      | Plan.Partition_selector { part_scan_id; root_oid; _ } ->
+          n.Node_stats.parts_selected <- channel_oid_count ctx ~part_scan_id;
+          n.Node_stats.parts_total <- nparts_of_root ctx root_oid
+      | Plan.Table_scan { table_oid; guard; _ } ->
+          (* a per-leaf scan (Planner expansion) reads its one partition; a
+             guarded one only when its OID was pushed on some segment *)
+          let root = root_oid_of ctx table_oid in
+          if guard <> None || root <> table_oid then begin
+            let scanned =
+              match guard with
+              | None -> true
+              | Some gid ->
+                  let hit = ref false in
+                  for segment = 0 to nsegments ctx - 1 do
+                    if
+                      List.mem table_oid
+                        (Channel.consume ctx.channel ~segment
+                           ~part_scan_id:gid)
+                    then hit := true
+                  done;
+                  !hit
+            in
+            n.Node_stats.parts_scanned <- (if scanned then 1 else 0);
+            n.Node_stats.parts_total <- nparts_of_root ctx root
+          end
+      | Plan.Motion _ ->
+          (* every motion kind emits exactly the rows it moved: Gather and
+             Redistribute forward each row once, Broadcast emits one copy
+             per segment, Gather_one reads a single replica *)
+          n.Node_stats.tuples_moved <- n.Node_stats.tuples_moved + emitted
+      | _ -> ());
+      r
+
+and exec_node ctx id (plan : Plan.t) : result =
+  let kid =
+    let ids = child_ids id plan in
+    fun i c -> exec_at ctx (List.nth ids i) c
+  in
   match plan with
   | Plan.Table_scan { rel; table_oid; filter; guard } ->
       exec_table_scan ctx ~rel ~table_oid ~filter ~guard
@@ -684,27 +770,27 @@ let rec exec ctx (plan : Plan.t) : result =
       { layout = []; rows = empty_rows ctx }
   | Plan.Partition_selector
       { part_scan_id; root_oid; keys; predicates; child = Some c } ->
-      let child = exec ctx c in
+      let child = kid 0 c in
       let selectors = compile_selector ctx ~keys ~predicates in
       run_streaming_selection ctx ~part_scan_id ~root_oid ~keys selectors child;
       child
   | Plan.Sequence children ->
-      let rec go last = function
+      let rec go i last = function
         | [] -> (
             match last with
             | Some r -> r
             | None -> { layout = []; rows = empty_rows ctx })
-        | c :: rest -> go (Some (exec ctx c)) rest
+        | c :: rest -> go (i + 1) (Some (kid i c)) rest
       in
-      go None children
+      go 0 None children
   | Plan.Filter { pred; child } ->
-      let r = exec ctx child in
+      let r = kid 0 child in
       {
         r with
         rows = Array.map (List.filter (eval_filter ctx r.layout pred)) r.rows;
       }
   | Plan.Project { exprs; child } ->
-      let r = exec ctx child in
+      let r = kid 0 child in
       let layout = [ (-1, List.length exprs) ] in
       {
         layout;
@@ -716,18 +802,18 @@ let rec exec ctx (plan : Plan.t) : result =
             r.rows;
       }
   | Plan.Hash_join { kind; pred; left; right } ->
-      let l = exec ctx left in
-      let r = exec ctx right in
+      let l = kid 0 left in
+      let r = kid 1 right in
       exec_join ctx ~kind ~pred ~left:l ~right:r ~hash:true
   | Plan.Nl_join { kind; pred; left; right } ->
-      let l = exec ctx left in
-      let r = exec ctx right in
+      let l = kid 0 left in
+      let r = kid 1 right in
       exec_join ctx ~kind ~pred ~left:l ~right:r ~hash:false
   | Plan.Agg { group_by; aggs; child; output_rel } ->
-      let r = exec ctx child in
+      let r = kid 0 child in
       exec_agg ctx ~group_by ~aggs ~output_rel ~child:r
   | Plan.Sort { keys; child } ->
-      let r = exec ctx child in
+      let r = kid 0 child in
       let cmp a b =
         let env_a = env_of ctx r.layout a and env_b = env_of ctx r.layout b in
         let rec go = function
@@ -740,13 +826,13 @@ let rec exec ctx (plan : Plan.t) : result =
       in
       { r with rows = Array.map (List.sort cmp) r.rows }
   | Plan.Limit { rows = n; child } ->
-      let r = exec ctx child in
+      let r = kid 0 child in
       { r with rows = Array.map (fun l -> List.filteri (fun i _ -> i < n) l) r.rows }
   | Plan.Motion { kind; child } ->
-      let r = exec ctx child in
+      let r = kid 0 child in
       exec_motion ctx ~kind ~child:r
   | Plan.Append children ->
-      let results = List.map (exec ctx) children in
+      let results = List.mapi kid children in
       (match results with
       | [] -> { layout = []; rows = empty_rows ctx }
       | first :: _ ->
@@ -757,10 +843,10 @@ let rec exec ctx (plan : Plan.t) : result =
                   List.concat_map (fun r -> r.rows.(seg)) results);
           })
   | Plan.Update { rel; table_oid; set_exprs; child } ->
-      let r = exec ctx child in
+      let r = kid 0 child in
       exec_update ctx ~rel ~table_oid ~set_exprs ~child:r
   | Plan.Delete { rel; table_oid; child } ->
-      let r = exec ctx child in
+      let r = kid 0 child in
       exec_delete ctx ~rel ~table_oid ~child:r
   | Plan.Insert { table_oid; rows } ->
       let table = Mpp_catalog.Catalog.find_oid ctx.catalog table_oid in
@@ -778,9 +864,22 @@ let rec exec ctx (plan : Plan.t) : result =
       out.(0) <- [ [| Value.Int (List.length rows) |] ];
       { layout = [ (-1, 1) ]; rows = out }
 
+(** Evaluate a plan with this context; the root gets pre-order index 0. *)
+let exec ctx (plan : Plan.t) : result = exec_at ctx 0 plan
+
 (** Execute [plan] and gather all segments' output rows on the master. *)
-let run ?(params = [||]) ?(selection_enabled = true) ~catalog ~storage plan =
-  let ctx = create_ctx ~params ~selection_enabled ~catalog ~storage () in
+let run ?(params = [||]) ?(selection_enabled = true) ?stats ~catalog ~storage
+    plan =
+  let ctx = create_ctx ~params ~selection_enabled ?stats ~catalog ~storage () in
   let r = exec ctx plan in
   let rows = List.concat (Array.to_list r.rows) in
   (rows, ctx.metrics)
+
+(** Execute [plan] collecting per-node EXPLAIN ANALYZE statistics. *)
+let run_analyze ?(params = [||]) ?(selection_enabled = true) ~catalog ~storage
+    plan =
+  let stats = Node_stats.create () in
+  let rows, metrics =
+    run ~params ~selection_enabled ~stats ~catalog ~storage plan
+  in
+  (rows, metrics, stats)

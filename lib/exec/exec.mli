@@ -22,11 +22,15 @@ type ctx = {
   selection_enabled : bool;
       (** [false]: selectors ignore their predicates and push every leaf —
           the "partition selection disabled" configuration of Figure 17 *)
+  stats : Node_stats.t option;
+      (** when set, per-plan-node actual rows / partitions / wall time are
+          recorded for EXPLAIN ANALYZE; [None] skips all bookkeeping *)
 }
 
 val create_ctx :
   ?params:Value.t array ->
   ?selection_enabled:bool ->
+  ?stats:Node_stats.t ->
   catalog:Mpp_catalog.Catalog.t ->
   storage:Mpp_storage.Storage.t ->
   unit ->
@@ -45,8 +49,19 @@ val exec : ctx -> Plan.t -> result
 val run :
   ?params:Value.t array ->
   ?selection_enabled:bool ->
+  ?stats:Node_stats.t ->
   catalog:Mpp_catalog.Catalog.t ->
   storage:Mpp_storage.Storage.t ->
   Plan.t ->
   Value.t array list * Metrics.t
 (** Execute with a fresh context and gather all segments' output rows. *)
+
+val run_analyze :
+  ?params:Value.t array ->
+  ?selection_enabled:bool ->
+  catalog:Mpp_catalog.Catalog.t ->
+  storage:Mpp_storage.Storage.t ->
+  Plan.t ->
+  Value.t array list * Metrics.t * Node_stats.t
+(** Like {!run}, also collecting the per-node statistics that
+    {!Explain.analyze} renders. *)

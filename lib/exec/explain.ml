@@ -1,0 +1,99 @@
+(** The PostgreSQL-style [EXPLAIN ANALYZE] renderer: {!Mpp_plan.Plan.pp}'s
+    tree shape, annotated with the per-node runtime statistics collected by
+    {!Exec} into a {!Node_stats.t}.
+
+    Each line reads
+
+    {v
+    -> DynamicScan(1, rel=0, root=7) (actual rows=812 parts=3/24 time=0.41ms)
+    v}
+
+    where [rows] is the node's emitted rows summed over segments, [parts]
+    is partitions actually scanned vs. the table's total leaves (scans and
+    selectors only), [moved] is tuples crossing a Motion, and [time] is
+    inclusive wall time.  The same data exports as JSON for [mppsim --trace]
+    and the benchmark artifacts. *)
+
+module Plan = Mpp_plan.Plan
+
+(* Pre-order numbering, matching Exec's: root 0, first child id+1, siblings
+   after the whole preceding subtree. *)
+let annotation (stats : Node_stats.t) id (plan : Plan.t) =
+  match Node_stats.find stats id with
+  | None -> " (never executed)"
+  | Some n ->
+      let b = Buffer.create 48 in
+      Buffer.add_string b
+        (Printf.sprintf " (actual rows=%d" n.Node_stats.rows);
+      (match plan with
+      | Plan.Dynamic_scan _ | Plan.Table_scan _ ->
+          if n.Node_stats.parts_total > 0 then
+            Buffer.add_string b
+              (Printf.sprintf " parts=%d/%d" n.Node_stats.parts_scanned
+                 n.Node_stats.parts_total)
+      | Plan.Partition_selector _ ->
+          Buffer.add_string b
+            (Printf.sprintf " selected=%d/%d" n.Node_stats.parts_selected
+               n.Node_stats.parts_total)
+      | Plan.Motion _ ->
+          Buffer.add_string b
+            (Printf.sprintf " moved=%d" n.Node_stats.tuples_moved)
+      | _ -> ());
+      Buffer.add_string b
+        (Printf.sprintf " time=%.2fms)" (n.Node_stats.time_s *. 1000.0));
+      Buffer.contents b
+
+(** Render the plan tree with per-node actual statistics appended. *)
+let analyze (plan : Plan.t) (stats : Node_stats.t) : string =
+  let b = Buffer.create 512 in
+  let rec go indent id p =
+    Buffer.add_string b
+      (Printf.sprintf "%s-> %s%s\n" (String.make indent ' ') (Plan.describe p)
+         (annotation stats id p));
+    let next = ref (id + 1) in
+    List.iter
+      (fun c ->
+        let cid = !next in
+        next := cid + Plan.node_count c;
+        go (indent + 2) cid c)
+      (Plan.children p)
+  in
+  go 0 0 plan;
+  Buffer.contents b
+
+(** The same tree as a flat JSON node list (pre-order), for [--trace] and
+    bench artifacts. *)
+let to_json (plan : Plan.t) (stats : Node_stats.t) : Mpp_obs.Json.t =
+  let open Mpp_obs.Json in
+  let nodes = ref [] in
+  let rec go depth id p =
+    let base =
+      [ ("id", Int id); ("depth", Int depth); ("op", String (Plan.describe p)) ]
+    in
+    let actuals =
+      match Node_stats.find stats id with
+      | None -> [ ("executed", Bool false) ]
+      | Some n ->
+          [ ("rows", Int n.Node_stats.rows);
+            ("time_ms", Float (n.Node_stats.time_s *. 1000.0)) ]
+          @ (if n.Node_stats.parts_total > 0 then
+               [ ("parts_scanned", Int n.Node_stats.parts_scanned);
+                 ("parts_selected", Int n.Node_stats.parts_selected);
+                 ("parts_total", Int n.Node_stats.parts_total) ]
+             else [])
+          @
+          match p with
+          | Plan.Motion _ -> [ ("tuples_moved", Int n.Node_stats.tuples_moved) ]
+          | _ -> []
+    in
+    nodes := Obj (base @ actuals) :: !nodes;
+    let next = ref (id + 1) in
+    List.iter
+      (fun c ->
+        let cid = !next in
+        next := cid + Plan.node_count c;
+        go (depth + 1) cid c)
+      (Plan.children p)
+  in
+  go 0 0 plan;
+  List (List.rev !nodes)

@@ -1,0 +1,12 @@
+(** PostgreSQL-style [EXPLAIN ANALYZE] rendering of a plan tree annotated
+    with the per-node runtime statistics collected by {!Exec}. *)
+
+module Plan = Mpp_plan.Plan
+
+val analyze : Plan.t -> Node_stats.t -> string
+(** Plan tree with [(actual rows=… parts=…/… time=…ms)] annotations; one
+    line per node, 2-space indentation, trailing newline. *)
+
+val to_json : Plan.t -> Node_stats.t -> Mpp_obs.Json.t
+(** Flat pre-order node list: [{"id", "depth", "op", "rows", "time_ms",
+    "parts_scanned", "parts_selected", "parts_total", "tuples_moved"}]. *)

@@ -48,5 +48,51 @@ let total_parts_scanned t =
 
 let pp fmt t =
   Format.fprintf fmt
-    "tuples_scanned=%d tuples_moved=%d partition_opens=%d parts_scanned=%d"
+    "tuples_scanned=%d tuples_moved=%d partition_opens=%d parts_scanned=%d \
+     rows_updated=%d rows_deleted=%d"
     t.tuples_scanned t.tuples_moved t.partition_opens (total_parts_scanned t)
+    t.rows_updated t.rows_deleted
+
+(** Combine two runs' counters into a fresh record: sums for the scalar
+    counters, per-root union of distinct partition OIDs for
+    [parts_scanned]. *)
+let merge a b =
+  let t = create () in
+  t.tuples_scanned <- a.tuples_scanned + b.tuples_scanned;
+  t.tuples_moved <- a.tuples_moved + b.tuples_moved;
+  t.partition_opens <- a.partition_opens + b.partition_opens;
+  t.rows_updated <- a.rows_updated + b.rows_updated;
+  t.rows_deleted <- a.rows_deleted + b.rows_deleted;
+  let union src =
+    Hashtbl.iter
+      (fun root set ->
+        let dst =
+          match Hashtbl.find_opt t.parts_scanned root with
+          | Some s -> s
+          | None ->
+              let s = Hashtbl.create (Hashtbl.length set) in
+              Hashtbl.replace t.parts_scanned root s;
+              s
+        in
+        Hashtbl.iter (fun oid () -> Hashtbl.replace dst oid ()) set)
+      src.parts_scanned
+  in
+  union a;
+  union b;
+  t
+
+(** Root OIDs with at least one partition scanned, ascending. *)
+let roots_scanned t =
+  Hashtbl.fold (fun root _ acc -> root :: acc) t.parts_scanned []
+  |> List.sort Int.compare
+
+let to_json t =
+  Mpp_obs.Json.Obj
+    [
+      ("tuples_scanned", Mpp_obs.Json.Int t.tuples_scanned);
+      ("tuples_moved", Mpp_obs.Json.Int t.tuples_moved);
+      ("partition_opens", Mpp_obs.Json.Int t.partition_opens);
+      ("parts_scanned", Mpp_obs.Json.Int (total_parts_scanned t));
+      ("rows_updated", Mpp_obs.Json.Int t.rows_updated);
+      ("rows_deleted", Mpp_obs.Json.Int t.rows_deleted);
+    ]

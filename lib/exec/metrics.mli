@@ -21,4 +21,15 @@ val parts_scanned_of : t -> root_oid:int -> int
 (** Distinct partitions of this table actually scanned. *)
 
 val total_parts_scanned : t -> int
+
+val merge : t -> t -> t
+(** Fresh record combining two runs: scalar counters sum; the per-root
+    distinct-partition sets union. *)
+
+val roots_scanned : t -> int list
+(** Root OIDs with at least one partition scanned, ascending. *)
+
+val to_json : t -> Mpp_obs.Json.t
+
 val pp : Format.formatter -> t -> unit
+(** All counters, including [rows_updated] / [rows_deleted]. *)

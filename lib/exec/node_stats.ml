@@ -1,0 +1,59 @@
+(** Per-plan-node runtime statistics — the executor side of
+    [EXPLAIN ANALYZE].
+
+    Plan nodes are identified by their {e pre-order index} in the plan tree
+    (the root is 0, a node's first child is its index + 1, the next sibling
+    follows the whole subtree).  {!Mpp_exec.Exec} fills one {!node} record
+    per index when a stats collector is attached to the execution context;
+    {!Explain} re-walks the plan with the same numbering to render the
+    annotations.  When no collector is attached the executor skips all
+    bookkeeping, so the disabled path costs nothing per row. *)
+
+type node = {
+  mutable invocations : int;  (** times the node produced its result *)
+  mutable rows : int;  (** rows emitted, summed over segments *)
+  mutable time_s : float;  (** inclusive wall time, seconds *)
+  mutable parts_scanned : int;
+      (** DynamicScan: distinct leaf partitions actually read *)
+  mutable parts_total : int;  (** leaves of the scanned root table *)
+  mutable parts_selected : int;
+      (** PartitionSelector: distinct OIDs pushed to its channel *)
+  mutable tuples_moved : int;  (** Motion: rows crossing the interconnect *)
+}
+
+type t = { nodes : (int, node) Hashtbl.t; clock : unit -> float }
+
+let create ?(clock = Unix.gettimeofday) () =
+  { nodes = Hashtbl.create 32; clock }
+
+let time t = t.clock ()
+
+let fresh_node () =
+  {
+    invocations = 0;
+    rows = 0;
+    time_s = 0.0;
+    parts_scanned = 0;
+    parts_total = 0;
+    parts_selected = 0;
+    tuples_moved = 0;
+  }
+
+(** The record for pre-order index [id], created on first touch. *)
+let node t id =
+  match Hashtbl.find_opt t.nodes id with
+  | Some n -> n
+  | None ->
+      let n = fresh_node () in
+      Hashtbl.replace t.nodes id n;
+      n
+
+let find t id = Hashtbl.find_opt t.nodes id
+
+(** Sum of [rows] over the nodes selected by [pred] (defaults to all). *)
+let total_rows ?(pred = fun _ _ -> true) t =
+  Hashtbl.fold
+    (fun id n acc -> if pred id n then acc + n.rows else acc)
+    t.nodes 0
+
+let clear t = Hashtbl.reset t.nodes

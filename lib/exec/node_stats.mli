@@ -1,0 +1,36 @@
+(** Per-plan-node runtime statistics backing [EXPLAIN ANALYZE].
+
+    Nodes are keyed by pre-order index in the plan tree (root = 0; a node's
+    first child is its index + 1).  {!Mpp_exec.Exec} fills the records when
+    a collector is attached to the execution context; {!Explain} renders
+    them. *)
+
+type node = {
+  mutable invocations : int;
+  mutable rows : int;  (** rows emitted, summed over segments *)
+  mutable time_s : float;  (** inclusive wall time, seconds *)
+  mutable parts_scanned : int;
+      (** DynamicScan: distinct leaf partitions actually read *)
+  mutable parts_total : int;
+  mutable parts_selected : int;
+      (** PartitionSelector: distinct OIDs pushed to its channel *)
+  mutable tuples_moved : int;  (** Motion: rows crossing the interconnect *)
+}
+
+type t
+
+val create : ?clock:(unit -> float) -> unit -> t
+(** [clock] defaults to [Unix.gettimeofday]; injectable for tests. *)
+
+val time : t -> float
+(** Read the collector's clock. *)
+
+val node : t -> int -> node
+(** Record for pre-order index [id], created on first touch. *)
+
+val find : t -> int -> node option
+
+val total_rows : ?pred:(int -> node -> bool) -> t -> int
+(** Sum of emitted rows over the selected nodes (default: all). *)
+
+val clear : t -> unit

@@ -1,0 +1,343 @@
+(** A minimal, dependency-free JSON representation with a printer and a
+    strict recursive-descent parser.
+
+    The observability layer ({!Obs}) exports traces, node statistics and
+    benchmark artifacts as machine-readable JSON; nothing in the toolchain
+    ships a JSON library, so this module provides exactly the subset the
+    repo needs: the seven JSON value forms, UTF-8-transparent string
+    escaping, and a round-trip guarantee ([parse (to_string v) = v]) that
+    {!val:parse} is tested against. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let escape_string b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+(* A float rendering that survives a round trip and never collides with the
+   integer syntax (so [Float 3.0] parses back as a float, not an int). *)
+let float_repr f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.17g" f
+
+let rec emit b = function
+  | Null -> Buffer.add_string b "null"
+  | Bool true -> Buffer.add_string b "true"
+  | Bool false -> Buffer.add_string b "false"
+  | Int i -> Buffer.add_string b (string_of_int i)
+  | Float f ->
+      if not (Float.is_finite f) then
+        (* NaN / infinity have no JSON syntax; emit null like most encoders *)
+        Buffer.add_string b "null"
+      else Buffer.add_string b (float_repr f)
+  | String s -> escape_string b s
+  | List l ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_char b ',';
+          emit b v)
+        l;
+      Buffer.add_char b ']'
+  | Obj kvs ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          escape_string b k;
+          Buffer.add_char b ':';
+          emit b v)
+        kvs;
+      Buffer.add_char b '}'
+
+let to_string v =
+  let b = Buffer.create 256 in
+  emit b v;
+  Buffer.contents b
+
+(* Pretty printer: 2-space indentation, stable key order. *)
+let rec emit_pretty b indent = function
+  | List ([] : t list) -> Buffer.add_string b "[]"
+  | Obj [] -> Buffer.add_string b "{}"
+  | List l ->
+      let pad = String.make (indent + 2) ' ' in
+      Buffer.add_string b "[\n";
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_string b ",\n";
+          Buffer.add_string b pad;
+          emit_pretty b (indent + 2) v)
+        l;
+      Buffer.add_char b '\n';
+      Buffer.add_string b (String.make indent ' ');
+      Buffer.add_char b ']'
+  | Obj kvs ->
+      let pad = String.make (indent + 2) ' ' in
+      Buffer.add_string b "{\n";
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_string b ",\n";
+          Buffer.add_string b pad;
+          escape_string b k;
+          Buffer.add_string b ": ";
+          emit_pretty b (indent + 2) v)
+        kvs;
+      Buffer.add_char b '\n';
+      Buffer.add_string b (String.make indent ' ');
+      Buffer.add_char b '}'
+  | v -> emit b v
+
+let to_string_pretty v =
+  let b = Buffer.create 1024 in
+  emit_pretty b 0 v;
+  Buffer.add_char b '\n';
+  Buffer.contents b
+
+let to_file path v =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string_pretty v))
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+exception Parse_error of string
+
+type cursor = { s : string; mutable pos : int }
+
+let fail c msg =
+  raise (Parse_error (Printf.sprintf "%s at offset %d" msg c.pos))
+
+let peek c = if c.pos < String.length c.s then Some c.s.[c.pos] else None
+
+let advance c = c.pos <- c.pos + 1
+
+let rec skip_ws c =
+  match peek c with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      advance c;
+      skip_ws c
+  | _ -> ()
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> advance c
+  | _ -> fail c (Printf.sprintf "expected '%c'" ch)
+
+let parse_literal c lit value =
+  if
+    c.pos + String.length lit <= String.length c.s
+    && String.sub c.s c.pos (String.length lit) = lit
+  then begin
+    c.pos <- c.pos + String.length lit;
+    value
+  end
+  else fail c (Printf.sprintf "expected '%s'" lit)
+
+let parse_string_body c =
+  let b = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | None -> fail c "unterminated string"
+    | Some '"' -> advance c
+    | Some '\\' -> (
+        advance c;
+        match peek c with
+        | Some 'n' ->
+            Buffer.add_char b '\n';
+            advance c;
+            go ()
+        | Some 't' ->
+            Buffer.add_char b '\t';
+            advance c;
+            go ()
+        | Some 'r' ->
+            Buffer.add_char b '\r';
+            advance c;
+            go ()
+        | Some 'b' ->
+            Buffer.add_char b '\b';
+            advance c;
+            go ()
+        | Some 'f' ->
+            Buffer.add_char b '\012';
+            advance c;
+            go ()
+        | Some '/' ->
+            Buffer.add_char b '/';
+            advance c;
+            go ()
+        | Some '"' ->
+            Buffer.add_char b '"';
+            advance c;
+            go ()
+        | Some '\\' ->
+            Buffer.add_char b '\\';
+            advance c;
+            go ()
+        | Some 'u' ->
+            advance c;
+            if c.pos + 4 > String.length c.s then fail c "truncated \\u escape";
+            let hex = String.sub c.s c.pos 4 in
+            c.pos <- c.pos + 4;
+            let code =
+              try int_of_string ("0x" ^ hex)
+              with _ -> fail c "bad \\u escape"
+            in
+            (* encode the code point as UTF-8 (BMP only — enough for the
+               escapes this module itself produces) *)
+            if code < 0x80 then Buffer.add_char b (Char.chr code)
+            else if code < 0x800 then begin
+              Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+              Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+            end
+            else begin
+              Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+              Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+              Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+            end;
+            go ()
+        | _ -> fail c "bad escape")
+    | Some ch ->
+        Buffer.add_char b ch;
+        advance c;
+        go ()
+  in
+  go ();
+  Buffer.contents b
+
+let parse_number c =
+  let start = c.pos in
+  let is_float = ref false in
+  let rec go () =
+    match peek c with
+    | Some ('0' .. '9' | '-' | '+') ->
+        advance c;
+        go ()
+    | Some ('.' | 'e' | 'E') ->
+        is_float := true;
+        advance c;
+        go ()
+    | _ -> ()
+  in
+  go ();
+  let text = String.sub c.s start (c.pos - start) in
+  if !is_float then
+    match float_of_string_opt text with
+    | Some f -> Float f
+    | None -> fail c "bad float literal"
+  else
+    match int_of_string_opt text with
+    | Some i -> Int i
+    | None -> (
+        match float_of_string_opt text with
+        | Some f -> Float f
+        | None -> fail c "bad number literal")
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | None -> fail c "unexpected end of input"
+  | Some 'n' -> parse_literal c "null" Null
+  | Some 't' -> parse_literal c "true" (Bool true)
+  | Some 'f' -> parse_literal c "false" (Bool false)
+  | Some '"' ->
+      advance c;
+      String (parse_string_body c)
+  | Some '[' ->
+      advance c;
+      skip_ws c;
+      if peek c = Some ']' then begin
+        advance c;
+        List []
+      end
+      else
+        let rec items acc =
+          let v = parse_value c in
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+              advance c;
+              items (v :: acc)
+          | Some ']' ->
+              advance c;
+              List (List.rev (v :: acc))
+          | _ -> fail c "expected ',' or ']'"
+        in
+        items []
+  | Some '{' ->
+      advance c;
+      skip_ws c;
+      if peek c = Some '}' then begin
+        advance c;
+        Obj []
+      end
+      else
+        let member () =
+          skip_ws c;
+          expect c '"';
+          let k = parse_string_body c in
+          skip_ws c;
+          expect c ':';
+          let v = parse_value c in
+          (k, v)
+        in
+        let rec members acc =
+          let kv = member () in
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+              advance c;
+              members (kv :: acc)
+          | Some '}' ->
+              advance c;
+              Obj (List.rev (kv :: acc))
+          | _ -> fail c "expected ',' or '}'"
+        in
+        members []
+  | Some ('-' | '0' .. '9') -> parse_number c
+  | Some ch -> fail c (Printf.sprintf "unexpected character '%c'" ch)
+
+let parse s =
+  let c = { s; pos = 0 } in
+  let v = parse_value c in
+  skip_ws c;
+  if c.pos <> String.length s then fail c "trailing garbage";
+  v
+
+let parse_opt s = try Some (parse s) with Parse_error _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Accessors (for tests and tooling)                                   *)
+(* ------------------------------------------------------------------ *)
+
+let member key = function Obj kvs -> List.assoc_opt key kvs | _ -> None
+
+let to_int_opt = function Int i -> Some i | _ -> None
+
+let equal (a : t) (b : t) = a = b

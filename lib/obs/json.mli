@@ -1,0 +1,36 @@
+(** Minimal dependency-free JSON: values, printing, strict parsing.
+
+    Used by the observability layer ({!Obs}) for trace export, by [mppsim
+    --trace] and by the benchmark harness's [BENCH_RESULTS.json] artifact.
+    Printing and parsing round-trip: [parse (to_string v) = v]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact single-line rendering. *)
+
+val to_string_pretty : t -> string
+(** 2-space-indented rendering with a trailing newline. *)
+
+val to_file : string -> t -> unit
+(** Write the pretty rendering to [path] (truncating). *)
+
+exception Parse_error of string
+
+val parse : string -> t
+(** Strict parse of a complete JSON document; raises {!Parse_error}. *)
+
+val parse_opt : string -> t option
+
+val member : string -> t -> t option
+(** [member k (Obj kvs)] is the value bound to [k], if any. *)
+
+val to_int_opt : t -> int option
+val equal : t -> t -> bool

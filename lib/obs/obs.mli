@@ -1,0 +1,80 @@
+(** Structured telemetry: spans, counters and a process-wide trace sink with
+    JSON export.
+
+    Recording sites throughout the optimizer and executor write into a
+    {!t} sink; front ends create one with {!create}, {!install} it as the
+    process-wide sink, and export the accumulated trace with {!to_json} /
+    {!write_file}.  The default sink is {!null}, which is {e disabled}:
+    every entry point tests one flag and returns, so instrumentation is
+    effectively free when tracing is off. *)
+
+type t
+
+type span = {
+  span_name : string;
+  span_start : float;  (** seconds since the epoch *)
+  mutable span_elapsed : float;  (** seconds; NaN while the span is open *)
+  mutable span_attrs : (string * Json.t) list;
+  mutable span_children : span list;
+}
+
+val null : t
+(** The shared disabled sink: all operations are no-ops. *)
+
+val create : ?clock:(unit -> float) -> unit -> t
+(** A fresh enabled sink.  [clock] defaults to [Unix.gettimeofday] and is
+    injectable for deterministic tests. *)
+
+val enabled : t -> bool
+
+(** {1 The process-wide sink} *)
+
+val install : t -> unit
+val current : unit -> t
+val uninstall : unit -> unit
+(** Reset the process-wide sink to {!null}. *)
+
+val reset : t -> unit
+(** Drop all counters and spans (the sink stays enabled). *)
+
+(** {1 Counters}
+
+    Counter addition {e saturates} at [max_int] / [min_int] rather than
+    wrapping. *)
+
+val add : t -> string -> int -> unit
+val incr : t -> string -> unit
+val counter : t -> string -> int
+(** Current value, 0 when never recorded. *)
+
+val counters : t -> (string * int) list
+(** All counters, sorted by name. *)
+
+(** {1 Spans} *)
+
+val span : t -> string -> (unit -> 'a) -> 'a
+(** [span t name f] times [f] in a span nested under the innermost open
+    span; exceptions propagate and still close the span. *)
+
+val span_open : t -> string -> unit
+val span_close : t -> unit
+(** Imperative variants for call sites that cannot wrap a closure. *)
+
+val annotate : t -> string -> Json.t -> unit
+(** Attach an attribute to the innermost open span (no-op outside one). *)
+
+val root_spans : t -> span list
+(** Completed top-level spans, oldest first. *)
+
+val find_span : t -> string -> span option
+(** First completed span with this name, searching depth-first. *)
+
+(** {1 Export} *)
+
+val to_json : t -> Json.t
+(** [{"counters": {...}, "spans": [...]}]; span times in milliseconds. *)
+
+val write_file : t -> string -> unit
+
+val span_to_json : span -> Json.t
+val counters_to_json : t -> Json.t

@@ -24,6 +24,7 @@
 open Mpp_expr
 module Plan = Mpp_plan.Plan
 module Table = Mpp_catalog.Table
+module Obs = Mpp_obs.Obs
 
 (* ------------------------------------------------------------------ *)
 (* Requests (physical properties)                                      *)
@@ -115,6 +116,9 @@ let rec insert t (lg : Logical.t) : int =
   let fresh lexprs rels =
     let gid = List.length t.groups in
     t.groups <- t.groups @ [ { gid; lexprs; rels } ];
+    let obs = Obs.current () in
+    Obs.incr obs "memo.groups";
+    Obs.add obs "memo.group_exprs" (List.length lexprs);
     gid
   in
   match lg with
@@ -215,7 +219,13 @@ let rec optimize_req t gid (req : request) : best option =
          along that path *)
       Hashtbl.replace t.best_tbl key None;
       let g = group t gid in
-      let candidates = implementation_candidates t g req @ enforcer_candidates t g req in
+      let impls = implementation_candidates t g req in
+      let enfs = enforcer_candidates t g req in
+      let obs = Obs.current () in
+      Obs.incr obs "memo.requests";
+      Obs.add obs "memo.impl_candidates" (List.length impls);
+      Obs.add obs "memo.enforcer_candidates" (List.length enfs);
+      let candidates = impls @ enfs in
       let best =
         List.fold_left
           (fun acc cand ->
@@ -561,15 +571,16 @@ let initial_request t ~root_gid : request =
 (** Optimize [lg] through the memo; returns the best plan and its cost. *)
 let best_plan ?stats ?(nsegments = 4) ~catalog (lg : Logical.t) :
     (Plan.t * float) option =
-  let t = create ?stats ~nsegments ~catalog () in
-  let root = insert t lg in
-  let req = initial_request t ~root_gid:root in
-  match optimize_req t root req with
-  | None -> None
-  | Some best -> (
-      match extract t root req with
-      | Some plan -> Some (plan, best.total_cost)
-      | None -> None)
+  Obs.span (Obs.current ()) "memo.optimize" (fun () ->
+      let t = create ?stats ~nsegments ~catalog () in
+      let root = insert t lg in
+      let req = initial_request t ~root_gid:root in
+      match optimize_req t root req with
+      | None -> None
+      | Some best -> (
+          match extract t root req with
+          | Some plan -> Some (plan, best.total_cost)
+          | None -> None))
 
 (** Enumerate up to [limit] alternative plans for [lg] (paper Figure 14). *)
 let plan_space ?stats ?(nsegments = 4) ?(limit = 16) ~catalog (lg : Logical.t)

@@ -27,6 +27,7 @@ module Distribution = Mpp_catalog.Distribution
 let log_src = Logs.Src.create "orca.optimizer" ~doc:"Orca optimizer pipeline"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
+module Obs = Mpp_obs.Obs
 
 type dist = Hashed_on of Colref.t list | Replicated_d | Random_d | Singleton_d
 
@@ -294,6 +295,7 @@ let key_ndv t ~rel_tables e =
 
 let candidate t ~rel_tables ~kind ~pred ~(build : annotated)
     ~(probe : annotated) : join_candidate option =
+  Obs.incr (Obs.current ()) "optimizer.plans_costed";
   let nseg = float_of_int t.config.nsegments in
   let build_rels = Plan.output_rels build.plan
   and probe_rels = Plan.output_rels probe.plan in
@@ -339,6 +341,7 @@ let candidate t ~rel_tables ~kind ~pred ~(build : annotated)
      above it sees only a slice of the rows on each segment, which still
      yields correct (per-segment-conservative) selection. *)
   let dpe = dpe_opportunities ~pred ~build ~probe in
+  Obs.add (Obs.current ()) "optimizer.dpe_opportunities" (List.length dpe);
   let probe_cost_effective =
     match dpe with
     | [] -> probe.cost
@@ -518,6 +521,7 @@ let plan_join t ~rel_tables ~pinned_rel ~kind ~pred (left : annotated)
   with
   | [] -> invalid_arg "Optimizer.plan_join: no valid join orientation"
   | best :: _ ->
+      Obs.incr (Obs.current ()) "optimizer.joins_planned";
       Log.debug (fun m ->
           m "join orientation chosen: cost=%.0f of %d candidate(s), pred=%s"
             best.jc_cost (List.length candidates) (Expr.to_string pred));
@@ -731,27 +735,42 @@ exception Invalid_plan of string
 
 (** Optimize a logical tree into an executable physical plan. *)
 let optimize t (lg : Logical.t) : Plan.t =
-  t.next_scan_id <- 1;
-  let rel_tables =
-    List.map (fun (rel, name) -> (rel, table_of t name)) (Logical.base_tables lg)
-  in
-  let ann = build_physical t ~rel_tables ~pinned_rel:None lg in
-  let ann =
-    match lg with
-    | Logical.Update _ | Logical.Delete _ | Logical.Insert _ -> ann
-    | _ -> gather ann
-  in
-  let placed =
-    Placement.place ~eliminate:t.config.enable_partition_selection
-      ~catalog:t.catalog ann.plan
-  in
-  match Mpp_plan.Plan_valid.check placed with
-  | [] -> placed
-  | violations ->
-      raise
-        (Invalid_plan
-           (String.concat "; "
-              (List.map Mpp_plan.Plan_valid.violation_to_string violations)))
+  let obs = Obs.current () in
+  Obs.span obs "optimize" (fun () ->
+      Obs.incr obs "optimizer.queries";
+      t.next_scan_id <- 1;
+      let rel_tables =
+        List.map
+          (fun (rel, name) -> (rel, table_of t name))
+          (Logical.base_tables lg)
+      in
+      let ann =
+        Obs.span obs "optimize.physical" (fun () ->
+            build_physical t ~rel_tables ~pinned_rel:None lg)
+      in
+      let ann =
+        match lg with
+        | Logical.Update _ | Logical.Delete _ | Logical.Insert _ -> ann
+        | _ -> gather ann
+      in
+      let placed =
+        Obs.span obs "optimize.placement" (fun () ->
+            Placement.place ~eliminate:t.config.enable_partition_selection
+              ~catalog:t.catalog ann.plan)
+      in
+      if Obs.enabled obs then begin
+        Obs.annotate obs "estimated_cost" (Mpp_obs.Json.Float ann.cost);
+        Obs.annotate obs "estimated_rows" (Mpp_obs.Json.Float ann.rows);
+        Obs.annotate obs "plan_nodes"
+          (Mpp_obs.Json.Int (Plan.node_count placed))
+      end;
+      match Mpp_plan.Plan_valid.check placed with
+      | [] -> placed
+      | violations ->
+          raise
+            (Invalid_plan
+               (String.concat "; "
+                  (List.map Mpp_plan.Plan_valid.violation_to_string violations))))
 
 (** Estimated cost of the plan the optimizer would pick (for tests and the
     memo comparison). *)

@@ -23,6 +23,7 @@ module Plan = Mpp_plan.Plan
 let log_src = Logs.Src.create "orca.placement" ~doc:"PartitionSelector placement"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
+module Obs = Mpp_obs.Obs
 
 (* Result of ComputePartSelectors for one operator. *)
 type routed = {
@@ -102,6 +103,7 @@ let compute_part_selectors ~eliminate (expr : Plan.t)
                spec before pushing it to the child. *)
             match find_preds_on_keys spec.Part_spec.keys pred with
             | Some found ->
+                Obs.incr (Obs.current ()) "placement.filter_folds";
                 Log.debug (fun m ->
                     m "Select: folding predicate into spec %a" Part_spec.pp
                       spec);
@@ -123,6 +125,7 @@ let compute_part_selectors ~eliminate (expr : Plan.t)
                   (* the join predicate constrains the partitioning key and
                      the outer child can evaluate it: dynamic partition
                      elimination — push the spec to the opposite side *)
+                  Obs.incr (Obs.current ()) "placement.dpe_pushes";
                   Log.debug (fun m ->
                       m "Join: dynamic partition elimination for %a"
                         Part_spec.pp spec);
@@ -142,6 +145,7 @@ let compute_part_selectors ~eliminate (expr : Plan.t)
 let enforce_part_selectors on_top expr =
   List.fold_left
     (fun e (spec : Part_spec.t) ->
+      Obs.incr (Obs.current ()) "placement.selectors_on_top";
       Plan.partition_selector ~child:e ~part_scan_id:spec.part_scan_id
         ~root_oid:spec.root_oid ~keys:spec.keys ~predicates:spec.predicates ())
     expr on_top
@@ -154,6 +158,7 @@ let enforce_at_scan at_scan scan =
       Plan.Sequence
         (List.map
            (fun (spec : Part_spec.t) ->
+             Obs.incr (Obs.current ()) "placement.selectors_at_scan";
              Plan.partition_selector ~part_scan_id:spec.part_scan_id
                ~root_oid:spec.root_oid ~keys:spec.keys
                ~predicates:spec.predicates ())

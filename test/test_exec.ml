@@ -443,6 +443,79 @@ let test_delete () =
   Alcotest.(check int) "count dropped accordingly" (before - deleted)
     (Storage.count_table storage orders)
 
+(* ---- EXPLAIN ANALYZE statistics ---- *)
+
+module Node_stats = Mpp_exec.Node_stats
+module Explain = Mpp_exec.Explain
+
+(* Without filters every scan node emits exactly what it reads, so the
+   per-node actual rows of the scans must sum to [Metrics.tuples_scanned]. *)
+let test_stats_rows_match_metrics () =
+  let catalog, storage, t, dim = fixture () in
+  (* pre-order ids: 0 gather, 1 join, 2 scan dim, 3 scan t *)
+  let plan =
+    gather
+      (Plan.hash_join ~kind:Plan.Inner
+         ~pred:(Expr.eq (Expr.col dim_k) (Expr.col t_b))
+         (Plan.table_scan ~rel:1 dim.Mpp_catalog.Table.oid)
+         (Plan.table_scan ~rel:0 t.Mpp_catalog.Table.oid))
+  in
+  let _rows, m, st = Exec.run_analyze ~catalog ~storage plan in
+  let scan_rows =
+    Node_stats.total_rows ~pred:(fun id _ -> id = 2 || id = 3) st
+  in
+  Alcotest.(check int) "scan-node rows = Metrics.tuples_scanned"
+    m.Metrics.tuples_scanned scan_rows;
+  let g = Node_stats.node st 0 in
+  Alcotest.(check int) "motion moved = emitted" g.Node_stats.rows
+    g.Node_stats.tuples_moved
+
+let test_analyze_partition_annotations () =
+  let catalog, storage, orders = partitioned_fixture () in
+  let pred =
+    Expr.between
+      (Expr.col (o_date orders))
+      (Expr.date "2013-10-01") (Expr.date "2013-12-31")
+  in
+  (* pre-order ids: 0 gather, 1 sequence, 2 selector, 3 dynamic scan *)
+  let plan =
+    gather
+      (Plan.Sequence
+         [ Plan.partition_selector ~part_scan_id:1
+             ~root_oid:orders.Mpp_catalog.Table.oid
+             ~keys:[ o_date orders ] ~predicates:[ Some pred ] ();
+           Plan.dynamic_scan ~filter:pred ~rel:0 ~part_scan_id:1
+             orders.Mpp_catalog.Table.oid ])
+  in
+  let _rows, m, st = Exec.run_analyze ~catalog ~storage plan in
+  let scan = Node_stats.node st 3 in
+  Alcotest.(check int) "scan parts_scanned" 3 scan.Node_stats.parts_scanned;
+  Alcotest.(check int) "scan parts_total" 24 scan.Node_stats.parts_total;
+  let sel = Node_stats.node st 2 in
+  Alcotest.(check int) "selector parts_selected" 3
+    sel.Node_stats.parts_selected;
+  Alcotest.(check int) "node stats agree with Metrics" 3
+    (Metrics.parts_scanned_of m ~root_oid:orders.Mpp_catalog.Table.oid);
+  let txt = Explain.analyze plan st in
+  let contains sub =
+    let n = String.length sub and len = String.length txt in
+    let rec go i = i + n <= len && (String.sub txt i n = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "renders parts=3/24" true (contains "parts=3/24");
+  Alcotest.(check bool) "renders selected=3/24" true (contains "selected=3/24");
+  Alcotest.(check bool) "renders actual rows" true (contains "actual rows=")
+
+let test_run_without_stats_records_nothing () =
+  let catalog, storage, t, _ = fixture () in
+  let st = Node_stats.create () in
+  let _ =
+    Exec.run ~catalog ~storage
+      (gather (Plan.table_scan ~rel:0 t.Mpp_catalog.Table.oid))
+  in
+  Alcotest.(check int) "no collector attached, nothing recorded" 0
+    (Node_stats.total_rows st)
+
 (* Hash-join correctness against a naive reference computed directly over
    the generated data, for random contents and a random cluster size. *)
 let prop_join_matches_reference =
@@ -516,6 +589,13 @@ let () =
          Alcotest.test_case "guarded scans (Planner DPE)" `Quick
            test_guarded_scan_skips;
          Alcotest.test_case "channel semantics" `Quick test_channel ]);
+      ("explain analyze",
+       [ Alcotest.test_case "scan rows sum to metrics" `Quick
+           test_stats_rows_match_metrics;
+         Alcotest.test_case "partition annotations" `Quick
+           test_analyze_partition_annotations;
+         Alcotest.test_case "no collector, no stats" `Quick
+           test_run_without_stats_records_nothing ]);
       ("properties",
        List.map QCheck_alcotest.to_alcotest [ prop_join_matches_reference ]);
       ("dml",

@@ -1,0 +1,148 @@
+(** Observability-layer tests: span nesting under an injectable clock,
+    saturating counter arithmetic, the JSON round-trip guarantee, and the
+    disabled sink's no-op contract. *)
+
+module Obs = Mpp_obs.Obs
+module Json = Mpp_obs.Json
+
+(* ---- spans ---- *)
+
+let test_span_nesting () =
+  let now = ref 0.0 in
+  let t = Obs.create ~clock:(fun () -> !now) () in
+  Obs.span t "outer" (fun () ->
+      now := !now +. 1.0;
+      Obs.span t "inner" (fun () -> now := !now +. 0.5);
+      Obs.annotate t "k" (Json.Int 7));
+  match Obs.root_spans t with
+  | [ s ] -> (
+      Alcotest.(check string) "root name" "outer" s.Obs.span_name;
+      Alcotest.(check (float 1e-9)) "outer elapsed" 1.5 s.Obs.span_elapsed;
+      Alcotest.(check bool) "attr lands on the open span" true
+        (List.mem_assoc "k" s.Obs.span_attrs);
+      match s.Obs.span_children with
+      | [ c ] ->
+          Alcotest.(check string) "child name" "inner" c.Obs.span_name;
+          Alcotest.(check (float 1e-9)) "inner elapsed" 0.5 c.Obs.span_elapsed
+      | l -> Alcotest.failf "expected one child, got %d" (List.length l))
+  | l -> Alcotest.failf "expected one root span, got %d" (List.length l)
+
+let test_span_exception_closes () =
+  let t = Obs.create ~clock:(fun () -> 0.0) () in
+  (try Obs.span t "boom" (fun () -> failwith "x") with Failure _ -> ());
+  Alcotest.(check bool) "span closed despite the exception" true
+    (Obs.find_span t "boom" <> None);
+  (* a later span must not end up nested under the failed one *)
+  Obs.span t "after" (fun () -> ());
+  Alcotest.(check int) "both are roots" 2 (List.length (Obs.root_spans t))
+
+(* ---- counters ---- *)
+
+let test_counter_saturation () =
+  let t = Obs.create () in
+  Obs.add t "c" max_int;
+  Obs.incr t "c";
+  Alcotest.(check int) "saturates at max_int" max_int (Obs.counter t "c");
+  Obs.add t "d" min_int;
+  Obs.add t "d" (-1);
+  Alcotest.(check int) "saturates at min_int" min_int (Obs.counter t "d");
+  Obs.add t "e" 2;
+  Obs.add t "e" 3;
+  Alcotest.(check int) "normal addition" 5 (Obs.counter t "e");
+  Alcotest.(check (list (pair string int)))
+    "counters sorted by name"
+    [ ("c", max_int); ("d", min_int); ("e", 5) ]
+    (Obs.counters t)
+
+(* ---- the disabled sink ---- *)
+
+let test_disabled_sink_noop () =
+  let t = Obs.null in
+  Alcotest.(check bool) "null sink is disabled" false (Obs.enabled t);
+  Obs.incr t "x";
+  Obs.add t "x" 5;
+  Obs.annotate t "a" Json.Null;
+  let r = Obs.span t "s" (fun () -> 42) in
+  Alcotest.(check int) "span passes the result through" 42 r;
+  Alcotest.(check int) "no counter recorded" 0 (Obs.counter t "x");
+  Alcotest.(check (list (pair string int))) "counters empty" [] (Obs.counters t);
+  Alcotest.(check int) "no spans recorded" 0 (List.length (Obs.root_spans t))
+
+let test_install_current () =
+  let t = Obs.create () in
+  Obs.install t;
+  Obs.incr (Obs.current ()) "hits";
+  Obs.uninstall ();
+  Obs.incr (Obs.current ()) "hits";
+  (* the second increment went to the (disabled) null sink *)
+  Alcotest.(check int) "only the installed sink records" 1 (Obs.counter t "hits")
+
+(* ---- JSON ---- *)
+
+let sample =
+  Json.Obj
+    [ ("null", Json.Null);
+      ("bool", Json.Bool true);
+      ("int", Json.Int (-42));
+      ("float", Json.Float 1.5);
+      ("integral_float", Json.Float 3.0);
+      ("string", Json.String "a \"quoted\"\nline\twith \\ and \x01 ctrl");
+      ("utf8", Json.String "caf\xc3\xa9 \xe2\x9c\x93");
+      ("list", Json.List [ Json.Int 1; Json.List []; Json.Obj [] ]);
+      ("nested", Json.Obj [ ("k", Json.List [ Json.Bool false; Json.Null ]) ])
+    ]
+
+let test_json_roundtrip () =
+  Alcotest.(check bool) "compact round-trip" true
+    (Json.equal sample (Json.parse (Json.to_string sample)));
+  Alcotest.(check bool) "pretty round-trip" true
+    (Json.equal sample (Json.parse (Json.to_string_pretty sample)))
+
+let test_json_reject_garbage () =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (Printf.sprintf "rejects %S" s)
+        true
+        (Json.parse_opt s = None))
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "nul"; "1 2"; "\"unterminated" ]
+
+let test_trace_export_parses () =
+  let now = ref 0.0 in
+  let t = Obs.create ~clock:(fun () -> !now) () in
+  Obs.incr t "a.b";
+  Obs.span t "s" (fun () -> now := !now +. 0.25);
+  let j = Obs.to_json t in
+  let round = Json.parse (Json.to_string_pretty j) in
+  Alcotest.(check bool) "export round-trips" true (Json.equal j round);
+  (match Json.member "counters" round with
+  | Some (Json.Obj [ ("a.b", Json.Int 1) ]) -> ()
+  | _ -> Alcotest.fail "counters section malformed");
+  match Json.member "spans" round with
+  | Some (Json.List [ span ]) ->
+      Alcotest.(check (option int)) "span elapsed in ms" None
+        (Option.bind (Json.member "elapsed_ms" span) Json.to_int_opt);
+      Alcotest.(check bool) "span named" true
+        (Json.member "name" span = Some (Json.String "s"))
+  | _ -> Alcotest.fail "spans section malformed"
+
+let () =
+  Alcotest.run "obs"
+    [ ("spans",
+       [ Alcotest.test_case "nesting and elapsed" `Quick test_span_nesting;
+         Alcotest.test_case "exception closes span" `Quick
+           test_span_exception_closes ]);
+      ("counters",
+       [ Alcotest.test_case "saturating addition" `Quick
+           test_counter_saturation ]);
+      ("disabled sink",
+       [ Alcotest.test_case "all operations no-op" `Quick
+           test_disabled_sink_noop;
+         Alcotest.test_case "install/current/uninstall" `Quick
+           test_install_current ]);
+      ("json",
+       [ Alcotest.test_case "round-trip" `Quick test_json_roundtrip;
+         Alcotest.test_case "rejects malformed input" `Quick
+           test_json_reject_garbage;
+         Alcotest.test_case "trace export parses" `Quick
+           test_trace_export_parses ]) ]
