@@ -105,14 +105,14 @@ let write_trace trace sink extras =
       Json.to_file file json;
       Printf.eprintf "trace written to %s\n%!" file
 
-let do_explain ?(analyze = false) ?trace env kind selection sql =
+let do_explain ?(analyze = false) ?trace ?domains env kind selection sql =
   let sink = sink_for trace in
   if Obs.enabled sink then Obs.install sink;
   let plan = plan_of env kind ~selection sql in
   let extras =
     if analyze then begin
       let _rows, metrics, stats =
-        Mpp_exec.Exec.run_analyze ~catalog:env.W.Runner.catalog
+        Mpp_exec.Exec.run_analyze ?domains ~catalog:env.W.Runner.catalog
           ~storage:env.W.Runner.storage plan
       in
       print_string (Mpp_exec.Explain.analyze plan stats);
@@ -130,13 +130,13 @@ let do_explain ?(analyze = false) ?trace env kind selection sql =
   in
   write_trace trace sink extras
 
-let do_run ?trace env kind selection sql =
+let do_run ?trace ?domains env kind selection sql =
   let sink = sink_for trace in
   if Obs.enabled sink then Obs.install sink;
   let plan = plan_of env kind ~selection sql in
   let t0 = Unix.gettimeofday () in
   let rows, metrics =
-    Mpp_exec.Exec.run ~catalog:env.W.Runner.catalog
+    Mpp_exec.Exec.run ?domains ~catalog:env.W.Runner.catalog
       ~storage:env.W.Runner.storage plan
   in
   let dt = Unix.gettimeofday () -. t0 in
@@ -166,7 +166,7 @@ let do_schema env =
         (Mpp_catalog.Distribution.to_string t.Mpp_catalog.Table.distribution))
     (Mpp_catalog.Catalog.tables env.W.Runner.catalog)
 
-let do_repl env kind selection =
+let do_repl ?domains env kind selection =
   print_endline
     "mppsim repl — TPC-DS demo schema loaded; \\q quits, \\schema lists \
      tables, \\explain SQL shows the plan";
@@ -186,8 +186,8 @@ let do_repl env kind selection =
           else (false, line)
         in
         (try
-           if explain then do_explain env kind selection sql
-           else do_run env kind selection sql
+           if explain then do_explain ?domains env kind selection sql
+           else do_run ?domains env kind selection sql
          with
         | Mpp_sql.Sql.Error m -> Printf.printf "error: %s\n" m
         | Invalid_argument m -> Printf.printf "error: %s\n" m);
@@ -236,6 +236,12 @@ let trace_arg =
          ~doc:"Write a JSON trace (optimizer counters and spans, executor \
                metrics) to $(docv).")
 
+let parallel_arg =
+  Arg.(value & opt (some int) None & info [ "parallel"; "p" ] ~docv:"N"
+         ~doc:"Execute with $(docv) OCaml domains (per-segment parallelism). \
+               Defaults to $(b,MPP_DOMAINS), else 1 (serial). Results are \
+               identical at any setting.")
+
 let with_env f kind no_selection scale segments verbose =
   setup_logs verbose;
   let env = env_of ~scale ~segments in
@@ -243,25 +249,27 @@ let with_env f kind no_selection scale segments verbose =
 
 let explain_cmd =
   Cmd.v (Cmd.info "explain" ~doc:"Show the plan for a SQL statement.")
-    Term.(const (fun k n sc sg v analyze trace sql -> with_env
-                    (fun env k sel -> do_explain ~analyze ?trace env k sel sql)
+    Term.(const (fun k n sc sg v analyze trace domains sql -> with_env
+                    (fun env k sel ->
+                      do_explain ~analyze ?trace ?domains env k sel sql)
                     k n sc sg v)
           $ optimizer_arg $ no_selection_arg $ scale_arg $ segments_arg
-          $ verbose_arg $ analyze_arg $ trace_arg $ sql_arg)
+          $ verbose_arg $ analyze_arg $ trace_arg $ parallel_arg $ sql_arg)
 
 let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Execute a SQL statement on the demo cluster.")
-    Term.(const (fun k n sc sg v trace sql -> with_env
-                    (fun env k sel -> do_run ?trace env k sel sql) k n sc sg v)
+    Term.(const (fun k n sc sg v trace domains sql -> with_env
+                    (fun env k sel -> do_run ?trace ?domains env k sel sql)
+                    k n sc sg v)
           $ optimizer_arg $ no_selection_arg $ scale_arg $ segments_arg
-          $ verbose_arg $ trace_arg $ sql_arg)
+          $ verbose_arg $ trace_arg $ parallel_arg $ sql_arg)
 
 let repl_cmd =
   Cmd.v (Cmd.info "repl" ~doc:"Interactive SQL prompt on the demo cluster.")
-    Term.(const (fun k n sc sg v -> with_env
-                    (fun env k sel -> do_repl env k sel) k n sc sg v)
+    Term.(const (fun k n sc sg v domains -> with_env
+                    (fun env k sel -> do_repl ?domains env k sel) k n sc sg v)
           $ optimizer_arg $ no_selection_arg $ scale_arg $ segments_arg
-          $ verbose_arg)
+          $ verbose_arg $ parallel_arg)
 
 let schema_cmd =
   Cmd.v (Cmd.info "schema" ~doc:"List the demo schema's tables.")

@@ -5,19 +5,31 @@
     the same process on each segment (the optimizer guarantees no Motion
     separates them), so each segment has a private channel per scan id.
     {!propagate} is the runtime realization of the [partition_propagation]
-    builtin of paper Table 1. *)
+    builtin of paper Table 1.
 
-type t = { oids : (int * int, (int, unit) Hashtbl.t) Hashtbl.t }
+    Domain safety by sharding, not locking: the per-segment state lives in a
+    per-segment array slot, and during segment-parallel execution segment
+    [s]'s work runs on exactly one domain, which is the only toucher of
+    shard [s].  Cross-segment reads (EXPLAIN ANALYZE's distinct-OID counts)
+    happen on the coordinating domain between operators, never concurrently
+    with a parallel section. *)
 
-let create () = { oids = Hashtbl.create 32 }
+type t = { shards : (int, (int, unit) Hashtbl.t) Hashtbl.t array }
+(** [shards.(segment)] maps part_scan_id → set of pushed OIDs. *)
+
+let create ~nsegments =
+  if nsegments <= 0 then invalid_arg "Channel.create: nsegments must be > 0";
+  { shards = Array.init nsegments (fun _ -> Hashtbl.create 8) }
+
+let nsegments t = Array.length t.shards
 
 let slot t ~segment ~part_scan_id =
-  let key = (segment, part_scan_id) in
-  match Hashtbl.find_opt t.oids key with
+  let shard = t.shards.(segment) in
+  match Hashtbl.find_opt shard part_scan_id with
   | Some s -> s
   | None ->
       let s = Hashtbl.create 16 in
-      Hashtbl.replace t.oids key s;
+      Hashtbl.replace shard part_scan_id s;
       s
 
 (** Push a selected partition OID to the DynamicScan with the given id on
@@ -30,4 +42,9 @@ let consume t ~segment ~part_scan_id =
   Hashtbl.fold (fun oid () acc -> oid :: acc) (slot t ~segment ~part_scan_id) []
   |> List.sort Int.compare
 
-let reset t = Hashtbl.reset t.oids
+(** Membership test without materializing the sorted list — the guarded
+    Table_scan's per-segment check. *)
+let mem t ~segment ~part_scan_id oid =
+  Hashtbl.mem (slot t ~segment ~part_scan_id) oid
+
+let reset t = Array.iter Hashtbl.reset t.shards

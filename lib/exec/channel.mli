@@ -2,16 +2,24 @@
     DynamicScan (consumer) — paper §2.2.  Keyed by
     [(segment, part_scan_id)]: the optimizer guarantees both ends share a
     process on each segment.  {!propagate} is the runtime realization of the
-    [partition_propagation] builtin of paper Table 1. *)
+    [partition_propagation] builtin of paper Table 1.
+
+    Domain-safe by per-segment sharding: during segment-parallel execution
+    exactly one domain works on segment [s], and it is the only toucher of
+    shard [s] — no locks on the hot path. *)
 
 type t
 
-val create : unit -> t
+val create : nsegments:int -> t
+val nsegments : t -> int
 
 val propagate : t -> segment:int -> part_scan_id:int -> int -> unit
 (** Push a selected partition OID (idempotent). *)
 
 val consume : t -> segment:int -> part_scan_id:int -> int list
 (** All OIDs pushed so far for this (segment, scan id), sorted. *)
+
+val mem : t -> segment:int -> part_scan_id:int -> int -> bool
+(** Membership test without materializing the sorted list. *)
 
 val reset : t -> unit

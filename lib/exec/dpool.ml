@@ -1,0 +1,189 @@
+(** A small reusable OCaml 5 domain pool for segment-parallel execution.
+
+    The executor's per-operator work is "for each segment, compute that
+    segment's output" — an embarrassingly parallel loop over a handful of
+    independent tasks (the MPP shared-nothing argument: segments share no
+    mutable state once {!Channel} and {!Metrics} are sharded per segment).
+    A pool of [size - 1] worker domains picks tasks off an atomic counter;
+    the submitting domain participates too, so [create 4] uses exactly four
+    domains including the caller.
+
+    Jobs are submitted one at a time (the executor's plan walk is serial;
+    only the per-segment loops fan out), so the pool needs no task queue —
+    just a current-job slot guarded by a mutex, a generation counter so
+    workers never re-run an exhausted job, and a completion count the
+    submitter waits on.  Exceptions raised by tasks are captured and
+    re-raised in the submitting domain after the job drains. *)
+
+type job = {
+  f : int -> unit;
+  n : int;  (** tasks are [f 0 .. f (n - 1)] *)
+  next : int Atomic.t;  (** next task index to claim *)
+  completed : int Atomic.t;
+  mutable error : (exn * Printexc.raw_backtrace) option;
+}
+
+type t = {
+  size : int;  (** total domains participating, caller included *)
+  mutex : Mutex.t;
+  work_cv : Condition.t;  (** workers wait here for a new generation *)
+  done_cv : Condition.t;  (** the submitter waits here for completion *)
+  mutable generation : int;
+  mutable job : job option;
+  mutable stop : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let size t = t.size
+
+(* Claim and run tasks until the job is exhausted; returns having
+   contributed [completed] increments for every task it ran. *)
+let drain t (job : job) =
+  let rec loop () =
+    let i = Atomic.fetch_and_add job.next 1 in
+    if i < job.n then begin
+      (try job.f i
+       with e ->
+         let bt = Printexc.get_raw_backtrace () in
+         Mutex.lock t.mutex;
+         if job.error = None then job.error <- Some (e, bt);
+         Mutex.unlock t.mutex);
+      let c = 1 + Atomic.fetch_and_add job.completed 1 in
+      if c = job.n then begin
+        (* last task finished (maybe on a worker): wake the submitter *)
+        Mutex.lock t.mutex;
+        Condition.broadcast t.done_cv;
+        Mutex.unlock t.mutex
+      end;
+      loop ()
+    end
+  in
+  loop ()
+
+let worker t () =
+  let last_gen = ref 0 in
+  let rec loop () =
+    Mutex.lock t.mutex;
+    while (not t.stop) && t.generation = !last_gen do
+      Condition.wait t.work_cv t.mutex
+    done;
+    if t.stop then Mutex.unlock t.mutex
+    else begin
+      last_gen := t.generation;
+      let job = t.job in
+      Mutex.unlock t.mutex;
+      (match job with Some j -> drain t j | None -> ());
+      loop ()
+    end
+  in
+  loop ()
+
+let create size =
+  let size = max 1 size in
+  let t =
+    {
+      size;
+      mutex = Mutex.create ();
+      work_cv = Condition.create ();
+      done_cv = Condition.create ();
+      generation = 0;
+      job = None;
+      stop = false;
+      domains = [];
+    }
+  in
+  t.domains <- List.init (size - 1) (fun _ -> Domain.spawn (worker t));
+  t
+
+(** Run [f 0 .. f (n - 1)] across the pool's domains; returns when all have
+    finished.  With a pool of size 1 (or a single task) this is a plain
+    serial loop — no synchronization on the serial path. *)
+let parallel_for t n f =
+  if n <= 0 then ()
+  else if t.size = 1 || n = 1 then
+    for i = 0 to n - 1 do
+      f i
+    done
+  else begin
+    let job =
+      { f; n; next = Atomic.make 0; completed = Atomic.make 0; error = None }
+    in
+    Mutex.lock t.mutex;
+    t.job <- Some job;
+    t.generation <- t.generation + 1;
+    Condition.broadcast t.work_cv;
+    Mutex.unlock t.mutex;
+    (* the submitter pulls tasks like any worker *)
+    drain t job;
+    Mutex.lock t.mutex;
+    while Atomic.get job.completed < n do
+      Condition.wait t.done_cv t.mutex
+    done;
+    t.job <- None;
+    Mutex.unlock t.mutex;
+    match job.error with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ()
+  end
+
+(** [map_init t n f] is [Array.init n f] with the [f i] computed across the
+    pool.  [f] must be pure per index (indices are computed exactly once). *)
+let map_init t n f =
+  if n <= 0 then [||]
+  else begin
+    let results = Array.make n None in
+    parallel_for t n (fun i -> results.(i) <- Some (f i));
+    Array.map (function Some x -> x | None -> assert false) results
+  end
+
+(** Stop the worker domains and join them.  The pool must not be used
+    afterwards. *)
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stop <- true;
+  Condition.broadcast t.work_cv;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.domains;
+  t.domains <- []
+
+(* ------------------------------------------------------------------ *)
+(* Process-wide pools                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(** Default parallelism: the [MPP_DOMAINS] environment variable; 1 (serial)
+    when unset or invalid.  Deliberately not clamped to the core count —
+    oversubscribing is how the determinism suite exercises the parallel
+    paths on small machines. *)
+let default_domains () =
+  match Sys.getenv_opt "MPP_DOMAINS" with
+  | None -> 1
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | _ -> 1)
+
+(* One cached pool per requested size, created on first use and kept for the
+   process lifetime — executors come and go per query; domains should not. *)
+let pools : (int, t) Hashtbl.t = Hashtbl.create 4
+let pools_mutex = Mutex.create ()
+
+let serial = create 1
+
+(** A process-wide pool of [domains] total domains, created on first use and
+    cached (so per-query executors never pay domain spawns). *)
+let get ~domains =
+  let domains = max 1 domains in
+  if domains = 1 then serial
+  else begin
+    Mutex.lock pools_mutex;
+    let pool =
+      match Hashtbl.find_opt pools domains with
+      | Some p -> p
+      | None ->
+          let p = create domains in
+          Hashtbl.replace pools domains p;
+          p
+    in
+    Mutex.unlock pools_mutex;
+    pool
+  end

@@ -1,0 +1,34 @@
+(** A small reusable OCaml 5 domain pool for segment-parallel execution.
+
+    [create n] spawns [n - 1] worker domains; the submitting domain
+    participates in every job, so a pool of size [n] runs tasks on exactly
+    [n] domains.  Jobs are submitted one at a time ({!parallel_for} blocks
+    until the job drains), which matches the executor's serial plan walk
+    with parallel per-segment loops.  Size-1 pools run serially with no
+    synchronization. *)
+
+type t
+
+val create : int -> t
+(** [create n] — a pool of [n] total domains (clamped to at least 1). *)
+
+val size : t -> int
+(** Total domains participating, caller included. *)
+
+val parallel_for : t -> int -> (int -> unit) -> unit
+(** [parallel_for t n f] runs [f 0 .. f (n - 1)] across the pool and waits
+    for completion.  An exception raised by any task is re-raised in the
+    caller after the job drains. *)
+
+val map_init : t -> int -> (int -> 'a) -> 'a array
+(** [Array.init] with the elements computed across the pool. *)
+
+val shutdown : t -> unit
+(** Join the worker domains; the pool must not be used afterwards. *)
+
+val default_domains : unit -> int
+(** The [MPP_DOMAINS] environment variable; 1 (serial) when unset/invalid. *)
+
+val get : domains:int -> t
+(** A process-wide pool of [domains] total domains, created on first use and
+    cached for the process lifetime. *)

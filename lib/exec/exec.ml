@@ -2,25 +2,47 @@
     simulated MPP cluster.
 
     Execution is segment-synchronous: every operator produces, for each
-    segment, the rows that operator would emit on that segment; [Motion]
-    nodes re-shuffle the per-segment row sets.  Side-effect ordering follows
-    the paper's conventions — [Sequence] children run left to right and a
-    join's left child runs before its right child — so a PartitionSelector
-    always executes (and pushes its OIDs into the per-segment {!Channel})
-    before the DynamicScan that consumes them.
+    segment, the batch of rows that operator would emit on that segment;
+    [Motion] nodes re-shuffle the per-segment batches.  Side-effect ordering
+    follows the paper's conventions — [Sequence] children run left to right
+    and a join's left child runs before its right child — so a
+    PartitionSelector always executes (and pushes its OIDs into the
+    per-segment {!Channel}) before the DynamicScan that consumes them.
 
-    Rows are flat [Value.t array]s; each operator's output carries a layout
-    mapping range-table indices to offsets so column references evaluate
-    positionally. *)
+    Three hot-path design decisions (the Figure 15 argument, applied to the
+    whole executor, plus the paper's MPP premise):
+
+    - {b Compiled expressions.}  Every operator compiles its expressions
+      once via {!Expr.compile} / {!Expr.compile_pred}: column references
+      resolve to fixed tuple offsets at compile time, parameters are bound,
+      and evaluation is a closure over the flat row — no per-row environment
+      records, no per-row layout search.
+    - {b Batch rows.}  Per-segment row sets are {!Mpp_storage.Vec.t}
+      batches, not lists: appends are amortized array stores, sizes are O(1)
+      (hash-join builds size their tables exactly), and unfiltered scans
+      alias the live storage heap zero-copy.  Operators treat input batches
+      as immutable.
+    - {b Segment parallelism.}  Each operator's per-segment work fans out
+      across a {!Dpool} domain pool (knob: [MPP_DOMAINS] / [?domains]).  The
+      plan walk itself stays on the coordinating domain; {!Channel} and
+      {!Metrics} are sharded per segment so the parallel sections share no
+      mutable state — segment [s]'s domain is the only toucher of shard
+      [s]. *)
 
 open Mpp_expr
 module Plan = Mpp_plan.Plan
+module Vec = Mpp_storage.Vec
+
+type row = Value.t array
 
 type ctx = {
   catalog : Mpp_catalog.Catalog.t;
   storage : Mpp_storage.Storage.t;
-  channel : Channel.t;
-  metrics : Metrics.t;
+  channel : Channel.t;  (** sharded per segment *)
+  metrics : Metrics.t array;
+      (** one shard per segment; shard 0 additionally takes the
+          coordinator-side counters (Motion volumes, DML row counts).
+          {!metrics} merges them into the per-query total. *)
   params : Value.t array;
   selection_enabled : bool;
       (** when [false], PartitionSelectors ignore their predicates and push
@@ -30,31 +52,46 @@ type ctx = {
       (** when set, the interpreter records per-plan-node actual rows,
           partitions scanned and wall time (the EXPLAIN ANALYZE data);
           [None] skips all per-node bookkeeping *)
+  pool : Dpool.t;  (** executes the per-segment loops *)
 }
 
-let create_ctx ?(params = [||]) ?(selection_enabled = true) ?stats ~catalog
-    ~storage () =
+let create_ctx ?(params = [||]) ?(selection_enabled = true) ?stats ?domains
+    ~catalog ~storage () =
+  let nsegs = Mpp_storage.Storage.nsegments storage in
+  let domains =
+    match domains with Some d -> d | None -> Dpool.default_domains ()
+  in
   {
     catalog;
     storage;
-    channel = Channel.create ();
-    metrics = Metrics.create ();
+    channel = Channel.create ~nsegments:nsegs;
+    metrics = Array.init nsegs (fun _ -> Metrics.create ());
     params;
     selection_enabled;
     stats;
+    pool = Dpool.get ~domains;
   }
 
 type result = {
   layout : (int * int) list;  (** (range-table index, width) left to right *)
-  rows : Value.t array list array;  (** one row list per segment *)
+  rows : row Vec.t array;  (** one row batch per segment *)
 }
 
 let nsegments ctx = Mpp_storage.Storage.nsegments ctx.storage
 
-let empty_rows ctx = Array.make (nsegments ctx) []
+let empty_rows ctx = Array.init (nsegments ctx) (fun _ -> Vec.create ())
+
+(** The per-query metrics total: all per-segment shards merged. *)
+let metrics ctx = Metrics.merge_all ctx.metrics
+
+(* Per-segment fan-out: one task per segment across the domain pool.  The
+   closure for segment [s] may only touch per-segment state (its own output
+   batch, channel shard [s], metrics shard [s]). *)
+let par_init ctx (f : int -> 'a) : 'a array =
+  Dpool.map_init ctx.pool (nsegments ctx) f
 
 (* ------------------------------------------------------------------ *)
-(* Layout and environment plumbing                                     *)
+(* Layout plumbing and expression compilation                          *)
 (* ------------------------------------------------------------------ *)
 
 let offset_of layout rel =
@@ -66,35 +103,29 @@ let offset_of layout rel =
 
 let layout_width layout = List.fold_left (fun acc (_, w) -> acc + w) 0 layout
 
-let env_of ctx layout (tuple : Value.t array) : Expr.env =
-  {
-    Expr.col =
-      (fun c ->
-        match offset_of layout c.Colref.rel with
-        | Some off -> tuple.(off + c.Colref.index)
-        | None ->
-            invalid_arg
-              (Printf.sprintf "Exec: column %s not in scope"
-                 (Colref.to_string c)));
-    Expr.param =
-      (fun i ->
-        if i < Array.length ctx.params then ctx.params.(i)
-        else invalid_arg (Printf.sprintf "Exec: unbound parameter $%d" i));
-  }
+(* The compile-time column resolver for an operator's input layout: the
+   linear search happens once per compiled column reference, never per
+   row. *)
+let resolver layout : Colref.t -> int =
+ fun c ->
+  match offset_of layout c.Colref.rel with
+  | Some off -> off + c.Colref.index
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Exec: column %s not in scope" (Colref.to_string c))
+
+let compile_expr ctx layout e =
+  Expr.compile ~resolve:(resolver layout) ~params:ctx.params e
+
+let compile_filter ctx layout e =
+  Expr.compile_pred ~resolve:(resolver layout) ~params:ctx.params e
 
 (* Column lookup that yields [None] for out-of-scope relations; used to
    specialize selector predicates with the columns that are in scope. *)
-let partial_lookup layout (tuple : Value.t array) (c : Colref.t) =
+let partial_lookup layout (tuple : row) (c : Colref.t) =
   match offset_of layout c.Colref.rel with
   | Some off -> Some tuple.(off + c.Colref.index)
   | None -> None
-
-let eval_filter ctx layout pred row = Expr.eval_pred (env_of ctx layout row) pred
-
-let apply_opt_filter ctx layout filter rows =
-  match filter with
-  | None -> rows
-  | Some pred -> List.filter (eval_filter ctx layout pred) rows
 
 (* ------------------------------------------------------------------ *)
 (* Scans                                                               *)
@@ -105,10 +136,11 @@ let root_oid_of ctx oid =
   | Some root -> root
   | None -> oid
 
+(* Zero-copy: the live heap batch.  Callers must not mutate it. *)
 let scan_physical ctx ~segment ~oid =
-  let rows = Mpp_storage.Storage.scan_list ctx.storage ~segment ~oid in
-  Metrics.record_scan ctx.metrics ~root_oid:(root_oid_of ctx oid) ~part_oid:oid
-    ~rows:(Mpp_storage.Storage.count_segment ctx.storage ~segment ~oid);
+  let rows = Mpp_storage.Storage.scan_vec ctx.storage ~segment ~oid in
+  Metrics.record_scan ctx.metrics.(segment) ~root_oid:(root_oid_of ctx oid)
+    ~part_oid:oid ~rows:(Vec.length rows);
   rows
 
 let table_width ctx oid =
@@ -118,31 +150,44 @@ let exec_table_scan ctx ~rel ~table_oid ~filter ~guard =
   let root = root_oid_of ctx table_oid in
   let width = table_width ctx root in
   let layout = [ (rel, width) ] in
+  let pred = Option.map (compile_filter ctx layout) filter in
   let rows =
-    Array.init (nsegments ctx) (fun segment ->
+    par_init ctx (fun segment ->
         let skipped =
           match guard with
           | None -> false
           | Some part_scan_id ->
-              not
-                (List.mem table_oid
-                   (Channel.consume ctx.channel ~segment ~part_scan_id))
+              not (Channel.mem ctx.channel ~segment ~part_scan_id table_oid)
         in
-        if skipped then []
+        if skipped then Vec.create ()
         else
-          scan_physical ctx ~segment ~oid:table_oid
-          |> apply_opt_filter ctx layout filter)
+          let heap = scan_physical ctx ~segment ~oid:table_oid in
+          match pred with None -> heap | Some p -> Vec.filter p heap)
   in
   { layout; rows }
 
 let exec_dynamic_scan ctx ~rel ~part_scan_id ~root_oid ~filter =
   let width = table_width ctx root_oid in
   let layout = [ (rel, width) ] in
+  let pred = Option.map (compile_filter ctx layout) filter in
   let rows =
-    Array.init (nsegments ctx) (fun segment ->
-        Channel.consume ctx.channel ~segment ~part_scan_id
-        |> List.concat_map (fun oid -> scan_physical ctx ~segment ~oid)
-        |> apply_opt_filter ctx layout filter)
+    par_init ctx (fun segment ->
+        match (Channel.consume ctx.channel ~segment ~part_scan_id, pred) with
+        | [ oid ], None ->
+            (* single selected partition, no filter: alias its heap *)
+            scan_physical ctx ~segment ~oid
+        | oids, None ->
+            (* no filter: exactly-sized concatenation of the partition
+               heaps, one allocation *)
+            Vec.concat
+              (List.map (fun oid -> scan_physical ctx ~segment ~oid) oids)
+        | oids, Some p ->
+            let out = Vec.create () in
+            List.iter
+              (fun oid ->
+                Vec.filter_into ~dst:out p (scan_physical ctx ~segment ~oid))
+              oids;
+            out)
   in
   { layout; rows }
 
@@ -213,8 +258,8 @@ let compile_selector ctx ~keys ~predicates : level_selector array =
   |> Array.of_list
 
 (* Row-independent selection (leaf selectors, Figure 5(a–c)): compute the
-   OID set once and push it on the given segment. *)
-let run_static_selection ctx ~segment ~part_scan_id ~root_oid
+   OID set once and push it on every segment. *)
+let run_static_selection ctx ~part_scan_id ~root_oid
     (selectors : level_selector array) =
   let partitioning = partitioning_of ctx root_oid in
   let restrictions =
@@ -227,57 +272,78 @@ let run_static_selection ctx ~segment ~part_scan_id ~root_oid
             None)
       selectors
   in
-  Mpp_catalog.Partition.select_oids partitioning restrictions
-  |> List.iter (fun oid ->
-         Channel.propagate ctx.channel ~segment ~part_scan_id oid)
+  let oids = Mpp_catalog.Partition.select_oids partitioning restrictions in
+  for segment = 0 to nsegments ctx - 1 do
+    List.iter
+      (fun oid -> Channel.propagate ctx.channel ~segment ~part_scan_id oid)
+      oids
+  done
 
 (* Row-driven selection (the DPE case, Figure 5(d)): evaluate the compiled
-   selectors against each row, memoizing per distinct key-value tuple. *)
+   selectors against each row, memoizing per distinct key-value tuple.  The
+   memo only helps when no level needs the general per-row re-analysis, so
+   that check is hoisted out of the row loop — with a dynamic level present
+   the fast-key tuples are never even built. *)
 let run_streaming_selection ctx ~part_scan_id ~root_oid ~keys
     (selectors : level_selector array) (child : result) =
   let partitioning = partitioning_of ctx root_oid in
-  Array.iteri
-    (fun segment rows ->
-      let seen : (Value.t option list, unit) Hashtbl.t = Hashtbl.create 64 in
-      List.iter
-        (fun row ->
-          let env = env_of ctx child.layout row in
-          (* cheap memo key: the per-level point values (None for static /
-             unrestricted levels, which contribute nothing row-specific) *)
-          let fast_key =
-            Array.to_list
-              (Array.map
-                 (function
-                   | Sel_point e -> Some (Expr.eval env e)
-                   | Sel_none | Sel_static _ | Sel_dynamic _ -> None)
-                 selectors)
-          in
-          let general = Array.exists (function Sel_dynamic _ -> true | _ -> false)
-              selectors in
-          if general || not (Hashtbl.mem seen fast_key) then begin
-            if not general then Hashtbl.replace seen fast_key ();
-            let restrictions =
-              Array.map2
-                (fun sel key ->
-                  match sel with
-                  | Sel_none -> None
-                  | Sel_static set -> Some set
-                  | Sel_point e -> (
-                      match Expr.eval env e with
-                      | Value.Null -> Some Interval.Set.empty
-                      | v -> Some (Interval.Set.point v))
-                  | Sel_dynamic p ->
-                      Expr.restriction key
-                        (Expr.subst_cols (partial_lookup child.layout row) p))
-                selectors
-                (Array.of_list keys)
-            in
-            Mpp_catalog.Partition.select_oids partitioning restrictions
-            |> List.iter (fun oid ->
-                   Channel.propagate ctx.channel ~segment ~part_scan_id oid)
-          end)
-        rows)
-    child.rows
+  let keys = Array.of_list keys in
+  let general =
+    Array.exists (function Sel_dynamic _ -> true | _ -> false) selectors
+  in
+  let resolve = resolver child.layout in
+  (* compile the per-level point expressions once, not per row *)
+  let points =
+    Array.map
+      (function
+        | Sel_point e -> Some (Expr.compile ~resolve ~params:ctx.params e)
+        | Sel_none | Sel_static _ | Sel_dynamic _ -> None)
+      selectors
+  in
+  ignore
+    (par_init ctx (fun segment ->
+         let select_for row =
+           let restrictions =
+             Array.mapi
+               (fun i sel ->
+                 match sel with
+                 | Sel_none -> None
+                 | Sel_static set -> Some set
+                 | Sel_point _ -> (
+                     match (Option.get points.(i)) row with
+                     | Value.Null -> Some Interval.Set.empty
+                     | v -> Some (Interval.Set.point v))
+                 | Sel_dynamic p ->
+                     Expr.restriction keys.(i)
+                       (Expr.subst_cols (partial_lookup child.layout row) p))
+               selectors
+           in
+           Mpp_catalog.Partition.select_oids partitioning restrictions
+           |> List.iter (fun oid ->
+                  Channel.propagate ctx.channel ~segment ~part_scan_id oid)
+         in
+         let rows = child.rows.(segment) in
+         if general then Vec.iter select_for rows
+         else begin
+           (* cheap memo key: the per-level point values (None for static /
+              unrestricted levels, which contribute nothing row-specific) *)
+           let seen : (Value.t option list, unit) Hashtbl.t =
+             Hashtbl.create 64
+           in
+           Vec.iter
+             (fun row ->
+               let fast_key =
+                 Array.to_list
+                   (Array.map
+                      (function Some f -> Some (f row) | None -> None)
+                      points)
+               in
+               if not (Hashtbl.mem seen fast_key) then begin
+                 Hashtbl.replace seen fast_key ();
+                 select_for row
+               end)
+             rows
+         end))
 
 (* ------------------------------------------------------------------ *)
 (* Joins                                                               *)
@@ -319,62 +385,105 @@ let exec_join ctx ~kind ~pred ~(left : result) ~(right : result) ~hash =
     if hash then equi_keys ~left_rels ~right_rels pred else ([], [ pred ])
   in
   let residual_pred = Expr.conj residual in
-  let eval_keys layout row exprs =
-    List.map (fun e -> Expr.eval (env_of ctx layout row) e) exprs
+  (* compiled once per join: key extractors over each side's layout, the
+     residual over the concatenated layout *)
+  let lkey_fns =
+    Array.of_list (List.map (fun (a, _) -> compile_expr ctx left.layout a) keys)
+  and rkey_fns =
+    Array.of_list
+      (List.map (fun (_, b) -> compile_expr ctx right.layout b) keys)
   in
+  let nkeys = Array.length lkey_fns in
+  let residual_fn =
+    if Expr.equal residual_pred Expr.true_ then None
+    else Some (compile_filter ctx joined_layout residual_pred)
+  in
+  (* [Some key-values], or [None] if any key is NULL (never matches) *)
+  let eval_keys (fns : (row -> Value.t) array) r =
+    let rec go i acc =
+      if i < 0 then Some acc
+      else
+        let v = fns.(i) r in
+        if Value.is_null v then None else go (i - 1) (v :: acc)
+    in
+    go (nkeys - 1) []
+  in
+  let rwidth = layout_width right.layout in
   let rows =
-    Array.init (nsegments ctx) (fun seg ->
+    par_init ctx (fun seg ->
         let build = left.rows.(seg) and probe = right.rows.(seg) in
-        let table = Hashtbl.create (List.length build) in
-        let lkeys = List.map fst keys and rkeys = List.map snd keys in
-        if keys <> [] then
-          List.iter
-            (fun brow ->
-              let k = eval_keys left.layout brow lkeys in
-              if not (List.exists Value.is_null k) then
-                Hashtbl.add table k brow)
-            build;
-        let candidates probe_row =
-          if keys = [] then build
-          else
-            let k = eval_keys right.layout probe_row rkeys in
-            if List.exists Value.is_null k then []
-            else Hashtbl.find_all table k
+        let nbuild = Vec.length build in
+        let table : (Value.t list, int) Hashtbl.t =
+          Hashtbl.create (max 16 nbuild)
         in
-        let matched_left = Hashtbl.create 16 in
-        let out = ref [] in
-        List.iter
-          (fun prow ->
-            let cands = candidates prow in
-            let emitted = ref false in
-            List.iter
-              (fun brow ->
-                let row = Array.append brow prow in
-                if
-                  Expr.equal residual_pred Expr.true_
-                  || eval_filter ctx joined_layout residual_pred row
-                then begin
-                  (match kind with
-                  | Plan.Semi ->
-                      if not !emitted then out := prow :: !out
-                  | Plan.Inner | Plan.Left_outer -> out := row :: !out);
-                  emitted := true;
-                  Hashtbl.replace matched_left brow ()
-                end)
-              cands)
-          probe;
-        (* Left_outer with left = preserved side: emit unmatched build rows
-           padded with NULLs. *)
-        (match kind with
-        | Plan.Left_outer ->
-            let rwidth = layout_width right.layout in
-            List.iter
-              (fun brow ->
-                if not (Hashtbl.mem matched_left brow) then
-                  out := Array.append brow (null_row rwidth) :: !out)
-              build
-        | Plan.Inner | Plan.Semi -> ());
-        List.rev !out)
+        if nkeys > 0 then
+          (* insert back to front so [find_all] yields ascending build
+             order — deterministic output without per-probe reversals *)
+          for bi = nbuild - 1 downto 0 do
+            match eval_keys lkey_fns (Vec.unsafe_get build bi) with
+            | Some k -> Hashtbl.add table k bi
+            | None -> ()
+          done;
+        let out = Vec.create () in
+        let semi_fast = kind = Plan.Semi && residual_fn = None in
+        if semi_fast then
+          (* Semi with trivial residual: probe-row emission only needs a
+             match witness — no concatenated row is ever materialized *)
+          Vec.iter
+            (fun prow ->
+              let witness =
+                if nkeys = 0 then nbuild > 0
+                else
+                  match eval_keys rkey_fns prow with
+                  | None -> false
+                  | Some k -> Hashtbl.mem table k
+              in
+              if witness then Vec.push out prow)
+            probe
+        else begin
+          (* matched-build tracking by INDEX, not by row value: duplicate
+             identical build rows each keep their own outer-join status *)
+          let matched =
+            if kind = Plan.Left_outer then Bytes.make nbuild '\000'
+            else Bytes.empty
+          in
+          let all_build = lazy (List.init nbuild (fun i -> i)) in
+          Vec.iter
+            (fun prow ->
+              let cands =
+                if nkeys = 0 then Lazy.force all_build
+                else
+                  match eval_keys rkey_fns prow with
+                  | None -> []
+                  | Some k -> Hashtbl.find_all table k
+              in
+              let emitted = ref false in
+              List.iter
+                (fun bi ->
+                  let brow = Vec.unsafe_get build bi in
+                  let jrow = Array.append brow prow in
+                  let ok =
+                    match residual_fn with None -> true | Some f -> f jrow
+                  in
+                  if ok then begin
+                    (match kind with
+                    | Plan.Semi -> if not !emitted then Vec.push out prow
+                    | Plan.Inner | Plan.Left_outer -> Vec.push out jrow);
+                    emitted := true;
+                    if kind = Plan.Left_outer then Bytes.set matched bi '\001'
+                  end)
+                cands)
+            probe;
+          (* Left_outer with left = preserved side: emit unmatched build
+             rows padded with NULLs. *)
+          if kind = Plan.Left_outer then
+            for bi = 0 to nbuild - 1 do
+              if Bytes.get matched bi = '\000' then
+                Vec.push out
+                  (Array.append (Vec.unsafe_get build bi) (null_row rwidth))
+            done
+        end;
+        out)
   in
   { layout; rows }
 
@@ -437,64 +546,88 @@ let agg_arg = function
   | Plan.Count e | Plan.Sum e | Plan.Avg e | Plan.Min e | Plan.Max e -> Some e
 
 let exec_agg ctx ~group_by ~aggs ~output_rel ~(child : result) =
-  let out_width = List.length group_by + List.length aggs in
+  let ngroup = List.length group_by in
+  let out_width = ngroup + List.length aggs in
   let layout = [ (output_rel, out_width) ] in
+  (* compiled once: group-key extractors and aggregate arguments *)
+  let key_fns =
+    Array.of_list (List.map (compile_expr ctx child.layout) group_by)
+  in
+  let agg_fns =
+    Array.of_list
+      (List.map
+         (fun (_, f) -> (f, Option.map (compile_expr ctx child.layout) (agg_arg f)))
+         aggs)
+  in
+  let naggs = Array.length agg_fns in
   let rows =
-    Array.mapi
-      (fun segment seg_rows ->
-        let groups : (Value.t list, int ref * agg_state list) Hashtbl.t =
+    par_init ctx (fun segment ->
+        let seg_rows = child.rows.(segment) in
+        let groups : (Value.t list, int ref * agg_state array) Hashtbl.t =
           Hashtbl.create 64
         in
-        List.iter
-          (fun row ->
-            let env = env_of ctx child.layout row in
-            let key = List.map (Expr.eval env) group_by in
+        (* group output in deterministic first-seen order *)
+        let order : Value.t list Vec.t = Vec.create () in
+        Vec.iter
+          (fun r ->
+            let key =
+              Array.fold_right (fun f acc -> f r :: acc) key_fns []
+            in
             let nrows, states =
               match Hashtbl.find_opt groups key with
               | Some s -> s
               | None ->
                   let s =
-                    (ref 0, List.map (fun _ -> new_agg_state ()) aggs)
+                    (ref 0, Array.init naggs (fun _ -> new_agg_state ()))
                   in
                   Hashtbl.replace groups key s;
+                  Vec.push order key;
                   s
             in
             incr nrows;
-            List.iter2
-              (fun (_, f) st ->
-                match agg_arg f with
-                | None -> ()
-                | Some e -> agg_feed st (Expr.eval env e))
-              aggs states)
+            for i = 0 to naggs - 1 do
+              match snd agg_fns.(i) with
+              | None -> ()
+              | Some f -> agg_feed states.(i) (f r)
+            done)
           seg_rows;
-        if Hashtbl.length groups = 0 && group_by = [] then
+        if Hashtbl.length groups = 0 && ngroup = 0 then begin
           (* A scalar aggregate over empty input still yields one row; emit
              it on the first segment only — the final aggregate runs above a
              Gather, so this is the master's row. *)
+          let out = Vec.create () in
           if segment = 0 then
-            [ Array.of_list
-                (List.map
-                   (fun (_, f) -> agg_result f ~nrows:0 (new_agg_state ()))
-                   aggs) ]
-          else []
-        else
-          Hashtbl.fold
-            (fun key (nrows, states) acc ->
-              let values =
-                key
-                @ List.map2
-                    (fun (_, f) st -> agg_result f ~nrows:!nrows st)
-                    aggs states
-              in
-              Array.of_list values :: acc)
-            groups [])
-      child.rows
+            Vec.push out
+              (Array.of_list
+                 (List.map
+                    (fun (_, f) -> agg_result f ~nrows:0 (new_agg_state ()))
+                    aggs));
+          out
+        end
+        else begin
+          let out = Vec.create () in
+          Vec.iter
+            (fun key ->
+              let nrows, states = Hashtbl.find groups key in
+              let r = Array.make out_width Value.Null in
+              List.iteri (fun i v -> r.(i) <- v) key;
+              for i = 0 to naggs - 1 do
+                r.(ngroup + i) <-
+                  agg_result (fst agg_fns.(i)) ~nrows:!nrows states.(i)
+              done;
+              Vec.push out r)
+            order;
+          out
+        end)
   in
   { layout; rows }
 
 (* ------------------------------------------------------------------ *)
 (* DML                                                                 *)
 (* ------------------------------------------------------------------ *)
+
+(* DML mutates shared storage, so it runs on the coordinating domain; its
+   counters go to metrics shard 0. *)
 
 let exec_update ctx ~rel ~table_oid ~set_exprs ~(child : result) =
   let table = Mpp_catalog.Catalog.find_oid ctx.catalog table_oid in
@@ -504,20 +637,20 @@ let exec_update ctx ~rel ~table_oid ~set_exprs ~(child : result) =
     | Some o -> o
     | None -> invalid_arg "Exec: Update target not in child output"
   in
+  let set_fns =
+    List.map (fun (col, e) -> (col, compile_expr ctx child.layout e)) set_exprs
+  in
   let updated = ref 0 in
   (* Collect (segment, physical oid, old tuple, new tuple) actions first so
      the scan underneath is not disturbed mid-flight. *)
   let actions = ref [] in
   Array.iteri
     (fun seg rows ->
-      List.iter
-        (fun row ->
-          let old_tuple = Array.sub row off width in
+      Vec.iter
+        (fun r ->
+          let old_tuple = Array.sub r off width in
           let new_tuple = Array.copy old_tuple in
-          let env = env_of ctx child.layout row in
-          List.iter
-            (fun (col, e) -> new_tuple.(col) <- Expr.eval env e)
-            set_exprs;
+          List.iter (fun (col, f) -> new_tuple.(col) <- f r) set_fns;
           let old_oid = Mpp_storage.Storage.physical_oid table old_tuple in
           actions := (seg, old_oid, old_tuple, new_tuple) :: !actions)
         rows)
@@ -564,10 +697,10 @@ let exec_update ctx ~rel ~table_oid ~set_exprs ~(child : result) =
       Mpp_storage.Storage.insert ctx.storage table new_tuple;
       incr updated)
     !actions;
-  ctx.metrics.Metrics.rows_updated <-
-    ctx.metrics.Metrics.rows_updated + !updated;
+  ctx.metrics.(0).Metrics.rows_updated <-
+    ctx.metrics.(0).Metrics.rows_updated + !updated;
   let rows = empty_rows ctx in
-  rows.(0) <- [ [| Value.Int !updated |] ];
+  Vec.push rows.(0) [| Value.Int !updated |];
   { layout = [ (-1, 1) ]; rows }
 
 let exec_delete ctx ~rel ~table_oid ~(child : result) =
@@ -582,9 +715,9 @@ let exec_delete ctx ~rel ~table_oid ~(child : result) =
   let touched = Hashtbl.create 16 in
   Array.iteri
     (fun seg rows ->
-      List.iter
-        (fun row ->
-          let old_tuple = Array.sub row off width in
+      Vec.iter
+        (fun r ->
+          let old_tuple = Array.sub r off width in
           let oid = Mpp_storage.Storage.physical_oid table old_tuple in
           let key = (seg, oid) in
           let dels =
@@ -619,54 +752,53 @@ let exec_delete ctx ~rel ~table_oid ~(child : result) =
       Mpp_storage.Storage.replace_heap ctx.storage ~segment:seg ~oid
         (List.rev !remaining))
     touched;
-  ctx.metrics.Metrics.rows_deleted <-
-    ctx.metrics.Metrics.rows_deleted + !deleted;
+  ctx.metrics.(0).Metrics.rows_deleted <-
+    ctx.metrics.(0).Metrics.rows_deleted + !deleted;
   let rows = empty_rows ctx in
-  rows.(0) <- [ [| Value.Int !deleted |] ];
+  Vec.push rows.(0) [| Value.Int !deleted |];
   { layout = [ (-1, 1) ]; rows }
 
 (* ------------------------------------------------------------------ *)
 (* Motion                                                              *)
 (* ------------------------------------------------------------------ *)
 
+(* Motions cross segment boundaries — the one operator family whose work is
+   inherently not per-segment — so they run on the coordinating domain and
+   record into metrics shard 0. *)
 let exec_motion ctx ~kind ~(child : result) =
   let n = nsegments ctx in
-  let total = Array.fold_left (fun acc l -> acc + List.length l) 0 child.rows in
+  let total = Array.fold_left (fun acc v -> acc + Vec.length v) 0 child.rows in
+  let concat_all () = Vec.concat (Array.to_list child.rows) in
   let rows =
     match kind with
     | Plan.Gather ->
-        Metrics.record_motion ctx.metrics ~rows:total;
-        let all = List.concat (Array.to_list child.rows) in
-        Array.init n (fun i -> if i = 0 then all else [])
+        Metrics.record_motion ctx.metrics.(0) ~rows:total;
+        let all = concat_all () in
+        Array.init n (fun i -> if i = 0 then all else Vec.create ())
     | Plan.Gather_one ->
         (* the child is replicated: any single copy is the full result *)
         let one = child.rows.(0) in
-        Metrics.record_motion ctx.metrics ~rows:(List.length one);
-        Array.init n (fun i -> if i = 0 then one else [])
+        Metrics.record_motion ctx.metrics.(0) ~rows:(Vec.length one);
+        Array.init n (fun i -> if i = 0 then one else Vec.create ())
     | Plan.Broadcast ->
-        Metrics.record_motion ctx.metrics ~rows:(total * n);
-        let all = List.concat (Array.to_list child.rows) in
+        Metrics.record_motion ctx.metrics.(0) ~rows:(total * n);
+        let all = concat_all () in
+        (* every segment shares the same (immutable-by-convention) batch *)
         Array.make n all
     | Plan.Redistribute cols ->
-        Metrics.record_motion ctx.metrics ~rows:total;
-        let buckets = Array.make n [] in
+        Metrics.record_motion ctx.metrics.(0) ~rows:total;
+        (* hash-key offsets resolved once *)
+        let offs = List.map (resolver child.layout) cols in
+        let buckets = Array.init n (fun _ -> Vec.create ()) in
         Array.iter
-          (List.iter (fun row ->
-               let vs =
-                 List.map
-                   (fun c ->
-                     match partial_lookup child.layout row c with
-                     | Some v -> v
-                     | None ->
-                         invalid_arg "Exec: redistribute key out of scope")
-                   cols
-               in
+          (Vec.iter (fun r ->
+               let vs = List.map (fun off -> r.(off)) offs in
                let seg =
                  Mpp_catalog.Distribution.segment_for_values ~nsegments:n vs
                in
-               buckets.(seg) <- row :: buckets.(seg)))
+               Vec.push buckets.(seg) r))
           child.rows;
-        Array.map List.rev buckets
+        buckets
   in
   { child with rows }
 
@@ -711,7 +843,7 @@ let rec exec_at ctx id (plan : Plan.t) : result =
         n.Node_stats.time_s +. (Node_stats.time st -. t0);
       n.Node_stats.invocations <- n.Node_stats.invocations + 1;
       let emitted =
-        Array.fold_left (fun acc l -> acc + List.length l) 0 r.rows
+        Array.fold_left (fun acc v -> acc + Vec.length v) 0 r.rows
       in
       n.Node_stats.rows <- n.Node_stats.rows + emitted;
       (match plan with
@@ -733,9 +865,8 @@ let rec exec_at ctx id (plan : Plan.t) : result =
                   let hit = ref false in
                   for segment = 0 to nsegments ctx - 1 do
                     if
-                      List.mem table_oid
-                        (Channel.consume ctx.channel ~segment
-                           ~part_scan_id:gid)
+                      Channel.mem ctx.channel ~segment ~part_scan_id:gid
+                        table_oid
                     then hit := true
                   done;
                   !hit
@@ -764,9 +895,7 @@ and exec_node ctx id (plan : Plan.t) : result =
   | Plan.Partition_selector
       { part_scan_id; root_oid; keys; predicates; child = None } ->
       let selectors = compile_selector ctx ~keys ~predicates in
-      for segment = 0 to nsegments ctx - 1 do
-        run_static_selection ctx ~segment ~part_scan_id ~root_oid selectors
-      done;
+      run_static_selection ctx ~part_scan_id ~root_oid selectors;
       { layout = []; rows = empty_rows ctx }
   | Plan.Partition_selector
       { part_scan_id; root_oid; keys; predicates; child = Some c } ->
@@ -785,21 +914,20 @@ and exec_node ctx id (plan : Plan.t) : result =
       go 0 None children
   | Plan.Filter { pred; child } ->
       let r = kid 0 child in
-      {
-        r with
-        rows = Array.map (List.filter (eval_filter ctx r.layout pred)) r.rows;
-      }
+      let p = compile_filter ctx r.layout pred in
+      { r with rows = par_init ctx (fun seg -> Vec.filter p r.rows.(seg)) }
   | Plan.Project { exprs; child } ->
       let r = kid 0 child in
       let layout = [ (-1, List.length exprs) ] in
+      let fns =
+        Array.of_list
+          (List.map (fun (_, e) -> compile_expr ctx r.layout e) exprs)
+      in
       {
         layout;
         rows =
-          Array.map
-            (List.map (fun row ->
-                 let env = env_of ctx r.layout row in
-                 Array.of_list (List.map (fun (_, e) -> Expr.eval env e) exprs)))
-            r.rows;
+          par_init ctx (fun seg ->
+              Vec.map (fun row -> Array.map (fun f -> f row) fns) r.rows.(seg));
       }
   | Plan.Hash_join { kind; pred; left; right } ->
       let l = kid 0 left in
@@ -814,20 +942,20 @@ and exec_node ctx id (plan : Plan.t) : result =
       exec_agg ctx ~group_by ~aggs ~output_rel ~child:r
   | Plan.Sort { keys; child } ->
       let r = kid 0 child in
+      let fns = List.map (compile_expr ctx r.layout) keys in
       let cmp a b =
-        let env_a = env_of ctx r.layout a and env_b = env_of ctx r.layout b in
         let rec go = function
           | [] -> 0
-          | k :: rest ->
-              let c = Value.compare (Expr.eval env_a k) (Expr.eval env_b k) in
+          | f :: rest ->
+              let c = Value.compare (f a) (f b) in
               if c <> 0 then c else go rest
         in
-        go keys
+        go fns
       in
-      { r with rows = Array.map (List.sort cmp) r.rows }
+      { r with rows = par_init ctx (fun seg -> Vec.sorted cmp r.rows.(seg)) }
   | Plan.Limit { rows = n; child } ->
       let r = kid 0 child in
-      { r with rows = Array.map (fun l -> List.filteri (fun i _ -> i < n) l) r.rows }
+      { r with rows = Array.map (Vec.take n) r.rows }
   | Plan.Motion { kind; child } ->
       let r = kid 0 child in
       exec_motion ctx ~kind ~child:r
@@ -839,8 +967,8 @@ and exec_node ctx id (plan : Plan.t) : result =
           {
             layout = first.layout;
             rows =
-              Array.init (nsegments ctx) (fun seg ->
-                  List.concat_map (fun r -> r.rows.(seg)) results);
+              par_init ctx (fun seg ->
+                  Vec.concat (List.map (fun r -> r.rows.(seg)) results));
           })
   | Plan.Update { rel; table_oid; set_exprs; child } ->
       let r = kid 0 child in
@@ -850,36 +978,39 @@ and exec_node ctx id (plan : Plan.t) : result =
       exec_delete ctx ~rel ~table_oid ~child:r
   | Plan.Insert { table_oid; rows } ->
       let table = Mpp_catalog.Catalog.find_oid ctx.catalog table_oid in
-      let env = { (env_of ctx [] [||]) with Expr.param =
-          (fun i ->
-            if i < Array.length ctx.params then ctx.params.(i)
-            else invalid_arg (Printf.sprintf "Exec: unbound parameter $%d" i)) }
-      in
+      (* VALUES rows reference no columns; compile against the empty layout
+         (parameters are bound, stray columns raise as before) *)
       List.iter
-        (fun row ->
-          Mpp_storage.Storage.insert ctx.storage table
-            (Array.of_list (List.map (Expr.eval env) row)))
+        (fun r ->
+          let tuple =
+            Array.of_list (List.map (fun e -> compile_expr ctx [] e [||]) r)
+          in
+          Mpp_storage.Storage.insert ctx.storage table tuple)
         rows;
       let out = empty_rows ctx in
-      out.(0) <- [ [| Value.Int (List.length rows) |] ];
+      Vec.push out.(0) [| Value.Int (List.length rows) |];
       { layout = [ (-1, 1) ]; rows = out }
 
 (** Evaluate a plan with this context; the root gets pre-order index 0. *)
 let exec ctx (plan : Plan.t) : result = exec_at ctx 0 plan
 
 (** Execute [plan] and gather all segments' output rows on the master. *)
-let run ?(params = [||]) ?(selection_enabled = true) ?stats ~catalog ~storage
-    plan =
-  let ctx = create_ctx ~params ~selection_enabled ?stats ~catalog ~storage () in
+let run ?(params = [||]) ?(selection_enabled = true) ?stats ?domains ~catalog
+    ~storage plan =
+  let ctx =
+    create_ctx ~params ~selection_enabled ?stats ?domains ~catalog ~storage ()
+  in
   let r = exec ctx plan in
-  let rows = List.concat (Array.to_list r.rows) in
-  (rows, ctx.metrics)
+  let rows =
+    List.concat (Array.to_list (Array.map Vec.to_list r.rows))
+  in
+  (rows, metrics ctx)
 
 (** Execute [plan] collecting per-node EXPLAIN ANALYZE statistics. *)
-let run_analyze ?(params = [||]) ?(selection_enabled = true) ~catalog ~storage
-    plan =
+let run_analyze ?(params = [||]) ?(selection_enabled = true) ?domains ~catalog
+    ~storage plan =
   let stats = Node_stats.create () in
   let rows, metrics =
-    run ~params ~selection_enabled ~stats ~catalog ~storage plan
+    run ~params ~selection_enabled ~stats ?domains ~catalog ~storage plan
   in
   (rows, metrics, stats)

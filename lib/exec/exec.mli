@@ -2,22 +2,35 @@
     cluster.
 
     Execution is segment-synchronous — each operator produces, per segment,
-    the rows it would emit there; Motions re-shuffle the per-segment sets.
-    Side-effect ordering follows the paper: Sequence children and a join's
-    left child run first, so a PartitionSelector always pushes its OIDs into
-    the per-segment {!Channel} before the DynamicScan consumes them.
-    Selectors are compiled once per plan node (static / point-equality /
-    general paths, memoized per distinct key value) rather than interpreted
-    per row — the specialized functions of paper §3.2, Figure 15. *)
+    the batch of rows it would emit there; Motions re-shuffle the
+    per-segment batches.  Side-effect ordering follows the paper: Sequence
+    children and a join's left child run first, so a PartitionSelector
+    always pushes its OIDs into the per-segment {!Channel} before the
+    DynamicScan consumes them.
+
+    Hot path (the paper's Figure 15 argument applied to the whole
+    executor): expressions are compiled once per operator via
+    {!Expr.compile} (column refs become fixed tuple offsets, parameters are
+    bound at compile time); per-segment row sets are {!Mpp_storage.Vec.t}
+    batches (unfiltered scans alias the live heap zero-copy); each
+    operator's per-segment work fans out across a {!Dpool} domain pool
+    ([MPP_DOMAINS] / [?domains]), with {!Channel} and {!Metrics} sharded
+    per segment so parallel sections share no mutable state. *)
 
 open Mpp_expr
 module Plan = Mpp_plan.Plan
+module Vec = Mpp_storage.Vec
+
+type row = Value.t array
 
 type ctx = {
   catalog : Mpp_catalog.Catalog.t;
   storage : Mpp_storage.Storage.t;
-  channel : Channel.t;
-  metrics : Metrics.t;
+  channel : Channel.t;  (** sharded per segment *)
+  metrics : Metrics.t array;
+      (** one shard per segment; shard 0 additionally takes the
+          coordinator-side counters (Motion volumes, DML row counts).
+          {!metrics} merges the shards into the per-query total. *)
   params : Value.t array;
   selection_enabled : bool;
       (** [false]: selectors ignore their predicates and push every leaf —
@@ -25,43 +38,54 @@ type ctx = {
   stats : Node_stats.t option;
       (** when set, per-plan-node actual rows / partitions / wall time are
           recorded for EXPLAIN ANALYZE; [None] skips all bookkeeping *)
+  pool : Dpool.t;  (** executes the per-segment loops *)
 }
 
 val create_ctx :
   ?params:Value.t array ->
   ?selection_enabled:bool ->
   ?stats:Node_stats.t ->
+  ?domains:int ->
   catalog:Mpp_catalog.Catalog.t ->
   storage:Mpp_storage.Storage.t ->
   unit ->
   ctx
+(** [?domains] sizes the domain pool (default {!Dpool.default_domains},
+    i.e. [MPP_DOMAINS] or 1). *)
+
+val metrics : ctx -> Metrics.t
+(** The per-query total: all per-segment metric shards merged. *)
 
 type result = {
   layout : (int * int) list;
       (** (range-table index, width) of the output tuples, left to right *)
-  rows : Value.t array list array;  (** one row list per segment *)
+  rows : row Vec.t array;  (** one row batch per segment *)
 }
 
 val exec : ctx -> Plan.t -> result
 (** Evaluate a plan; side effects (channel pushes, DML writes, metrics)
-    accumulate in the context. *)
+    accumulate in the context.  Input batches are never mutated; unfiltered
+    scans may alias live storage heaps, so treat result batches as
+    read-only. *)
 
 val run :
   ?params:Value.t array ->
   ?selection_enabled:bool ->
   ?stats:Node_stats.t ->
+  ?domains:int ->
   catalog:Mpp_catalog.Catalog.t ->
   storage:Mpp_storage.Storage.t ->
   Plan.t ->
-  Value.t array list * Metrics.t
+  row list * Metrics.t
 (** Execute with a fresh context and gather all segments' output rows. *)
 
 val run_analyze :
   ?params:Value.t array ->
   ?selection_enabled:bool ->
+  ?domains:int ->
   catalog:Mpp_catalog.Catalog.t ->
   storage:Mpp_storage.Storage.t ->
   Plan.t ->
-  Value.t array list * Metrics.t * Node_stats.t
+  row list * Metrics.t * Node_stats.t
 (** Like {!run}, also collecting the per-node statistics that
     {!Explain.analyze} renders. *)

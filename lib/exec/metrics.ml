@@ -81,6 +81,19 @@ let merge a b =
   union b;
   t
 
+(** Merge an array of per-segment shards into one fresh record — how the
+    executor folds its sharded hot-path counters into the per-query total. *)
+let merge_all ts = Array.fold_left merge (create ()) ts
+
+(** Distinct partition OIDs of table [root_oid] actually scanned,
+    ascending. *)
+let scanned_oids t ~root_oid =
+  match Hashtbl.find_opt t.parts_scanned root_oid with
+  | None -> []
+  | Some s ->
+      Hashtbl.fold (fun oid () acc -> oid :: acc) s []
+      |> List.sort Int.compare
+
 (** Root OIDs with at least one partition scanned, ascending. *)
 let roots_scanned t =
   Hashtbl.fold (fun root _ acc -> root :: acc) t.parts_scanned []

@@ -26,6 +26,13 @@ val merge : t -> t -> t
 (** Fresh record combining two runs: scalar counters sum; the per-root
     distinct-partition sets union. *)
 
+val merge_all : t array -> t
+(** Merge per-segment shards into one fresh record — how the executor folds
+    its sharded hot-path counters into the per-query total. *)
+
+val scanned_oids : t -> root_oid:int -> int list
+(** Distinct partition OIDs of this table actually scanned, ascending. *)
+
 val roots_scanned : t -> int list
 (** Root OIDs with at least one partition scanned, ascending. *)
 

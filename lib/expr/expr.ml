@@ -249,6 +249,139 @@ let eval_pred env e =
   match eval env e with Value.Bool b -> b | Value.Null -> false | _ -> false
 
 (* ------------------------------------------------------------------ *)
+(* Compilation to flat-row closures                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* The executor's hot path: instead of re-walking the AST per row through an
+   {!env} record (allocated per row, with a linear layout search per column
+   lookup), [compile] resolves every column reference to a fixed tuple
+   offset ONCE and returns a closure over flat rows.  This is the
+   interpreted analogue of the code-generated selection functions of the
+   paper's §3.2 / Figure 15: all plan-time decisions (offsets, parameter
+   values, operator dispatch) are taken at compile time; the per-row residue
+   is array loads and value comparisons. *)
+
+let compile ~(resolve : Colref.t -> int) ~(params : Value.t array) e :
+    Value.t array -> Value.t =
+  let rec go e : Value.t array -> Value.t =
+    match e with
+    | Const v -> fun _ -> v
+    | Col c ->
+        let off = resolve c in
+        fun tup -> Array.unsafe_get tup off
+    | Param i ->
+        if i < Array.length params then
+          let v = params.(i) in
+          fun _ -> v
+        else
+          fun _ ->
+            invalid_arg (Printf.sprintf "Expr.compile: unbound parameter $%d" i)
+    | Cmp (op, a, b) ->
+        let fa = go a and fb = go b in
+        fun tup -> (
+          match Value.sql_compare (fa tup) (fb tup) with
+          | None -> Value.Null
+          | Some c -> Value.Bool (eval_cmp op c))
+    | And es ->
+        let fs = Array.of_list (List.map go es) in
+        let n = Array.length fs in
+        fun tup ->
+          let rec loop i unknown =
+            if i = n then if unknown then Value.Null else Value.Bool true
+            else
+              match fs.(i) tup with
+              | Value.Bool false -> Value.Bool false
+              | Value.Bool true -> loop (i + 1) unknown
+              | Value.Null -> loop (i + 1) true
+              | v -> invalid_arg ("Expr.eval: AND over " ^ Value.to_string v)
+          in
+          loop 0 false
+    | Or es ->
+        let fs = Array.of_list (List.map go es) in
+        let n = Array.length fs in
+        fun tup ->
+          let rec loop i unknown =
+            if i = n then if unknown then Value.Null else Value.Bool false
+            else
+              match fs.(i) tup with
+              | Value.Bool true -> Value.Bool true
+              | Value.Bool false -> loop (i + 1) unknown
+              | Value.Null -> loop (i + 1) true
+              | v -> invalid_arg ("Expr.eval: OR over " ^ Value.to_string v)
+          in
+          loop 0 false
+    | Not e ->
+        let f = go e in
+        fun tup -> (
+          match f tup with
+          | Value.Bool b -> Value.Bool (not b)
+          | Value.Null -> Value.Null
+          | v -> invalid_arg ("Expr.eval: NOT over " ^ Value.to_string v))
+    | Arith (op, a, b) ->
+        let fa = go a and fb = go b in
+        fun tup -> eval_arith op (fa tup) (fb tup)
+    | In_list (e, vs) ->
+        let f = go e in
+        let has_null = List.exists Value.is_null vs in
+        fun tup -> (
+          match f tup with
+          | Value.Null -> Value.Null
+          | v ->
+              if List.exists (Value.equal v) vs then Value.Bool true
+              else if has_null then Value.Null
+              else Value.Bool false)
+    | Is_null e ->
+        let f = go e in
+        fun tup -> Value.Bool (Value.is_null (f tup))
+    | Func (name, args) ->
+        let fs = List.map go args in
+        fun tup -> eval_func name (List.map (fun f -> f tup) fs)
+  in
+  go e
+
+(* Filter semantics (only [true] keeps the row; [false] and unknown reject)
+   distribute over AND and OR, so predicates compile straight to boolean
+   short-circuits with no three-valued intermediates on the common shapes. *)
+let compile_pred ~resolve ~params e : Value.t array -> bool =
+  let rec pred e : Value.t array -> bool =
+    match e with
+    | Const (Value.Bool b) -> fun _ -> b
+    | Const Value.Null -> fun _ -> false
+    | And es ->
+        let fs = Array.of_list (List.map pred es) in
+        let n = Array.length fs in
+        fun tup ->
+          let rec loop i = i = n || (fs.(i) tup && loop (i + 1)) in
+          loop 0
+    | Or es ->
+        let fs = Array.of_list (List.map pred es) in
+        let n = Array.length fs in
+        fun tup ->
+          let rec loop i = i < n && (fs.(i) tup || loop (i + 1)) in
+          loop 0
+    | Cmp (op, a, b) ->
+        let fa = compile ~resolve ~params a
+        and fb = compile ~resolve ~params b in
+        fun tup -> (
+          match Value.sql_compare (fa tup) (fb tup) with
+          | Some c -> eval_cmp op c
+          | None -> false)
+    | In_list (e, vs) ->
+        let f = compile ~resolve ~params e in
+        fun tup -> (
+          match f tup with
+          | Value.Null -> false
+          | v -> List.exists (Value.equal v) vs)
+    | Is_null e ->
+        let f = compile ~resolve ~params e in
+        fun tup -> Value.is_null (f tup)
+    | e ->
+        let f = compile ~resolve ~params e in
+        fun tup -> ( match f tup with Value.Bool b -> b | _ -> false)
+  in
+  pred e
+
+(* ------------------------------------------------------------------ *)
 (* Predicate analysis for partition selection                          *)
 (* ------------------------------------------------------------------ *)
 

@@ -84,6 +84,33 @@ val eval : env -> t -> Value.t
 val eval_pred : env -> t -> bool
 (** As a filter: only [true] keeps the row; [false] and unknown reject. *)
 
+(** {2 Compilation}
+
+    The executor's hot path: resolve every column reference to a fixed tuple
+    offset once (via [resolve], typically built from an operator's output
+    layout) and bind parameters at compile time, returning a closure over
+    flat rows.  The interpreted analogue of the paper's code-generated
+    selection functions (§3.2, Figure 15): no per-row environment
+    allocation, no per-row layout search, no per-row operator dispatch. *)
+
+val compile :
+  resolve:(Colref.t -> int) ->
+  params:Value.t array ->
+  t ->
+  Value.t array ->
+  Value.t
+(** [resolve] may raise for out-of-scope columns — raised at compile time,
+    not per row.  Unbound parameters raise on first evaluation. *)
+
+val compile_pred :
+  resolve:(Colref.t -> int) ->
+  params:Value.t array ->
+  t ->
+  Value.t array ->
+  bool
+(** Like {!compile} but with filter semantics (only [true] keeps the row);
+    AND/OR compile to boolean short-circuits. *)
+
 (** {2 Partition-selection analysis} *)
 
 val find_pred_on_key : Colref.t -> t -> t option

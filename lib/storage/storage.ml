@@ -82,11 +82,20 @@ let scan t ~segment ~oid : tuple array =
   | None -> [||]
 
 (** Same as {!scan} but as a list, without copying the heap into an
-    intermediate array — the executor's hot path. *)
+    intermediate array. *)
 let scan_list t ~segment ~oid : tuple list =
   match Hashtbl.find_opt t.heaps (segment, oid) with
   | Some h -> Vec.to_list h
   | None -> []
+
+(** The live heap vector itself, zero-copy — the executor's hot path.  The
+    caller must treat it as read-only: executor operators never mutate input
+    batches, and DML swaps whole heaps via {!replace_heap} rather than
+    editing them in place, so an aliased scan result stays valid. *)
+let scan_vec t ~segment ~oid : tuple Vec.t =
+  match Hashtbl.find_opt t.heaps (segment, oid) with
+  | Some h -> h
+  | None -> Vec.create ()
 
 let count_segment t ~segment ~oid =
   match Hashtbl.find_opt t.heaps (segment, oid) with

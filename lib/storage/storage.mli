@@ -31,8 +31,12 @@ val scan : t -> segment:int -> oid:int -> tuple array
 (** Rows of physical table [oid] on [segment] (empty if none). *)
 
 val scan_list : t -> segment:int -> oid:int -> tuple list
-(** Like {!scan} but without the intermediate array copy — the executor's
-    hot path. *)
+(** Like {!scan} but without the intermediate array copy. *)
+
+val scan_vec : t -> segment:int -> oid:int -> tuple Vec.t
+(** The live heap vector, zero-copy — the executor's hot path.  Must be
+    treated as read-only by the caller; DML replaces whole heaps rather than
+    mutating them, so aliased scan results stay valid. *)
 
 val count_segment : t -> segment:int -> oid:int -> int
 

@@ -10,6 +10,7 @@ module Plan = Mpp_plan.Plan
 module Exec = Mpp_exec.Exec
 module Metrics = Mpp_exec.Metrics
 module Channel = Mpp_exec.Channel
+module Vec = Mpp_storage.Vec
 
 (* small two-table fixture: t(a int, b int) hashed on a; dim(k int, s text)
    replicated *)
@@ -152,6 +153,55 @@ let test_left_outer_join () =
     (20 - segments_with_b1)
     (List.length padded)
 
+(* Regression: unmatched build rows must be tracked by build-row INDEX, not
+   by structural equality.  With two identical unmatched build rows, a
+   value-keyed "matched" set conflates them — emitting one null-padded row
+   where two are required (or, dually, marking both matched when only the
+   value matched).  Exercises both join operators (they share the matched
+   bitmap). *)
+let test_left_outer_duplicate_build_rows () =
+  let mk_join ctor =
+    let catalog = Cat.create () in
+    let d =
+      Cat.add_table catalog ~name:"d"
+        ~columns:[ ("k", Value.Tint); ("s", Value.Tstring) ]
+        ~distribution:Dist.Replicated ()
+    in
+    let t =
+      Cat.add_table catalog ~name:"t"
+        ~columns:[ ("a", Value.Tint); ("b", Value.Tint) ]
+        ~distribution:(Dist.Hashed [ 0 ]) ()
+    in
+    let storage = Storage.create ~nsegments:1 in
+    (* two structurally identical build rows that never match, plus one
+       matching build row *)
+    Storage.insert storage d [| Value.Int 1; Value.String "x" |];
+    Storage.insert storage d [| Value.Int 1; Value.String "x" |];
+    Storage.insert storage d [| Value.Int 2; Value.String "y" |];
+    Storage.insert storage t [| Value.Int 10; Value.Int 2 |];
+    Storage.insert storage t [| Value.Int 11; Value.Int 2 |];
+    let plan =
+      gather
+        (ctor ~kind:Plan.Left_outer
+           ~pred:(Expr.eq (Expr.col dim_k) (Expr.col t_b))
+           (Plan.table_scan ~rel:1 d.Mpp_catalog.Table.oid)
+           (Plan.table_scan ~rel:0 t.Mpp_catalog.Table.oid))
+    in
+    run ~catalog ~storage plan
+  in
+  List.iter
+    (fun (name, ctor) ->
+      let rows, _ = mk_join ctor in
+      let matched, padded =
+        List.partition (fun r -> not (Value.is_null r.(2))) rows
+      in
+      Alcotest.(check int) (name ^ ": k=2 joins both probe rows") 2
+        (List.length matched);
+      Alcotest.(check int)
+        (name ^ ": BOTH duplicate unmatched build rows null-padded") 2
+        (List.length padded))
+    [ ("hash", Plan.hash_join); ("nl", Plan.nl_join) ]
+
 let test_agg_group_by () =
   let catalog, storage, t, _ = fixture () in
   let plan =
@@ -211,7 +261,7 @@ let test_redistribute_colocates () =
   for b = 0 to 4 do
     let segments_with_b = ref 0 in
     for seg = 0 to nseg - 1 do
-      if List.exists (fun row -> row.(1) = Value.Int b) r.Exec.rows.(seg) then
+      if Vec.exists (fun row -> row.(1) = Value.Int b) r.Exec.rows.(seg) then
         incr segments_with_b
     done;
     Alcotest.(check int)
@@ -228,7 +278,7 @@ let test_broadcast_and_gather () =
   in
   Array.iter
     (fun rows -> Alcotest.(check int) "each segment has all rows" 20
-        (List.length rows))
+        (Vec.length rows))
     b.Exec.rows;
   let ctx2 = Exec.create_ctx ~catalog ~storage () in
   let g =
@@ -236,8 +286,8 @@ let test_broadcast_and_gather () =
       (Plan.motion Plan.Gather (Plan.table_scan ~rel:0 t.Mpp_catalog.Table.oid))
   in
   Alcotest.(check int) "gather puts everything on segment 0" 20
-    (List.length g.Exec.rows.(0));
-  Alcotest.(check int) "other segments empty" 0 (List.length g.Exec.rows.(1))
+    (Vec.length g.Exec.rows.(0));
+  Alcotest.(check int) "other segments empty" 0 (Vec.length g.Exec.rows.(1))
 
 let test_gather_one () =
   let catalog, storage, _, dim = fixture () in
@@ -333,7 +383,7 @@ let test_guarded_scan_skips () =
   Alcotest.(check bool) "rows produced" true (List.length rows > 0)
 
 let test_channel () =
-  let ch = Channel.create () in
+  let ch = Channel.create ~nsegments:4 in
   Channel.propagate ch ~segment:0 ~part_scan_id:1 42;
   Channel.propagate ch ~segment:0 ~part_scan_id:1 42;
   Channel.propagate ch ~segment:0 ~part_scan_id:1 7;
@@ -572,6 +622,8 @@ let () =
          Alcotest.test_case "non-equi join" `Quick test_non_equi_join;
          Alcotest.test_case "semi join" `Quick test_semi_join;
          Alcotest.test_case "left outer join" `Quick test_left_outer_join;
+         Alcotest.test_case "left outer: duplicate build rows" `Quick
+           test_left_outer_duplicate_build_rows;
          Alcotest.test_case "grouped aggregation" `Quick test_agg_group_by;
          Alcotest.test_case "scalar agg over empty" `Quick test_agg_scalar_empty;
          Alcotest.test_case "sort + limit" `Quick test_sort_limit ]);

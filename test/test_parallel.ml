@@ -1,0 +1,173 @@
+(** Serial-vs-parallel equivalence: the domain-pool executor must be
+    observationally identical to serial execution at any [?domains] setting.
+
+    This holds by construction — per-segment operator tasks are independent
+    and deterministic, and the {!Channel} / {!Metrics} shards are touched
+    only by their segment's domain — and this suite pins it down:
+
+    - identical result sets (sorted rows) for every workload query;
+    - identical work counters (tuples scanned / moved, partition opens);
+    - identical selected-partition sets, per root table, OID for OID.
+
+    Runs the full evaluation workload through Orca plans plus hand-built
+    join / DynamicScan plans on a multi-segment cluster, each with 1 domain
+    and with 4 domains (oversubscription is fine — correctness must not
+    depend on core count). *)
+
+open Mpp_expr
+module Cat = Mpp_catalog.Catalog
+module Dist = Mpp_catalog.Distribution
+module Storage = Mpp_storage.Storage
+module Plan = Mpp_plan.Plan
+module Exec = Mpp_exec.Exec
+module Metrics = Mpp_exec.Metrics
+module W = Mpp_workload
+
+let serial_domains = 1
+let parallel_domains = 4
+
+(* Compare one plan's two executions end to end. *)
+let check_equivalent ~what ~catalog ~storage ?params ?selection_enabled plan =
+  let rows_s, m_s =
+    Exec.run ?params ?selection_enabled ~domains:serial_domains ~catalog
+      ~storage plan
+  in
+  let rows_p, m_p =
+    Exec.run ?params ?selection_enabled ~domains:parallel_domains ~catalog
+      ~storage plan
+  in
+  Support.check_rows_equal (what ^ " rows") rows_s rows_p;
+  Alcotest.(check int)
+    (what ^ ": tuples_scanned")
+    m_s.Metrics.tuples_scanned m_p.Metrics.tuples_scanned;
+  Alcotest.(check int)
+    (what ^ ": tuples_moved")
+    m_s.Metrics.tuples_moved m_p.Metrics.tuples_moved;
+  Alcotest.(check int)
+    (what ^ ": partition_opens")
+    m_s.Metrics.partition_opens m_p.Metrics.partition_opens;
+  Alcotest.(check (list int))
+    (what ^ ": roots with scanned partitions")
+    (Metrics.roots_scanned m_s) (Metrics.roots_scanned m_p);
+  List.iter
+    (fun root ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "%s: selected partitions of root %d" what root)
+        (Metrics.scanned_oids m_s ~root_oid:root)
+        (Metrics.scanned_oids m_p ~root_oid:root))
+    (Metrics.roots_scanned m_s)
+
+(* ---- the full evaluation workload, Orca plans ---- *)
+
+let test_workload_queries () =
+  let env = W.Runner.setup_env ~scale:1 ~nsegments:4 () in
+  List.iter
+    (fun (q : W.Queries.query) ->
+      let plan = W.Runner.optimize_with env W.Runner.Orca q in
+      check_equivalent ~what:q.W.Queries.name
+        ~catalog:env.W.Runner.catalog ~storage:env.W.Runner.storage plan)
+    W.Queries.all
+
+(* ...and with partition selection disabled (every leaf scanned, so the
+   parallel sections touch every shard of every channel slot) *)
+let test_workload_selection_disabled () =
+  let env = W.Runner.setup_env ~scale:1 ~nsegments:4 () in
+  List.iter
+    (fun (q : W.Queries.query) ->
+      let plan = W.Runner.optimize_with env W.Runner.Orca q in
+      check_equivalent
+        ~what:(q.W.Queries.name ^ " (no selection)")
+        ~selection_enabled:false ~catalog:env.W.Runner.catalog
+        ~storage:env.W.Runner.storage plan)
+    (List.filteri (fun i _ -> i mod 4 = 0) W.Queries.all)
+
+(* ---- hand-built plans on a seven-segment cluster ---- *)
+
+let odd_fixture () =
+  let catalog = Cat.create () in
+  let t =
+    Cat.add_table catalog ~name:"t"
+      ~columns:[ ("a", Value.Tint); ("b", Value.Tint) ]
+      ~distribution:(Dist.Hashed [ 0 ]) ()
+  in
+  let dim =
+    Cat.add_table catalog ~name:"dim"
+      ~columns:[ ("k", Value.Tint); ("s", Value.Tstring) ]
+      ~distribution:Dist.Replicated ()
+  in
+  let storage = Storage.create ~nsegments:7 in
+  for i = 0 to 199 do
+    Storage.insert storage t [| Value.Int i; Value.Int (i mod 11) |]
+  done;
+  for k = 0 to 10 do
+    Storage.insert storage dim
+      [| Value.Int k; Value.String (if k mod 2 = 0 then "even" else "odd") |]
+  done;
+  (catalog, storage, t, dim)
+
+let col ~rel ~index ~name = Colref.make ~rel ~index ~name ~dtype:Value.Tint
+
+let test_join_kinds_seven_segments () =
+  let catalog, storage, t, dim = odd_fixture () in
+  let t_b = col ~rel:0 ~index:1 ~name:"b" in
+  let dim_k = col ~rel:1 ~index:0 ~name:"k" in
+  let pred = Expr.eq (Expr.col dim_k) (Expr.col t_b) in
+  List.iter
+    (fun (name, kind) ->
+      let plan =
+        Plan.motion Plan.Gather
+          (Plan.hash_join ~kind ~pred
+             (Plan.table_scan ~rel:1 dim.Mpp_catalog.Table.oid)
+             (Plan.table_scan ~rel:0 t.Mpp_catalog.Table.oid))
+      in
+      check_equivalent ~what:(name ^ " join") ~catalog ~storage plan)
+    [ ("inner", Plan.Inner); ("left outer", Plan.Left_outer);
+      ("semi", Plan.Semi) ]
+
+let test_agg_sort_limit_seven_segments () =
+  let catalog, storage, t, _ = odd_fixture () in
+  let t_a = col ~rel:0 ~index:0 ~name:"a" in
+  let t_b = col ~rel:0 ~index:1 ~name:"b" in
+  (* agg output layout is rel -1: [b; n; sum_a] — sort on the group key *)
+  let g_b = Colref.make ~rel:(-1) ~index:0 ~name:"b" ~dtype:Value.Tint in
+  let plan =
+    Plan.Limit
+      { rows = 5;
+        child =
+          Plan.Sort
+            { keys = [ Expr.col g_b ];
+              child =
+                Plan.agg
+                  ~group_by:[ Expr.col t_b ]
+                  ~aggs:
+                    [ ("n", Plan.Count_star); ("sum_a", Plan.Sum (Expr.col t_a)) ]
+                  (Plan.motion Plan.Gather
+                     (Plan.table_scan ~rel:0 t.Mpp_catalog.Table.oid)) } }
+  in
+  check_equivalent ~what:"agg+sort+limit" ~catalog ~storage plan
+
+(* Dynamic selection: streaming selector feeding a DynamicScan through the
+   sharded channel, exercised at both domain counts. *)
+let test_dynamic_selection_parallel () =
+  let env = W.Runner.setup_env ~scale:1 ~nsegments:4 () in
+  let star =
+    List.find
+      (fun (q : W.Queries.query) -> q.W.Queries.expected = W.Queries.Orca_only)
+      W.Queries.all
+  in
+  let plan = W.Runner.optimize_with env W.Runner.Orca star in
+  check_equivalent ~what:star.W.Queries.name ~catalog:env.W.Runner.catalog
+    ~storage:env.W.Runner.storage plan
+
+let () =
+  Alcotest.run "parallel"
+    [ ("serial vs parallel",
+       [ Alcotest.test_case "workload queries" `Quick test_workload_queries;
+         Alcotest.test_case "selection disabled" `Quick
+           test_workload_selection_disabled;
+         Alcotest.test_case "join kinds, 7 segments" `Quick
+           test_join_kinds_seven_segments;
+         Alcotest.test_case "agg+sort+limit, 7 segments" `Quick
+           test_agg_sort_limit_seven_segments;
+         Alcotest.test_case "dynamic selection" `Quick
+           test_dynamic_selection_parallel ]) ]
