@@ -2,12 +2,16 @@
     evaluation (§4).
 
     Usage: [bench/main.exe [table2|table3|fig16|fig17|fig18a|fig18b|fig18c|
-    ablation-memo|ablation-pwj|micro|micro-exec|obs-overhead|all]] — no
-    argument runs everything except the bechamel micro-benchmarks.
-    [micro-exec] measures the executor hot path (interpreted vs compiled
-    expressions, serial vs domain-pool join); [micro-exec --smoke] is the
-    tiny-input schema check that [dune runtest] runs.  Whatever ran is also
-    written as structured data to [BENCH_RESULTS.json].
+    ablation-memo|ablation-pwj|micro|micro-exec|part-select|obs-overhead|
+    all]] — no argument runs everything except the bechamel
+    micro-benchmarks.  [micro-exec] measures the executor hot path
+    (interpreted vs compiled expressions, serial vs domain-pool join);
+    [part-select] measures partition-selection cost vs partition count
+    (legacy scan vs the selection index, the paper's Fig. 14 shape); the
+    [--smoke] variants are the tiny-input schema checks that
+    [dune runtest] runs.  Whatever ran is also written as structured data
+    to [BENCH_RESULTS.json]; sections merge with an existing file, so
+    single experiments can be re-run without losing the rest.
 
     Absolute numbers differ from the paper (its substrate was a 16-node
     Greenplum cluster over 256 GB of TPC-DS; ours is an in-process simulated
@@ -42,12 +46,38 @@ let header title =
 let results : (string * Json.t) list ref = ref []
 let record name json = results := !results @ [ (name, json) ]
 
+(* Sections of a previous run that this run did not re-measure; re-running
+   one experiment updates its section and keeps the rest. *)
+let previous_results () =
+  if not (Sys.file_exists "BENCH_RESULTS.json") then []
+  else
+    let doc =
+      try
+        let ic = open_in_bin "BENCH_RESULTS.json" in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () ->
+            Json.parse_opt (really_input_string ic (in_channel_length ic)))
+      with _ -> None
+    in
+    match doc with
+    | Some (Json.Obj fields) -> (
+        match List.assoc_opt "experiments" fields with
+        | Some (Json.Obj exps) -> exps
+        | _ -> [])
+    | _ -> []
+
 let write_results () =
   if !results <> [] then begin
+    let kept =
+      List.filter
+        (fun (k, _) -> not (List.mem_assoc k !results))
+        (previous_results ())
+    in
     let json =
       Json.Obj
         [ ("schema", Json.String "mpp-parts-bench/1");
-          ("experiments", Json.Obj !results) ]
+          ("experiments", Json.Obj (kept @ !results)) ]
     in
     Json.to_file "BENCH_RESULTS.json" json;
     Printf.printf "\nresults written to BENCH_RESULTS.json\n"
@@ -767,6 +797,203 @@ let micro_exec ?(smoke = false) () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Partition-count scaling of selection (paper Fig. 14 shape)           *)
+(* ------------------------------------------------------------------ *)
+
+(* The index layer's claim, measured directly: selection cost must stay
+   near-flat as the partition count P grows into the tens of thousands,
+   where the legacy implementation (a scan of every leaf, plus an O(P)
+   sibling rescan per default-arm check) grows linearly.  Four cases per P:
+
+   - static:      a range restriction selecting ~P/8 leaves — the leaf
+                  selector of Figure 5(a-c), once per query;
+   - point:       a single-value restriction — one leaf survives;
+   - streaming:   point restrictions cycling over distinct join keys — the
+                  per-memo-key resolution of the DPE path (Figure 5(d));
+   - default-arm: a range restriction on a layout with a Default partition,
+                  forcing the covered-set check on every select.
+
+   Each case times the legacy oracle against the indexed implementation
+   (same restriction arrays, ns/select) and asserts they agree oid-for-oid
+   before timing.  [~smoke] runs tiny P values and checks only the JSON
+   schema, so it is safe under [dune runtest]. *)
+
+let make_part ?(default_arm = false) ~nparts () =
+  let next = ref 0 in
+  let alloc_oid () =
+    incr next;
+    !next
+  in
+  let constrs =
+    if default_arm then
+      Part.int_ranges ~start:0 ~width:100 ~count:(nparts - 1)
+      @ [ Part.Default ]
+    else Part.int_ranges ~start:0 ~width:100 ~count:nparts
+  in
+  Part.single_level ~alloc_oid ~key_index:0 ~key_name:"b" ~scheme:Part.Range
+    ~table_name:"t" constrs
+
+let part_select ?(smoke = false) () =
+  header
+    (if smoke then "Bench: partition-selection scaling (smoke mode, tiny P)"
+     else "Bench: partition-selection scaling, legacy scan vs index");
+  let min_time = if smoke then 0.002 else 0.05 in
+  (* adaptive repetition: grow the batch until it runs long enough to
+     swamp timer resolution, then report ns per call *)
+  let ns_per_op f =
+    ignore (f ());
+    (* warm-up *)
+    let rec go reps =
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to reps do
+        ignore (f ())
+      done;
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt >= min_time then 1e9 *. dt /. float_of_int reps else go (reps * 4)
+    in
+    go 1
+  in
+  let ps = if smoke then [ 16; 64 ] else [ 16; 128; 1024; 8192; 32768 ] in
+  Printf.printf "%-8s %-12s %14s %14s %10s\n" "P" "case" "legacy ns"
+    "indexed ns" "speedup";
+  let static_speedup_8k = ref None in
+  let points =
+    List.map
+      (fun nparts ->
+        let p = make_part ~nparts () in
+        let pd = make_part ~default_arm:true ~nparts () in
+        let build_s, ix = time_run (fun () -> Part.Index.build p) in
+        let ixd = Part.Index.of_partitioning pd in
+        let domain = nparts * 100 in
+        let rset i = Interval.Set.of_interval_opt i in
+        (* ~P/8 surviving leaves, mid-domain *)
+        let static_r =
+          let iv =
+            Interval.closed_open
+              (Value.Int (domain / 2))
+              (Value.Int ((domain / 2) + (domain / 8)))
+          in
+          [| Some (rset iv) |]
+        in
+        let point_r =
+          [| Some (Interval.Set.point (Value.Int ((domain / 2) + 50))) |]
+        in
+        (* distinct join-key tuples of the streaming-DPE path: one select
+           per memoized key, keys cycling round-robin *)
+        let nkeys = if smoke then 16 else 256 in
+        let rng = W.Rng.create () in
+        let stream_rs =
+          Array.init nkeys (fun _ ->
+              [| Some (Interval.Set.point (Value.Int (W.Rng.int rng domain)))
+              |])
+        in
+        let stream_i = ref 0 in
+        let next_stream () =
+          let r = stream_rs.(!stream_i) in
+          stream_i := (!stream_i + 1) mod nkeys;
+          r
+        in
+        (* reaches into the last range leaves and the default arm *)
+        let default_r =
+          [| Some (rset (Interval.closed_open
+                           (Value.Int (domain - 250))
+                           (Value.Int (domain + 250))))
+          |]
+        in
+        let case name part ix restriction =
+          (match restriction with
+          | Some r ->
+              (* the oracle contract, checked before timing *)
+              assert (Part.Index.select_oids ix r = Part.select_oids_legacy part r)
+          | None ->
+              Array.iter
+                (fun r ->
+                  assert (
+                    Part.Index.select_oids ix r
+                    = Part.select_oids_legacy part r))
+                stream_rs);
+          let arg () =
+            match restriction with Some r -> r | None -> next_stream ()
+          in
+          let legacy = ns_per_op (fun () -> Part.select_oids_legacy part (arg ()))
+          and indexed = ns_per_op (fun () -> Part.Index.select_oids ix (arg ())) in
+          let speedup = legacy /. indexed in
+          Printf.printf "%-8d %-12s %14.0f %14.0f %9.1fx\n" nparts name legacy
+            indexed speedup;
+          if name = "static" && nparts = 8192 then
+            static_speedup_8k := Some speedup;
+          ( name,
+            Json.Obj
+              [ ("legacy_ns", Json.Float legacy);
+                ("indexed_ns", Json.Float indexed);
+                ("speedup", Json.Float speedup) ] )
+        in
+        (* force left-to-right evaluation so the table prints in order *)
+        let c_static = case "static" p ix (Some static_r) in
+        let c_point = case "point" p ix (Some point_r) in
+        let c_stream = case "streaming" p ix None in
+        let c_default = case "default-arm" pd ixd (Some default_r) in
+        let cases = [ c_static; c_point; c_stream; c_default ] in
+        Json.Obj
+          [ ("nparts", Json.Int nparts);
+            ("index_build_ms", Json.Float (build_s *. 1000.0));
+            ("cases", Json.Obj cases) ])
+      ps
+  in
+  let section =
+    Json.Obj
+      ([ ("smoke", Json.Bool smoke); ("points", Json.List points) ]
+      @
+      match !static_speedup_8k with
+      | Some s -> [ ("static_speedup_at_8k", Json.Float s) ]
+      | None -> [])
+  in
+  record "part_select" section;
+  (match !static_speedup_8k with
+  | Some s ->
+      Printf.printf
+        "\nstatic case at P=8192: indexed selection %.1fx faster than the \
+         legacy scan (target: >= 10x)\n"
+        s
+  | None -> ());
+  if smoke then begin
+    let field obj name =
+      match obj with
+      | Json.Obj fields -> (
+          match List.assoc_opt name fields with
+          | Some v -> v
+          | None -> failwith ("part_select smoke: missing field " ^ name))
+      | _ -> failwith "part_select smoke: not an object"
+    in
+    let measured = function
+      | Json.Float f -> f > 0.0 && Float.is_finite f
+      | _ -> false
+    in
+    (match field section "points" with
+    | Json.List (_ :: _ as pts) ->
+        List.iter
+          (fun pt ->
+            assert (measured (field pt "index_build_ms"));
+            match field pt "cases" with
+            | Json.Obj cases ->
+                assert (
+                  List.map fst cases
+                  = [ "static"; "point"; "streaming"; "default-arm" ]);
+                List.iter
+                  (fun (_, c) ->
+                    assert (measured (field c "legacy_ns"));
+                    assert (measured (field c "indexed_ns"));
+                    assert (measured (field c "speedup")))
+                  cases
+            | _ -> failwith "part_select smoke: cases not an object")
+          pts
+    | _ -> failwith "part_select smoke: points missing or empty");
+    print_endline
+      "smoke OK: part_select schema valid; legacy and indexed selection both \
+       measured and agree oid-for-oid"
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Observability overhead                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -847,7 +1074,8 @@ let all () =
   fig18c ();
   ablation_memo ();
   ablation_pwj ();
-  micro_exec ()
+  micro_exec ();
+  part_select ()
 
 let () =
   (match if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" with
@@ -864,13 +1092,16 @@ let () =
   | "micro-exec" ->
       micro_exec
         ~smoke:(Array.length Sys.argv > 2 && Sys.argv.(2) = "--smoke") ()
+  | "part-select" ->
+      part_select
+        ~smoke:(Array.length Sys.argv > 2 && Sys.argv.(2) = "--smoke") ()
   | "obs-overhead" -> obs_overhead ()
   | "all" -> all ()
   | other ->
       Printf.eprintf
         "unknown experiment %s (expected table2|table3|fig16|fig17|fig18a|\
          fig18b|fig18c|ablation-memo|ablation-pwj|micro|micro-exec|\
-         obs-overhead|all)\n"
+         part-select|obs-overhead|all)\n"
         other;
       exit 1);
   write_results ()

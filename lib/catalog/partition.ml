@@ -13,7 +13,18 @@
     - [f_T] — {!route}: map a tuple's key values to its leaf (or ⊥);
     - [f*_T] — {!select}: map per-level restrictions to the set of leaf OIDs
       that can satisfy them (an over-approximation, never dropping a
-      qualifying leaf). *)
+      qualifying leaf).
+
+    Both are served by a {!Index} built once per table (cached in
+    [cached_index]): per-level sorted boundary arrays answer interval →
+    leaf-set questions by binary search, a value → leaf-set hash serves
+    point-partitioned (categorical) levels, per-(level, prefix) covered
+    sets make default-arm checks O(1) set operations instead of an O(P)
+    sibling rescan, and an OID hash replaces the linear leaf lookup.
+    Survival across levels is intersected on compact {!Bitset}s.  The
+    pre-index implementations are kept as {!select_legacy} /
+    {!route_legacy} — the executable oracles the property tests and the
+    [bench part-select] scaling curve compare against. *)
 
 open Mpp_expr
 
@@ -38,7 +49,64 @@ type leaf = {
   bounds : constr array;  (** one constraint per level, root to leaf *)
 }
 
-type t = { levels : level array; leaves : leaf array }
+(* ------------------------------------------------------------------ *)
+(* Index representation                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Value-keyed hash table for the categorical point index.  [Value.hash] is
+   only consistent with [Value.equal] within one type, and Int/Float compare
+   numerically across types, so keys are normalized first (integral floats
+   become ints — see [norm_key]). *)
+module VH = Hashtbl.Make (struct
+  type t = Value.t
+
+  let equal = Value.equal
+  let hash = Value.hash
+end)
+
+(* One default-arm equivalence class at a level: all default leaves sharing
+   a constraint prefix.  [dc_covered] is what their non-default siblings
+   accept at this level — precomputed once, so the per-query default-arm
+   check is a single interval-set operation instead of an O(P) rescan. *)
+type default_class = {
+  dc_covered : Interval.Set.t;
+  dc_members : int array;  (** leaf indices of the class's default leaves *)
+}
+
+(* Per-level selection structures.  The value line is cut at every bound
+   appearing in any arm at this level; the resulting elementary regions
+   (gap, point, gap, point, …) are each either fully inside or fully
+   outside every arm, so [li_regions.(r)] — the leaves whose arm overlaps
+   region [r] — is exact, and an interval → leaf-set query is a binary
+   search for the boundary regions plus a union of the member arrays in
+   between. *)
+type level_index = {
+  li_cuts : Value.t array;  (** sorted distinct bound values *)
+  li_regions : int array array;
+      (** region index → leaf indices; region [2k+1] is the point
+          [li_cuts.(k)], regions [2k] the open gaps between cuts *)
+  li_all_points : bool;
+      (** every arm interval at this level is a single value *)
+  li_points : int array VH.t;
+      (** normalized value → leaf indices (the categorical fast path;
+          authoritative only when [li_all_points]) *)
+  li_defaults : default_class array;
+}
+
+type index = {
+  ix_nleaves : int;
+  ix_leaves : leaf array;
+  ix_levels : level_index array;
+  ix_by_oid : (oid, leaf) Hashtbl.t;
+}
+
+type t = {
+  levels : level array;
+  leaves : leaf array;
+  mutable cached_index : index option;
+      (** built on first use by {!Index.of_partitioning}; treat as an
+          implementation detail (always construct with [None]) *)
+}
 
 let nlevels t = Array.length t.levels
 let nparts t = Array.length t.leaves
@@ -47,7 +115,9 @@ let leaf_oids t = Array.to_list (Array.map (fun l -> l.leaf_oid) t.leaves)
 let key_indices t =
   Array.to_list (Array.map (fun lv -> lv.key_index) t.levels)
 
-let find_leaf t oid =
+(* The pre-index linear leaf lookup, kept for comparison; {!find_leaf}
+   below answers from the index's OID hash. *)
+let find_leaf_linear t oid =
   let n = Array.length t.leaves in
   let rec go i =
     if i >= n then None
@@ -58,7 +128,9 @@ let find_leaf t oid =
 
 (* The union of the sibling (non-default) constraints at [level], restricted
    to leaves matching [prefix_pred]; used to decide what a Default arm
-   covers. *)
+   covers.  O(P) per call — the index precomputes one result per
+   (level, prefix) class at build time; the legacy oracle below calls it per
+   default-arm check. *)
 let covered_at t ~level ~prefix =
   Array.to_list t.leaves
   |> List.filter (fun lf ->
@@ -75,9 +147,14 @@ let covered_at t ~level ~prefix =
          match lf.bounds.(level) with Cset s -> Some s | Default -> None)
   |> List.fold_left Interval.Set.union Interval.Set.empty
 
-(** [f_T]: route a tuple's key values (one per level) to the leaf that must
-    store it; [None] is the invalid partition ⊥ of §2.1. *)
-let route t (keys : Value.t array) : leaf option =
+(* ------------------------------------------------------------------ *)
+(* Legacy oracles: the original linear implementations                  *)
+(* ------------------------------------------------------------------ *)
+
+(** [f_T] by linear scan: route a tuple's key values (one per level) to the
+    leaf that must store it; [None] is the invalid partition ⊥ of §2.1.
+    Kept as the executable oracle for {!route}. *)
+let route_legacy t (keys : Value.t array) : leaf option =
   let n = nlevels t in
   assert (Array.length keys = n);
   let matches lf =
@@ -100,11 +177,12 @@ let route t (keys : Value.t array) : leaf option =
   Array.to_seq t.leaves |> Seq.filter matches |> fun s ->
   match s () with Seq.Nil -> None | Seq.Cons (lf, _) -> Some lf
 
-(** [f*_T]: given an optional restriction per level ([None] = no predicate on
-    that level's key), return the leaves that may hold satisfying tuples.
-    Sound by construction: a leaf is excluded only when one of its level
-    constraints provably cannot intersect the restriction. *)
-let select t (restrictions : Interval.Set.t option array) : leaf list =
+(** [f*_T] by linear scan: given an optional restriction per level ([None] =
+    no predicate on that level's key), return the leaves that may hold
+    satisfying tuples.  Sound by construction: a leaf is excluded only when
+    one of its level constraints provably cannot intersect the restriction.
+    Kept as the executable oracle for {!select}. *)
+let select_legacy t (restrictions : Interval.Set.t option array) : leaf list =
   let n = nlevels t in
   assert (Array.length restrictions = n);
   let survives lf =
@@ -127,8 +205,298 @@ let select t (restrictions : Interval.Set.t option array) : leaf list =
   in
   Array.to_list t.leaves |> List.filter survives
 
+let select_oids_legacy t restrictions =
+  List.map (fun lf -> lf.leaf_oid) (select_legacy t restrictions)
+
+(* ------------------------------------------------------------------ *)
+(* The selection index                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type partitioning = t
+
+module Index = struct
+  type t = index
+
+  let nparts (ix : t) = ix.ix_nleaves
+
+  (* Int/Float compare numerically across types, so integral floats are
+     folded onto ints before hashing — the hash then agrees with
+     [Value.equal] for every key pair the catalog can produce. *)
+  let norm_key = function
+    | Value.Float f
+      when Float.is_integer f && Float.abs f <= 4.611686018427387904e18 ->
+        Value.Int (int_of_float f)
+    | v -> v
+
+  (* first index with cuts.(i) >= v *)
+  let lower_bound (cuts : Value.t array) v =
+    let lo = ref 0 and hi = ref (Array.length cuts) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if Value.compare cuts.(mid) v < 0 then lo := mid + 1 else hi := mid
+    done;
+    !lo
+
+  (* Region numbering over m cuts: region [2k] is the open gap before cut
+     [k] (region [2m] the gap after the last cut), region [2k+1] the point
+     [cuts.(k)].  Every arm bound is a cut, so each region is fully inside
+     or fully outside every arm. *)
+  let region_of_lo cuts = function
+    | Interval.Neg_inf -> 0
+    | Interval.Pos_inf -> 2 * Array.length cuts
+    | Interval.B (v, incl) ->
+        let k = lower_bound cuts v in
+        if k < Array.length cuts && Value.equal cuts.(k) v then
+          if incl then (2 * k) + 1 else (2 * k) + 2
+        else 2 * k
+
+  let region_of_hi cuts = function
+    | Interval.Pos_inf -> 2 * Array.length cuts
+    | Interval.Neg_inf -> 0
+    | Interval.B (v, incl) ->
+        let k = lower_bound cuts v in
+        if k < Array.length cuts && Value.equal cuts.(k) v then
+          if incl then (2 * k) + 1 else 2 * k
+        else 2 * k
+
+  (* the region containing value [v] *)
+  let region_of_value cuts v =
+    let k = lower_bound cuts v in
+    if k < Array.length cuts && Value.equal cuts.(k) v then (2 * k) + 1
+    else 2 * k
+
+  let constr_equal a b =
+    match (a, b) with
+    | Default, Default -> true
+    | Cset x, Cset y -> Interval.Set.equal x y
+    | (Default | Cset _), _ -> false
+
+  let prefix_equal ~level a b =
+    let rec go i = i >= level || (constr_equal a.(i) b.(i) && go (i + 1)) in
+    go 0
+
+  let build_level (p : partitioning) lvl : level_index =
+    let nleaves = Array.length p.leaves in
+    (* 1. cuts: every bound value of every arm at this level *)
+    let values = ref [] in
+    for j = 0 to nleaves - 1 do
+      match p.leaves.(j).bounds.(lvl) with
+      | Default -> ()
+      | Cset s ->
+          List.iter
+            (fun (iv : Interval.t) ->
+              (match iv.Interval.lo with
+              | Interval.B (v, _) -> values := v :: !values
+              | _ -> ());
+              match iv.Interval.hi with
+              | Interval.B (v, _) -> values := v :: !values
+              | _ -> ())
+            (Interval.Set.to_list s)
+    done;
+    let cuts =
+      List.sort_uniq Value.compare !values |> Array.of_list
+    in
+    let nregions = (2 * Array.length cuts) + 1 in
+    let members : int list ref array = Array.init nregions (fun _ -> ref []) in
+    let points : int list ref VH.t = VH.create 64 in
+    let all_points = ref true in
+    (* 2. region membership + point hash *)
+    for j = nleaves - 1 downto 0 do
+      (* downto: member lists come out ascending *)
+      match p.leaves.(j).bounds.(lvl) with
+      | Default -> ()
+      | Cset s ->
+          List.iter
+            (fun (iv : Interval.t) ->
+              (match Interval.is_point iv with
+              | Some v ->
+                  let key = norm_key v in
+                  let cell =
+                    match VH.find_opt points key with
+                    | Some c -> c
+                    | None ->
+                        let c = ref [] in
+                        VH.add points key c;
+                        c
+                  in
+                  cell := j :: !cell
+              | None -> all_points := false);
+              let s_idx = region_of_lo cuts iv.Interval.lo
+              and e_idx = region_of_hi cuts iv.Interval.hi in
+              for r = s_idx to e_idx do
+                let cell = members.(r) in
+                cell := j :: !cell
+              done)
+            (Interval.Set.to_list s)
+    done;
+    (* 3. default classes: group default leaves by constraint prefix and
+       precompute each class's covered set once *)
+    let classes : (constr array * int list ref) list ref = ref [] in
+    for j = nleaves - 1 downto 0 do
+      let lf = p.leaves.(j) in
+      if lf.bounds.(lvl) = Default then begin
+        match
+          List.find_opt
+            (fun (prefix, _) -> prefix_equal ~level:lvl prefix lf.bounds)
+            !classes
+        with
+        | Some (_, cell) -> cell := j :: !cell
+        | None -> classes := (lf.bounds, ref [ j ]) :: !classes
+      end
+    done;
+    let defaults =
+      List.map
+        (fun (prefix, cell) ->
+          {
+            dc_covered = covered_at p ~level:lvl ~prefix;
+            dc_members = Array.of_list !cell;
+          })
+        !classes
+      |> Array.of_list
+    in
+    let point_index = VH.create (max 16 (VH.length points)) in
+    VH.iter (fun k c -> VH.add point_index k (Array.of_list !c)) points;
+    {
+      li_cuts = cuts;
+      li_regions = Array.map (fun c -> Array.of_list !c) members;
+      li_all_points = !all_points;
+      li_points = point_index;
+      li_defaults = defaults;
+    }
+
+  let build (p : partitioning) : t =
+    let by_oid = Hashtbl.create (2 * Array.length p.leaves) in
+    Array.iter (fun lf -> Hashtbl.replace by_oid lf.leaf_oid lf) p.leaves;
+    {
+      ix_nleaves = Array.length p.leaves;
+      ix_leaves = p.leaves;
+      ix_levels = Array.init (Array.length p.levels) (fun i -> build_level p i);
+      ix_by_oid = by_oid;
+    }
+
+  (* Build-once cache.  Single-writer discipline: the executor resolves
+     indexes on the coordinating domain before fanning out (create_ctx),
+     and storage/bench/tests build from one domain, so the mutable field is
+     never raced; a duplicate build would only waste work, not corrupt. *)
+  let of_partitioning (p : partitioning) : t =
+    match p.cached_index with
+    | Some ix -> ix
+    | None ->
+        let ix = build p in
+        p.cached_index <- Some ix;
+        ix
+
+  let find_leaf (ix : t) oid = Hashtbl.find_opt ix.ix_by_oid oid
+
+  (* Survivors of one level under restriction [r], as a bitset. *)
+  let level_bits (ix : t) (li : level_index) (r : Interval.Set.t) : Bitset.t =
+    let bits = Bitset.create ix.ix_nleaves in
+    List.iter
+      (fun (iv : Interval.t) ->
+        match Interval.is_point iv with
+        | Some v when li.li_all_points -> (
+            (* categorical fast path: O(1) hash hit *)
+            match VH.find_opt li.li_points (norm_key v) with
+            | Some ms -> Bitset.set_array bits ms
+            | None -> ())
+        | _ ->
+            (* boundary binary search, then union the member arrays of the
+               regions the restriction interval overlaps *)
+            let s_idx = region_of_lo li.li_cuts iv.Interval.lo
+            and e_idx = region_of_hi li.li_cuts iv.Interval.hi in
+            for reg = s_idx to e_idx do
+              Bitset.set_array bits li.li_regions.(reg)
+            done)
+      (Interval.Set.to_list r);
+    (* default arms: one precomputed covered set per (level, prefix) class *)
+    Array.iter
+      (fun dc ->
+        if not (Interval.Set.is_empty (Interval.Set.diff r dc.dc_covered))
+        then Bitset.set_array bits dc.dc_members)
+      li.li_defaults;
+    bits
+
+  let select_bits (ix : t) (restrictions : Interval.Set.t option array) :
+      Bitset.t =
+    if Array.length restrictions <> Array.length ix.ix_levels then
+      invalid_arg "Partition.Index.select: wrong number of restrictions";
+    let acc = Bitset.full ix.ix_nleaves in
+    Array.iteri
+      (fun i r ->
+        match r with
+        | None -> ()
+        | Some r -> Bitset.inter_into ~into:acc (level_bits ix ix.ix_levels.(i) r))
+      restrictions;
+    acc
+
+  let select ix restrictions =
+    Bitset.fold_right_set
+      (fun j acc -> ix.ix_leaves.(j) :: acc)
+      (select_bits ix restrictions) []
+
+  let select_oids ix restrictions =
+    Bitset.fold_right_set
+      (fun j acc -> ix.ix_leaves.(j).leaf_oid :: acc)
+      (select_bits ix restrictions) []
+
+  let count_selected ix restrictions =
+    Bitset.cardinal (select_bits ix restrictions)
+
+  (* Leaves accepting value [v] (possibly NULL) at one level. *)
+  let route_bits (ix : t) (li : level_index) (v : Value.t) : Bitset.t =
+    let bits = Bitset.create ix.ix_nleaves in
+    if Value.is_null v then
+      (* NULLs go to default arms only *)
+      Array.iter (fun dc -> Bitset.set_array bits dc.dc_members) li.li_defaults
+    else begin
+      (if li.li_all_points then (
+         match VH.find_opt li.li_points (norm_key v) with
+         | Some ms -> Bitset.set_array bits ms
+         | None -> ())
+       else
+         Bitset.set_array bits
+           li.li_regions.(region_of_value li.li_cuts v));
+      Array.iter
+        (fun dc ->
+          if not (Interval.Set.contains dc.dc_covered v) then
+            Bitset.set_array bits dc.dc_members)
+        li.li_defaults
+    end;
+    bits
+
+  let route (ix : t) (keys : Value.t array) : leaf option =
+    if Array.length keys <> Array.length ix.ix_levels then
+      invalid_arg "Partition.Index.route: wrong number of keys";
+    let acc = Bitset.full ix.ix_nleaves in
+    Array.iteri
+      (fun i v -> Bitset.inter_into ~into:acc (route_bits ix ix.ix_levels.(i) v))
+      keys;
+    Option.map (fun j -> ix.ix_leaves.(j)) (Bitset.first_set acc)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Public f_T / f*_T — served by the index                              *)
+(* ------------------------------------------------------------------ *)
+
+(** OID → leaf via the index's hash (the old linear scan is
+    {!find_leaf_linear}). *)
+let find_leaf t oid = Index.find_leaf (Index.of_partitioning t) oid
+
+(** [f_T]: route a tuple's key values (one per level) to the leaf that must
+    store it; [None] is the invalid partition ⊥ of §2.1.  O(log P) per
+    level via the index. *)
+let route t (keys : Value.t array) : leaf option =
+  Index.route (Index.of_partitioning t) keys
+
+(** [f*_T]: given an optional restriction per level ([None] = no predicate on
+    that level's key), return the leaves that may hold satisfying tuples.
+    Sound by construction, and exactly equal to {!select_legacy} (the
+    property suite holds them to oid-for-oid equality). *)
+let select t (restrictions : Interval.Set.t option array) : leaf list =
+  Index.select (Index.of_partitioning t) restrictions
+
 let select_oids t restrictions =
-  List.map (fun lf -> lf.leaf_oid) (select t restrictions)
+  Index.select_oids (Index.of_partitioning t) restrictions
 
 (* ------------------------------------------------------------------ *)
 (* Constructors for common partitioning layouts                        *)
@@ -148,7 +516,8 @@ let single_level ~alloc_oid ~key_index ~key_name ~scheme ~table_name constrs =
       constrs
     |> Array.of_list
   in
-  { levels = [| { key_index; key_name; scheme } |]; leaves }
+  { levels = [| { key_index; key_name; scheme } |]; leaves;
+    cached_index = None }
 
 (** Monthly range partitions covering [months] months starting at the first
     of [start_year]-[start_month]; the classic chronological layout of the
@@ -203,7 +572,7 @@ let two_level ~alloc_oid ~table_name ~level1 ~constrs1 ~level2 ~constrs2 =
       (List.mapi (fun i c -> (i, c)) constrs1)
     |> Array.of_list
   in
-  { levels = [| level1; level2 |]; leaves }
+  { levels = [| level1; level2 |]; leaves; cached_index = None }
 
 (** General n-level metadata as the cross product of per-level constraint
     lists — two_level generalized to arbitrary hierarchies. *)
@@ -233,7 +602,8 @@ let multi_level ~alloc_oid ~table_name (levels : (level * constr list) list) =
            })
     |> Array.of_list
   in
-  { levels = Array.of_list (List.map fst levels); leaves }
+  { levels = Array.of_list (List.map fst levels); leaves;
+    cached_index = None }
 
 let pp_constr fmt = function
   | Default -> Format.pp_print_string fmt "DEFAULT"

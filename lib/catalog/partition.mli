@@ -10,7 +10,15 @@
     - [f_T] — {!route}: key values → leaf (or ⊥);
     - [f*_T] — {!select}: per-level restrictions → the leaves that can hold
       satisfying tuples (an over-approximation, never dropping a qualifying
-      leaf). *)
+      leaf).
+
+    Both are served by a selection {!Index} built once per table and cached
+    on the metadata record: sorted boundary arrays (binary-searched interval
+    → leaf-set lookup) per range level, a value → leaf-set hash per
+    categorical level, precomputed per-(level, prefix) covered sets for O(1)
+    default-arm checks, and an OID hash for leaf lookup; per-level survivor
+    sets are intersected as {!Bitset}s.  The pre-index linear
+    implementations remain as [*_legacy] oracles. *)
 
 open Mpp_expr
 
@@ -30,24 +38,83 @@ type leaf = {
   bounds : constr array;  (** one constraint per level, root to leaf *)
 }
 
-type t = { levels : level array; leaves : leaf array }
+type index
+(** The per-table selection index; build/obtain one via
+    {!Index.of_partitioning}. *)
+
+type t = {
+  levels : level array;
+  leaves : leaf array;
+  mutable cached_index : index option;
+      (** internal build-once cache; always construct with [None] (the
+          layout constructors below do) *)
+}
 
 val nlevels : t -> int
 val nparts : t -> int
 val leaf_oids : t -> oid list
 val key_indices : t -> int list
+
 val find_leaf : t -> oid -> leaf option
+(** OID → leaf via the index's hash table. *)
+
+val find_leaf_linear : t -> oid -> leaf option
+  [@@ocaml.deprecated "Linear scan kept only as a reference; use find_leaf."]
 
 val route : t -> Value.t array -> leaf option
 (** [f_T]: the leaf that must store a tuple with these key values (one per
-    level); [None] is the invalid partition ⊥. *)
+    level); [None] is the invalid partition ⊥.  Indexed: O(log P) binary
+    search (or O(1) hash for categorical levels) per level. *)
 
 val select : t -> Interval.Set.t option array -> leaf list
 (** [f*_T]: leaves that may hold satisfying tuples under the given per-level
     restrictions ([None] = no predicate on that level).  Sound by
-    construction. *)
+    construction, indexed, and oid-for-oid equal to {!select_legacy}. *)
 
 val select_oids : t -> Interval.Set.t option array -> oid list
+
+val route_legacy : t -> Value.t array -> leaf option
+(** The pre-index O(P·levels) implementation — the executable oracle the
+    property tests and [bench part-select] compare the index against. *)
+
+val select_legacy : t -> Interval.Set.t option array -> leaf list
+(** The pre-index implementation scanning every leaf (with an O(P) sibling
+    rescan per default-arm check) — the selection oracle. *)
+
+val select_oids_legacy : t -> Interval.Set.t option array -> oid list
+
+(** The partition-selection index of one table (paper §5's plan-scalability
+    concern, applied to selection itself): built once, cached on the
+    metadata record, and consulted by {!route} / {!select} / {!find_leaf}
+    and by the executor, storage router and optimizer. *)
+module Index : sig
+  type partitioning := t
+  type t = index
+
+  val of_partitioning : partitioning -> t
+  (** The table's index, building and caching it on first use.  Build the
+      index from a single domain before sharing the partitioning across
+      domains (the executor does this in [create_ctx]). *)
+
+  val build : partitioning -> t
+  (** Always builds fresh, ignoring the cache (benchmarks use this to time
+      construction). *)
+
+  val nparts : t -> int
+  val find_leaf : t -> oid -> leaf option
+  val route : t -> Value.t array -> leaf option
+  val select : t -> Interval.Set.t option array -> leaf list
+  val select_oids : t -> Interval.Set.t option array -> oid list
+
+  val select_bits : t -> Interval.Set.t option array -> Bitset.t
+  (** Survivors as a bitset over leaf indices (positions in
+      [partitioning.leaves]) — the executor's streaming-selection
+      currency. *)
+
+  val count_selected : t -> Interval.Set.t option array -> int
+  (** [cardinal (select_bits …)] without materializing leaves — the
+      optimizer's statically-surviving partition count. *)
+end
 
 (** {2 Constructors for common layouts} *)
 

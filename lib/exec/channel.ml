@@ -37,6 +37,18 @@ let slot t ~segment ~part_scan_id =
 let propagate t ~segment ~part_scan_id oid =
   Hashtbl.replace (slot t ~segment ~part_scan_id) oid ()
 
+(** Batched push: one slot lookup for the whole OID set.  Dedup happens
+    here at the channel — OIDs already present are left untouched, so a
+    selector pushing the same OID twice (two input rows routing to one
+    leaf, two memo keys resolving to overlapping leaf sets) neither grows
+    the slot nor double-counts downstream work: {!consume} and {!mem} see
+    each OID exactly once. *)
+let propagate_set t ~segment ~part_scan_id oids =
+  let s = slot t ~segment ~part_scan_id in
+  List.iter
+    (fun oid -> if not (Hashtbl.mem s oid) then Hashtbl.replace s oid ())
+    oids
+
 (** All OIDs pushed so far for this (segment, scan id), sorted. *)
 let consume t ~segment ~part_scan_id =
   Hashtbl.fold (fun oid () acc -> oid :: acc) (slot t ~segment ~part_scan_id) []

@@ -16,6 +16,12 @@ val nsegments : t -> int
 val propagate : t -> segment:int -> part_scan_id:int -> int -> unit
 (** Push a selected partition OID (idempotent). *)
 
+val propagate_set : t -> segment:int -> part_scan_id:int -> int list -> unit
+(** Batched {!propagate}: push a whole OID set with one slot lookup,
+    deduplicating at the channel — repeated OIDs (within the list or
+    across calls) are recorded once and never double-count downstream
+    work or metrics. *)
+
 val consume : t -> segment:int -> part_scan_id:int -> int list
 (** All OIDs pushed so far for this (segment, scan id), sorted. *)
 

@@ -53,6 +53,11 @@ type ctx = {
           partitions scanned and wall time (the EXPLAIN ANALYZE data);
           [None] skips all per-node bookkeeping *)
   pool : Dpool.t;  (** executes the per-segment loops *)
+  pindex : (int, Mpp_catalog.Partition.index) Hashtbl.t;
+      (** root OID → partition-selection index, resolved once per table on
+          the coordinating domain in {!create_ctx} (before any Dpool
+          fan-out, so the build-once cache is never raced) and consulted by
+          every PartitionSelector execution *)
 }
 
 let create_ctx ?(params = [||]) ?(selection_enabled = true) ?stats ?domains
@@ -61,6 +66,18 @@ let create_ctx ?(params = [||]) ?(selection_enabled = true) ?stats ?domains
   let domains =
     match domains with Some d -> d | None -> Dpool.default_domains ()
   in
+  (* Resolve every partitioned table's selection index here, on the
+     coordinating domain: [of_partitioning] populates the build-once cache
+     single-threaded, so the parallel sections below only ever read it. *)
+  let pindex = Hashtbl.create 16 in
+  List.iter
+    (fun (tbl : Mpp_catalog.Table.t) ->
+      match tbl.partitioning with
+      | Some p ->
+          Hashtbl.replace pindex tbl.oid
+            (Mpp_catalog.Partition.Index.of_partitioning p)
+      | None -> ())
+    (Mpp_catalog.Catalog.tables catalog);
   {
     catalog;
     storage;
@@ -70,6 +87,7 @@ let create_ctx ?(params = [||]) ?(selection_enabled = true) ?stats ?domains
     selection_enabled;
     stats;
     pool = Dpool.get ~domains;
+    pindex;
   }
 
 type result = {
@@ -222,6 +240,21 @@ let partitioning_of ctx root_oid =
         (Printf.sprintf "Exec: PartitionSelector on non-partitioned oid %d"
            root_oid)
 
+(* The table's selection index, from the per-context cache built in
+   [create_ctx]; tables registered after context creation fall back to an
+   on-demand build (still on the coordinating domain — selectors resolve
+   their index before fanning out). *)
+let index_of ctx root_oid =
+  match Hashtbl.find_opt ctx.pindex root_oid with
+  | Some ix -> ix
+  | None ->
+      let ix =
+        Mpp_catalog.Partition.Index.of_partitioning
+          (partitioning_of ctx root_oid)
+      in
+      Hashtbl.replace ctx.pindex root_oid ix;
+      ix
+
 (* [key = e] where e does not mention the key itself. *)
 let point_equality (key : Colref.t) p =
   match Expr.conjuncts p with
@@ -261,7 +294,7 @@ let compile_selector ctx ~keys ~predicates : level_selector array =
    OID set once and push it on every segment. *)
 let run_static_selection ctx ~part_scan_id ~root_oid
     (selectors : level_selector array) =
-  let partitioning = partitioning_of ctx root_oid in
+  let index = index_of ctx root_oid in
   let restrictions =
     Array.map
       (function
@@ -272,21 +305,26 @@ let run_static_selection ctx ~part_scan_id ~root_oid
             None)
       selectors
   in
-  let oids = Mpp_catalog.Partition.select_oids partitioning restrictions in
+  let oids = Mpp_catalog.Partition.Index.select_oids index restrictions in
   for segment = 0 to nsegments ctx - 1 do
-    List.iter
-      (fun oid -> Channel.propagate ctx.channel ~segment ~part_scan_id oid)
-      oids
+    Channel.propagate_set ctx.channel ~segment ~part_scan_id oids
   done
 
 (* Row-driven selection (the DPE case, Figure 5(d)): evaluate the compiled
    selectors against each row, memoizing per distinct key-value tuple.  The
    memo only helps when no level needs the general per-row re-analysis, so
    that check is hoisted out of the row loop — with a dynamic level present
-   the fast-key tuples are never even built. *)
+   the fast-key tuples are never even built.
+
+   Selection itself goes through the table's index (resolved here on the
+   coordinating domain, then read-only inside the parallel section): each
+   memo key costs one O(log P) bitset intersection instead of a scan of
+   every leaf, the resolved OID set is cached on the memo entry, and the
+   whole set is handed to the channel in one batched [propagate_set] — the
+   channel dedups, so overlapping per-row leaf sets never repeat work. *)
 let run_streaming_selection ctx ~part_scan_id ~root_oid ~keys
     (selectors : level_selector array) (child : result) =
-  let partitioning = partitioning_of ctx root_oid in
+  let index = index_of ctx root_oid in
   let keys = Array.of_list keys in
   let general =
     Array.exists (function Sel_dynamic _ -> true | _ -> false) selectors
@@ -302,7 +340,7 @@ let run_streaming_selection ctx ~part_scan_id ~root_oid ~keys
   in
   ignore
     (par_init ctx (fun segment ->
-         let select_for row =
+         let oids_for row =
            let restrictions =
              Array.mapi
                (fun i sel ->
@@ -318,16 +356,19 @@ let run_streaming_selection ctx ~part_scan_id ~root_oid ~keys
                        (Expr.subst_cols (partial_lookup child.layout row) p))
                selectors
            in
-           Mpp_catalog.Partition.select_oids partitioning restrictions
-           |> List.iter (fun oid ->
-                  Channel.propagate ctx.channel ~segment ~part_scan_id oid)
+           Mpp_catalog.Partition.Index.select_oids index restrictions
+         in
+         let push oids =
+           Channel.propagate_set ctx.channel ~segment ~part_scan_id oids
          in
          let rows = child.rows.(segment) in
-         if general then Vec.iter select_for rows
+         if general then Vec.iter (fun row -> push (oids_for row)) rows
          else begin
            (* cheap memo key: the per-level point values (None for static /
-              unrestricted levels, which contribute nothing row-specific) *)
-           let seen : (Value.t option list, unit) Hashtbl.t =
+              unrestricted levels, which contribute nothing row-specific);
+              each entry caches the resolved OID set so a repeated key
+              costs one hash probe, not a re-selection *)
+           let memo : (Value.t option list, int list) Hashtbl.t =
              Hashtbl.create 64
            in
            Vec.iter
@@ -338,10 +379,12 @@ let run_streaming_selection ctx ~part_scan_id ~root_oid ~keys
                       (function Some f -> Some (f row) | None -> None)
                       points)
                in
-               if not (Hashtbl.mem seen fast_key) then begin
-                 Hashtbl.replace seen fast_key ();
-                 select_for row
-               end)
+               match Hashtbl.find_opt memo fast_key with
+               | Some _ -> ()  (* already resolved and pushed *)
+               | None ->
+                   let oids = oids_for row in
+                   Hashtbl.replace memo fast_key oids;
+                   push oids)
              rows
          end))
 

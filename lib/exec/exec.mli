@@ -39,6 +39,10 @@ type ctx = {
       (** when set, per-plan-node actual rows / partitions / wall time are
           recorded for EXPLAIN ANALYZE; [None] skips all bookkeeping *)
   pool : Dpool.t;  (** executes the per-segment loops *)
+  pindex : (int, Mpp_catalog.Partition.index) Hashtbl.t;
+      (** root OID → partition-selection index, resolved once per table in
+          {!create_ctx} on the coordinating domain and read-only
+          thereafter *)
 }
 
 val create_ctx :

@@ -141,6 +141,25 @@ let col_ndv t (table : Table.t) ~col_index =
     stats.columns.(col_index).Mpp_stats.Stats.ndv
   else 100
 
+(* Statically-surviving partition count of the scan rooted at [root_oid]
+   under [pred], via the selection index: per-level [Expr.restriction] →
+   {!Mpp_catalog.Partition.Index.count_selected} (one bitset cardinality, no
+   leaf materialization).  [None] when the predicate restricts no
+   partitioning level — the count would just be the leaf total. *)
+let indexed_nparts t ~root_oid ~keys pred =
+  match (Mpp_catalog.Catalog.find_oid t.catalog root_oid).Table.partitioning with
+  | None -> None
+  | Some p ->
+      let restrictions =
+        Array.of_list (List.map (fun k -> Expr.restriction k pred) keys)
+      in
+      if Array.for_all Option.is_none restrictions then None
+      else begin
+        Obs.incr (Obs.current ()) "optimizer.indexed_part_counts";
+        let ix = Mpp_catalog.Partition.Index.of_partitioning p in
+        Some (Mpp_catalog.Partition.Index.count_selected ix restrictions)
+      end
+
 (* ------------------------------------------------------------------ *)
 (* Scans and filters                                                   *)
 (* ------------------------------------------------------------------ *)
@@ -210,14 +229,33 @@ let plan_select t ~rel_tables pred (child : annotated) : annotated =
         Plan.Dynamic_scan { s with filter = Some pred }
     | p -> Plan.filter pred p
   in
+  (* Refine each visible DynamicScan with the statically-surviving
+     partition count under [pred] (the index makes this one bitset
+     cardinality per scan): downstream DPE costing then discounts against
+     the partitions that static selection already eliminated, and the
+     statically pruned partition opens come off this subplan's cost. *)
+  let pruned_opens = ref 0.0 in
+  let dyn_scans =
+    List.map
+      (fun ds ->
+        let ds = { ds with ds_rows = ds.ds_rows *. sel } in
+        match
+          indexed_nparts t ~root_oid:ds.ds_root_oid ~keys:ds.ds_keys pred
+        with
+        | Some n when n < ds.ds_nparts ->
+            pruned_opens :=
+              !pruned_opens
+              +. (float_of_int (ds.ds_nparts - n) *. cost_partition_open);
+            { ds with ds_nparts = n }
+        | _ -> ds)
+      child.dyn_scans
+  in
   {
     child with
     plan;
     rows;
-    cost = child.cost +. (child.rows *. cost_filter_tuple);
-    dyn_scans =
-      List.map (fun ds -> { ds with ds_rows = ds.ds_rows *. sel })
-        child.dyn_scans;
+    cost = child.cost +. (child.rows *. cost_filter_tuple) -. !pruned_opens;
+    dyn_scans;
   }
 
 (* ------------------------------------------------------------------ *)

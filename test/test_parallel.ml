@@ -146,6 +146,66 @@ let test_agg_sort_limit_seven_segments () =
   in
   check_equivalent ~what:"agg+sort+limit" ~catalog ~storage plan
 
+(* Hand-built streaming-DPE plan: a join-driven selector (Figure 5(d))
+   above the build side resolves partitions per distinct join key through
+   the selection index's memoized path and pushes the OID sets into the
+   sharded channel via the batched [propagate_set].  The selected-OID sets
+   per root (checked by [check_equivalent] through [Metrics.scanned_oids])
+   must be identical serial vs parallel. *)
+let test_streaming_dpe_memoized () =
+  let catalog = Cat.create () in
+  let part =
+    Mpp_catalog.Partition.single_level
+      ~alloc_oid:(fun () -> Cat.alloc_oid catalog)
+      ~key_index:1 ~key_name:"b" ~scheme:Mpp_catalog.Partition.Range
+      ~table_name:"fact"
+      (Mpp_catalog.Partition.int_ranges ~start:0 ~width:10 ~count:20)
+  in
+  let fact =
+    Cat.add_table catalog ~name:"fact"
+      ~columns:[ ("a", Value.Tint); ("b", Value.Tint) ]
+      ~distribution:(Dist.Hashed [ 0 ]) ~partitioning:part ()
+  in
+  let dim =
+    Cat.add_table catalog ~name:"dim"
+      ~columns:[ ("k", Value.Tint); ("s", Value.Tstring) ]
+      ~distribution:Dist.Replicated ()
+  in
+  let storage = Storage.create ~nsegments:4 in
+  for i = 0 to 499 do
+    Storage.insert storage fact [| Value.Int i; Value.Int (i mod 200) |]
+  done;
+  (* duplicate keys (memo hits), a key outside every partition, and a NULL
+     key (routes nowhere) *)
+  List.iter
+    (fun k ->
+      Storage.insert storage dim [| k; Value.String "x" |])
+    [ Value.Int 7; Value.Int 7; Value.Int 63; Value.Int 63; Value.Int 140;
+      Value.Int 9999; Value.Null ];
+  let dim_k = col ~rel:1 ~index:0 ~name:"k" in
+  let fact_b = Mpp_catalog.Table.colref fact ~rel:0 "b" in
+  let join_pred = Expr.eq (Expr.col dim_k) (Expr.col fact_b) in
+  let plan =
+    Plan.motion Plan.Gather
+      (Plan.hash_join ~kind:Plan.Inner ~pred:join_pred
+         (Plan.partition_selector
+            ~child:(Plan.table_scan ~rel:1 dim.Mpp_catalog.Table.oid)
+            ~part_scan_id:1 ~root_oid:fact.Mpp_catalog.Table.oid
+            ~keys:[ fact_b ]
+            ~predicates:[ Some (Expr.eq (Expr.col fact_b) (Expr.col dim_k)) ]
+            ())
+         (Plan.dynamic_scan ~rel:0 ~part_scan_id:1
+            fact.Mpp_catalog.Table.oid))
+  in
+  check_equivalent ~what:"streaming-DPE memoized selection" ~catalog ~storage
+    plan;
+  (* sanity: the selector actually pruned — only the 3 leaves holding the
+     in-range keys {7, 63, 140} are ever scanned *)
+  let _, m = Exec.run ~catalog ~storage plan in
+  Alcotest.(check int) "3 of 20 partitions scanned" 3
+    (List.length
+       (Metrics.scanned_oids m ~root_oid:fact.Mpp_catalog.Table.oid))
+
 (* Dynamic selection: streaming selector feeding a DynamicScan through the
    sharded channel, exercised at both domain counts. *)
 let test_dynamic_selection_parallel () =
@@ -170,4 +230,6 @@ let () =
          Alcotest.test_case "agg+sort+limit, 7 segments" `Quick
            test_agg_sort_limit_seven_segments;
          Alcotest.test_case "dynamic selection" `Quick
-           test_dynamic_selection_parallel ]) ]
+           test_dynamic_selection_parallel;
+         Alcotest.test_case "streaming-DPE memoized selection" `Quick
+           test_streaming_dpe_memoized ]) ]

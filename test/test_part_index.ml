@@ -1,0 +1,302 @@
+(** The partition-selection index vs the legacy oracle.
+
+    {!Partition.Index} rewrites [f_T] (route) and [f*_T] (select) on
+    sorted-boundary / hash lookups with bitset intersection; the pre-index
+    linear implementations survive as [route_legacy] / [select_legacy] /
+    [select_oids_legacy].  This suite pins the two down against each other:
+
+    - deterministic equivalence on the recurring schemas (monthly ranges,
+      two-level month x region, default arms, NULL keys, OID lookup);
+    - randomized 1-3-level layouts (range + categorical arms, optional
+      default arm at a random position, overlapping restriction sets,
+      Int/Float key mixing) where indexed select/route must equal the
+      oracle exactly, 1200+ cases each;
+    - {!Bitset} word-level invariants (ghost bits, ordering);
+    - {!Channel} dedup: pushing the same OID twice — singly or via the
+      batched [propagate_set] — must not double-count. *)
+
+open Mpp_expr
+module Cat = Mpp_catalog.Catalog
+module Part = Mpp_catalog.Partition
+module Bitset = Mpp_catalog.Bitset
+module Channel = Mpp_exec.Channel
+
+let d s = Value.Date (Date.of_string s)
+
+let oids_of leaves = List.map (fun (lf : Part.leaf) -> lf.Part.leaf_oid) leaves
+
+let leaf_oid_opt = Option.map (fun (lf : Part.leaf) -> lf.Part.leaf_oid)
+
+(* Indexed select / count / bits must agree with the legacy oracle on this
+   restriction array, oid for oid. *)
+let check_select what p restrictions =
+  let ix = Part.Index.of_partitioning p in
+  let legacy = Part.select_oids_legacy p restrictions in
+  Alcotest.(check (list int))
+    (what ^ ": indexed select = legacy")
+    legacy
+    (Part.Index.select_oids ix restrictions);
+  Alcotest.(check (list int))
+    (what ^ ": top-level select delegates to index")
+    legacy
+    (Part.select_oids p restrictions);
+  Alcotest.(check int)
+    (what ^ ": count_selected")
+    (List.length legacy)
+    (Part.Index.count_selected ix restrictions);
+  let bits = Part.Index.select_bits ix restrictions in
+  Alcotest.(check int)
+    (what ^ ": select_bits cardinal")
+    (List.length legacy) (Bitset.cardinal bits)
+
+let check_route what p keys =
+  Alcotest.(check (option int))
+    (what ^ ": indexed route = legacy")
+    (leaf_oid_opt (Part.route_legacy p keys))
+    (leaf_oid_opt (Part.route p keys))
+
+(* ---- deterministic layouts ---- *)
+
+let test_monthly_equivalence () =
+  let _, orders = Support.orders_schema () in
+  let p = Option.get orders.Mpp_catalog.Table.partitioning in
+  let set iv = Interval.Set.of_interval_opt iv in
+  List.iter
+    (fun (what, r) -> check_select what p [| r |])
+    [ ("no restriction", None);
+      ("empty set", Some Interval.Set.empty);
+      ("full set", Some Interval.Set.full);
+      ("point in range", Some (Interval.Set.point (d "2013-10-15")));
+      ("point out of range", Some (Interval.Set.point (d "2030-01-01")));
+      ("half-open range",
+       Some (set (Interval.closed_open (d "2012-03-01") (d "2012-06-15"))));
+      ("at_most", Some (Interval.Set.singleton (Interval.at_most (d "2012-02-10"))));
+      ("at_least", Some (Interval.Set.singleton (Interval.at_least (d "2013-11-20"))));
+      ("union of two ranges",
+       Some
+         (Interval.Set.union
+            (set (Interval.closed_open (d "2012-01-15") (d "2012-02-15")))
+            (set (Interval.closed_open (d "2013-05-01") (d "2013-07-01"))))) ];
+  for day = 0 to 729 do
+    check_route "monthly date" p
+      [| Value.Date (Date.add_days (Date.of_ymd 2012 1 1) day) |]
+  done;
+  check_route "monthly NULL key" p [| Value.Null |];
+  check_route "monthly out of range" p [| d "2030-01-01" |]
+
+let test_two_level_equivalence () =
+  let _, orders = Support.multilevel_schema () in
+  let p = Option.get orders.Mpp_catalog.Table.partitioning in
+  let date_r = Interval.Set.of_interval_opt
+      (Interval.closed_open (d "2012-02-01") (d "2012-05-01")) in
+  List.iter
+    (fun (what, r) -> check_select what p r)
+    [ ("both levels", [| Some date_r; Some (Interval.Set.point (Value.String "east")) |]);
+      ("level 1 only", [| Some date_r; None |]);
+      ("level 2 only", [| None; Some (Interval.Set.point (Value.String "west")) |]);
+      ("unknown region", [| None; Some (Interval.Set.point (Value.String "north")) |]);
+      ("level 2 empty", [| Some date_r; Some Interval.Set.empty |]) ];
+  List.iter
+    (fun keys -> check_route "two-level" p keys)
+    [ [| d "2012-03-15"; Value.String "east" |];
+      [| d "2012-03-15"; Value.String "north" |];
+      [| d "2030-01-01"; Value.String "west" |];
+      [| Value.Null; Value.String "east" |];
+      [| d "2012-03-15"; Value.Null |] ]
+
+(* int ranges + default arm at level 1, categorical + default at level 2:
+   the default-arm covered-set precomputation against the legacy rescan. *)
+let default_layout () =
+  let next = ref 0 in
+  let alloc_oid () = incr next; !next in
+  Part.multi_level ~alloc_oid ~table_name:"t"
+    [ ({ Part.key_index = 0; key_name = "a"; scheme = Part.Range },
+       Part.int_ranges ~start:0 ~width:10 ~count:4 @ [ Part.Default ]);
+      ({ Part.key_index = 1; key_name = "b"; scheme = Part.Categorical },
+       Part.categorical [ [ Value.Int 1 ]; [ Value.Int 2; Value.Int 3 ] ]
+       @ [ Part.Default ]) ]
+
+let test_default_arm_equivalence () =
+  let p = default_layout () in
+  let set iv = Interval.Set.of_interval_opt iv in
+  List.iter
+    (fun (what, r) -> check_select what p r)
+    [ ("range into default",
+       [| Some (set (Interval.closed_open (Value.Int 35) (Value.Int 60))); None |]);
+      ("all defaults", [| Some (Interval.Set.point (Value.Int 99)); Some (Interval.Set.point (Value.Int 7)) |]);
+      ("covered values only",
+       [| Some (set (Interval.closed_open (Value.Int 0) (Value.Int 40)));
+          Some (Interval.Set.of_list [ Interval.point (Value.Int 1); Interval.point (Value.Int 3) ]) |]);
+      ("unbounded below", [| Some (Interval.Set.singleton (Interval.less_than (Value.Int 5))); None |]) ];
+  List.iter
+    (fun keys -> check_route "default arms" p keys)
+    [ [| Value.Int 15; Value.Int 2 |];
+      [| Value.Int 15; Value.Int 9 |];   (* level-2 default *)
+      [| Value.Int 99; Value.Int 1 |];   (* level-1 default *)
+      [| Value.Int 99; Value.Int 9 |];   (* both defaults *)
+      [| Value.Null; Value.Int 1 |];     (* NULL -> default *)
+      [| Value.Int 15; Value.Null |];
+      [| Value.Null; Value.Null |];
+      [| Value.Float 15.0; Value.Int 2 |] (* Float key vs Int arms *) ]
+
+let test_find_leaf_hash () =
+  let _, orders = Support.orders_schema () in
+  let p = Option.get orders.Mpp_catalog.Table.partitioning in
+  let linear = (Part.find_leaf_linear [@alert "-deprecated"]) in
+  List.iter
+    (fun oid ->
+      Alcotest.(check (option int))
+        (Printf.sprintf "find_leaf %d = linear scan" oid)
+        (leaf_oid_opt (linear p oid))
+        (leaf_oid_opt (Part.find_leaf p oid)))
+    (Part.leaf_oids p);
+  Alcotest.(check (option int)) "unknown oid" None
+    (leaf_oid_opt (Part.find_leaf p 999_999))
+
+(* ---- randomized layouts: the oracle property ---- *)
+
+let layout_and_restrictions_gen :
+    (Part.t * Interval.Set.t option array) QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let small_int = int_range (-10) 35 in
+  let point_arm =
+    map
+      (fun vs ->
+        Part.Cset (Interval.Set.of_list (List.map (fun i -> Interval.point (Value.Int i)) vs)))
+      (list_size (int_range 1 3) small_int)
+  in
+  let range_arm =
+    map
+      (fun (a, w) ->
+        Part.Cset
+          (Interval.Set.of_interval_opt
+             (Interval.closed_open (Value.Int a) (Value.Int (a + 1 + w)))))
+      (pair (int_range (-10) 25) (int_range 0 8))
+  in
+  let level idx =
+    let* scheme = oneofl [ Part.Range; Part.Categorical ] in
+    let arm =
+      match scheme with
+      | Part.Range -> oneof [ range_arm; range_arm; point_arm ]
+      | Part.Categorical -> point_arm
+    in
+    let* arms = list_size (int_range 1 5) arm in
+    let* with_default = bool in
+    let* pos = int_range 0 (List.length arms) in
+    let constrs =
+      if with_default then
+        List.filteri (fun i _ -> i < pos) arms
+        @ (Part.Default :: List.filteri (fun i _ -> i >= pos) arms)
+      else arms
+    in
+    return
+      ( { Part.key_index = idx; key_name = Printf.sprintf "k%d" idx; scheme },
+        constrs )
+  in
+  let restriction =
+    frequency
+      [ (2, return None);
+        (1, return (Some Interval.Set.empty));
+        (3, map (fun s -> Some s) Support.interval_set_gen);
+        (2, map (fun i -> Some (Interval.Set.point (Value.Int i))) small_int);
+        (1, map (fun i -> Some (Interval.Set.point (Value.Float (float_of_int i))))
+             small_int);
+        (1, map (fun i -> Some (Interval.Set.singleton (Interval.at_most (Value.Int i))))
+             small_int) ]
+  in
+  let* nlevels = int_range 1 3 in
+  let* levels = flatten_l (List.init nlevels level) in
+  let* restrictions = array_size (return nlevels) restriction in
+  let next = ref 0 in
+  let alloc_oid () = incr next; !next in
+  return (Part.multi_level ~alloc_oid ~table_name:"t" levels, restrictions)
+
+let prop_select_matches_oracle =
+  QCheck2.Test.make ~count:1500
+    ~name:"indexed select = legacy oracle (randomized layouts)"
+    layout_and_restrictions_gen
+    (fun (p, restrictions) ->
+      let ix = Part.Index.of_partitioning p in
+      let legacy = Part.select_oids_legacy p restrictions in
+      Part.Index.select_oids ix restrictions = legacy
+      && Part.Index.count_selected ix restrictions = List.length legacy
+      && oids_of (Part.Index.select ix restrictions) = legacy)
+
+let key_value_gen =
+  QCheck2.Gen.(
+    frequency
+      [ (1, return Value.Null);
+        (5, map (fun i -> Value.Int i) (int_range (-12) 40));
+        (2, map (fun i -> Value.Float (float_of_int i)) (int_range (-12) 40));
+        (1, map (fun i -> Value.Float (float_of_int i +. 0.5)) (int_range (-12) 40));
+        (1, return (Value.Int 100_000)) ])
+
+let prop_route_matches_oracle =
+  QCheck2.Test.make ~count:1500
+    ~name:"indexed route = legacy oracle (randomized layouts, NULL keys)"
+    QCheck2.Gen.(
+      let* p, _ = layout_and_restrictions_gen in
+      let* keys = array_size (return (Part.nlevels p)) key_value_gen in
+      return (p, keys))
+    (fun (p, keys) ->
+      leaf_oid_opt (Part.route p keys) = leaf_oid_opt (Part.route_legacy p keys))
+
+(* ---- bitsets ---- *)
+
+let test_bitset_basics () =
+  let b = Bitset.create 70 in
+  Alcotest.(check int) "empty cardinal" 0 (Bitset.cardinal b);
+  Alcotest.(check bool) "is_empty" true (Bitset.is_empty b);
+  Bitset.set_list b [ 0; 63; 64; 69 ];
+  Alcotest.(check int) "cardinal" 4 (Bitset.cardinal b);
+  Alcotest.(check (list int)) "to_list ascending" [ 0; 63; 64; 69 ]
+    (Bitset.to_list b);
+  Alcotest.(check (option int)) "first_set" (Some 0) (Bitset.first_set b);
+  let f = Bitset.full 70 in
+  Alcotest.(check int) "full cardinal masks ghost bits" 70 (Bitset.cardinal f);
+  Bitset.inter_into ~into:f b;
+  Alcotest.(check bool) "inter = smaller set" true (Bitset.equal f b);
+  let u = Bitset.create 70 in
+  Bitset.set u 7;
+  Bitset.union_into ~into:u b;
+  Alcotest.(check (list int)) "union" [ 0; 7; 63; 64; 69 ] (Bitset.to_list u);
+  Alcotest.(check bool) "mem in" true (Bitset.mem u 7);
+  Alcotest.(check bool) "mem out" false (Bitset.mem u 8);
+  Alcotest.(check bool) "mem out of range" false (Bitset.mem u 700);
+  let acc = Bitset.fold_right_set (fun i acc -> i :: acc) u [] in
+  Alcotest.(check (list int)) "fold_right_set ascending list" [ 0; 7; 63; 64; 69 ] acc
+
+(* ---- channel dedup ---- *)
+
+let test_channel_dedup () =
+  let ch = Channel.create ~nsegments:2 in
+  Channel.propagate ch ~segment:0 ~part_scan_id:1 42;
+  Channel.propagate ch ~segment:0 ~part_scan_id:1 42;
+  Channel.propagate_set ch ~segment:0 ~part_scan_id:1 [ 7; 42; 7; 9 ];
+  Channel.propagate_set ch ~segment:0 ~part_scan_id:1 [ 9; 42 ];
+  Alcotest.(check (list int)) "consume: unique sorted OIDs" [ 7; 9; 42 ]
+    (Channel.consume ch ~segment:0 ~part_scan_id:1);
+  Alcotest.(check bool) "mem sees batched push" true
+    (Channel.mem ch ~segment:0 ~part_scan_id:1 9);
+  Alcotest.(check (list int)) "other segment unaffected" []
+    (Channel.consume ch ~segment:1 ~part_scan_id:1);
+  Alcotest.(check (list int)) "other scan id unaffected" []
+    (Channel.consume ch ~segment:0 ~part_scan_id:2);
+  Channel.propagate_set ch ~segment:1 ~part_scan_id:3 [];
+  Alcotest.(check (list int)) "empty batch is a no-op" []
+    (Channel.consume ch ~segment:1 ~part_scan_id:3)
+
+let () =
+  Alcotest.run "part_index"
+    [ ("deterministic equivalence",
+       [ Alcotest.test_case "monthly ranges" `Quick test_monthly_equivalence;
+         Alcotest.test_case "two-level month x region" `Quick
+           test_two_level_equivalence;
+         Alcotest.test_case "default arms" `Quick test_default_arm_equivalence;
+         Alcotest.test_case "find_leaf OID hash" `Quick test_find_leaf_hash ]);
+      ("oracle properties",
+       List.map QCheck_alcotest.to_alcotest
+         [ prop_select_matches_oracle; prop_route_matches_oracle ]);
+      ("bitset", [ Alcotest.test_case "word-level ops" `Quick test_bitset_basics ]);
+      ("channel",
+       [ Alcotest.test_case "OID dedup" `Quick test_channel_dedup ]) ]
