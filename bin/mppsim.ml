@@ -7,6 +7,7 @@
     mppsim explain "SELECT count(*) FROM store_sales WHERE ss_sold_date >= '2013-10-01'"
     mppsim explain --analyze "SELECT ..."
     mppsim run --optimizer planner --trace out.json "SELECT ..."
+    mppsim check --workload
     mppsim repl
     mppsim schema
     v} *)
@@ -136,7 +137,7 @@ let do_run ?trace ?domains env kind selection sql =
   let plan = plan_of env kind ~selection sql in
   let t0 = Unix.gettimeofday () in
   let rows, metrics =
-    Mpp_exec.Exec.run ?domains ~catalog:env.W.Runner.catalog
+    Mpp_exec.Exec.run ~verify:true ?domains ~catalog:env.W.Runner.catalog
       ~storage:env.W.Runner.storage plan
   in
   let dt = Unix.gettimeofday () -. t0 in
@@ -155,6 +156,62 @@ let do_run ?trace ?domains env kind selection sql =
   Printf.printf "(%d rows in %.2f ms)\n" (List.length rows) (dt *. 1000.0);
   print_metrics env metrics;
   write_trace trace sink [ ("metrics", Mpp_exec.Metrics.to_json metrics) ]
+
+(* [mppsim check] — run the multi-pass plan verifier over the plans both
+   optimizers produce (for one SQL statement, or for the whole built-in
+   workload with [--workload]) and pretty-print the diagnostics.  The
+   optimizers already gate every plan they emit on the verifier's error
+   diagnostics, so a plan that comes back at all can only carry warnings;
+   an optimizer-side rejection is reported as a failure here too.  Exits
+   1 when anything fails, so the target doubles as a CI smoke test. *)
+let do_check env selection ~workload sql_opt =
+  let nfail = ref 0 in
+  let report name kname = function
+    | Error msg ->
+        incr nfail;
+        Printf.printf "%-28s %-8s rejected by optimizer: %s\n" name kname msg
+    | Ok plan -> (
+        let diags =
+          Mpp_verify.Verify.check ~catalog:env.W.Runner.catalog plan
+        in
+        if Mpp_verify.Diag.has_errors diags then incr nfail;
+        match diags with
+        | [] -> Printf.printf "%-28s %-8s clean\n" name kname
+        | ds ->
+            Printf.printf "%-28s %-8s\n" name kname;
+            Format.printf "%a@." Mpp_verify.Verify.pp_report ds)
+  in
+  let guard f =
+    match f () with
+    | plan -> Ok plan
+    | exception Orca.Optimizer.Invalid_plan m -> Error m
+    | exception Mpp_planner.Planner.Invalid_plan m -> Error m
+  in
+  (if workload then
+     List.iter
+       (fun (qu : W.Queries.query) ->
+         List.iter
+           (fun (kname, kind) ->
+             report qu.W.Queries.name kname
+               (guard (fun () -> W.Runner.optimize_with env kind qu)))
+           [ ("orca", W.Runner.Orca); ("planner", W.Runner.Legacy_planner) ])
+       W.Queries.all
+   else
+     match sql_opt with
+     | Some sql ->
+         List.iter
+           (fun (kname, kind) ->
+             report "query" kname
+               (guard (fun () -> plan_of env kind ~selection sql)))
+           [ ("orca", Orca); ("planner", Planner) ]
+     | None ->
+         prerr_endline "mppsim check: provide a SQL argument or --workload";
+         incr nfail);
+  if !nfail > 0 then begin
+    Printf.printf "%d plan(s) failed verification\n" !nfail;
+    exit 1
+  end
+  else print_endline "all plans verify clean"
 
 let do_schema env =
   List.iter
@@ -271,6 +328,27 @@ let repl_cmd =
           $ optimizer_arg $ no_selection_arg $ scale_arg $ segments_arg
           $ verbose_arg $ parallel_arg)
 
+let check_cmd =
+  let workload_arg =
+    Arg.(value & flag & info [ "workload" ]
+           ~doc:"Check every built-in workload query instead of one SQL \
+                 statement.")
+  in
+  let sql_opt_arg =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"SQL")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Statically verify the plans both optimizers produce (structure, \
+          schema, distribution, partition accounting); exit 1 on any \
+          diagnostic of error severity.")
+    Term.(const (fun n sc sg v workload sql -> with_env
+                    (fun env _k sel -> do_check env sel ~workload sql)
+                    Orca n sc sg v)
+          $ no_selection_arg $ scale_arg $ segments_arg $ verbose_arg
+          $ workload_arg $ sql_opt_arg)
+
 let schema_cmd =
   Cmd.v (Cmd.info "schema" ~doc:"List the demo schema's tables.")
     Term.(const (fun sc sg ->
@@ -283,6 +361,6 @@ let main =
        ~doc:
          "Simulated MPP database with partitioned-table optimization \
           (SIGMOD 2014 reproduction).")
-    [ explain_cmd; run_cmd; repl_cmd; schema_cmd ]
+    [ explain_cmd; run_cmd; repl_cmd; check_cmd; schema_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -115,17 +115,6 @@ let leaf_oids t = Array.to_list (Array.map (fun l -> l.leaf_oid) t.leaves)
 let key_indices t =
   Array.to_list (Array.map (fun lv -> lv.key_index) t.levels)
 
-(* The pre-index linear leaf lookup, kept for comparison; {!find_leaf}
-   below answers from the index's OID hash. *)
-let find_leaf_linear t oid =
-  let n = Array.length t.leaves in
-  let rec go i =
-    if i >= n then None
-    else if t.leaves.(i).leaf_oid = oid then Some t.leaves.(i)
-    else go (i + 1)
-  in
-  go 0
-
 (* The union of the sibling (non-default) constraints at [level], restricted
    to leaves matching [prefix_pred]; used to decide what a Default arm
    covers.  O(P) per call — the index precomputes one result per
@@ -478,8 +467,8 @@ end
 (* Public f_T / f*_T — served by the index                              *)
 (* ------------------------------------------------------------------ *)
 
-(** OID → leaf via the index's hash (the old linear scan is
-    {!find_leaf_linear}). *)
+(** OID → leaf via the index's hash (replaces the pre-index O(P) linear
+    scan, removed once all callers migrated). *)
 let find_leaf t oid = Index.find_leaf (Index.of_partitioning t) oid
 
 (** [f_T]: route a tuple's key values (one per level) to the leaf that must

@@ -58,9 +58,6 @@ val key_indices : t -> int list
 val find_leaf : t -> oid -> leaf option
 (** OID → leaf via the index's hash table. *)
 
-val find_leaf_linear : t -> oid -> leaf option
-  [@@ocaml.deprecated "Linear scan kept only as a reference; use find_leaf."]
-
 val route : t -> Value.t array -> leaf option
 (** [f_T]: the leaf that must store a tuple with these key values (one per
     level); [None] is the invalid partition ⊥.  Indexed: O(log P) binary

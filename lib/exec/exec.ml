@@ -58,10 +58,15 @@ type ctx = {
           the coordinating domain in {!create_ctx} (before any Dpool
           fan-out, so the build-once cache is never raced) and consulted by
           every PartitionSelector execution *)
+  verify : bool;
+      (** when set, {!exec} runs {!Mpp_verify.Verify.assert_valid} over the
+          root plan before interpreting it, rejecting structurally,
+          schema-, distribution- or accounting-invalid plans up front
+          instead of failing (or mis-executing) mid-flight *)
 }
 
-let create_ctx ?(params = [||]) ?(selection_enabled = true) ?stats ?domains
-    ~catalog ~storage () =
+let create_ctx ?(params = [||]) ?(selection_enabled = true) ?(verify = false)
+    ?stats ?domains ~catalog ~storage () =
   let nsegs = Mpp_storage.Storage.nsegments storage in
   let domains =
     match domains with Some d -> d | None -> Dpool.default_domains ()
@@ -88,6 +93,7 @@ let create_ctx ?(params = [||]) ?(selection_enabled = true) ?stats ?domains
     stats;
     pool = Dpool.get ~domains;
     pindex;
+    verify;
   }
 
 type result = {
@@ -933,7 +939,7 @@ and exec_node ctx id (plan : Plan.t) : result =
   match plan with
   | Plan.Table_scan { rel; table_oid; filter; guard } ->
       exec_table_scan ctx ~rel ~table_oid ~filter ~guard
-  | Plan.Dynamic_scan { rel; part_scan_id; root_oid; filter } ->
+  | Plan.Dynamic_scan { rel; part_scan_id; root_oid; filter; _ } ->
       exec_dynamic_scan ctx ~rel ~part_scan_id ~root_oid ~filter
   | Plan.Partition_selector
       { part_scan_id; root_oid; keys; predicates; child = None } ->
@@ -1035,13 +1041,18 @@ and exec_node ctx id (plan : Plan.t) : result =
       { layout = [ (-1, 1) ]; rows = out }
 
 (** Evaluate a plan with this context; the root gets pre-order index 0. *)
-let exec ctx (plan : Plan.t) : result = exec_at ctx 0 plan
+let exec ctx (plan : Plan.t) : result =
+  if ctx.verify then
+    Mpp_verify.Verify.assert_valid ~catalog:ctx.catalog ~what:"executor input"
+      plan;
+  exec_at ctx 0 plan
 
 (** Execute [plan] and gather all segments' output rows on the master. *)
-let run ?(params = [||]) ?(selection_enabled = true) ?stats ?domains ~catalog
-    ~storage plan =
+let run ?(params = [||]) ?(selection_enabled = true) ?(verify = false) ?stats
+    ?domains ~catalog ~storage plan =
   let ctx =
-    create_ctx ~params ~selection_enabled ?stats ?domains ~catalog ~storage ()
+    create_ctx ~params ~selection_enabled ~verify ?stats ?domains ~catalog
+      ~storage ()
   in
   let r = exec ctx plan in
   let rows =
@@ -1050,10 +1061,11 @@ let run ?(params = [||]) ?(selection_enabled = true) ?stats ?domains ~catalog
   (rows, metrics ctx)
 
 (** Execute [plan] collecting per-node EXPLAIN ANALYZE statistics. *)
-let run_analyze ?(params = [||]) ?(selection_enabled = true) ?domains ~catalog
-    ~storage plan =
+let run_analyze ?(params = [||]) ?(selection_enabled = true) ?(verify = false)
+    ?domains ~catalog ~storage plan =
   let stats = Node_stats.create () in
   let rows, metrics =
-    run ~params ~selection_enabled ~stats ?domains ~catalog ~storage plan
+    run ~params ~selection_enabled ~verify ~stats ?domains ~catalog ~storage
+      plan
   in
   (rows, metrics, stats)

@@ -43,11 +43,19 @@ type ctx = {
       (** root OID → partition-selection index, resolved once per table in
           {!create_ctx} on the coordinating domain and read-only
           thereafter *)
+  verify : bool;
+      (** when set, {!exec} runs the {!Mpp_verify.Verify} static analysis
+          over the root plan and raises {!Mpp_verify.Verify.Rejected}
+          before interpreting an invalid plan (default [false]: unit tests
+          routinely execute ad-hoc plan fragments — ungathered scans,
+          bare joins — that are fine to interpret but are not complete
+          top-level plans) *)
 }
 
 val create_ctx :
   ?params:Value.t array ->
   ?selection_enabled:bool ->
+  ?verify:bool ->
   ?stats:Node_stats.t ->
   ?domains:int ->
   catalog:Mpp_catalog.Catalog.t ->
@@ -75,6 +83,7 @@ val exec : ctx -> Plan.t -> result
 val run :
   ?params:Value.t array ->
   ?selection_enabled:bool ->
+  ?verify:bool ->
   ?stats:Node_stats.t ->
   ?domains:int ->
   catalog:Mpp_catalog.Catalog.t ->
@@ -86,6 +95,7 @@ val run :
 val run_analyze :
   ?params:Value.t array ->
   ?selection_enabled:bool ->
+  ?verify:bool ->
   ?domains:int ->
   catalog:Mpp_catalog.Catalog.t ->
   storage:Mpp_storage.Storage.t ->

@@ -802,13 +802,20 @@ let optimize t (lg : Logical.t) : Plan.t =
         Obs.annotate obs "plan_nodes"
           (Mpp_obs.Json.Int (Plan.node_count placed))
       end;
-      match Mpp_plan.Plan_valid.check placed with
+      (* Stamp each DynamicScan's statically-surviving partition count from
+         its placed selector, then run the full static verifier: every plan
+         this optimizer emits passes all four passes or is rejected. *)
+      let placed = Mpp_verify.Verify.stamp_nparts ~catalog:t.catalog placed in
+      match
+        Mpp_verify.Diag.errors
+          (Mpp_verify.Verify.check ~catalog:t.catalog placed)
+      with
       | [] -> placed
-      | violations ->
+      | errors ->
           raise
             (Invalid_plan
                (String.concat "; "
-                  (List.map Mpp_plan.Plan_valid.violation_to_string violations))))
+                  (List.map Mpp_verify.Diag.to_string errors))))
 
 (** Estimated cost of the plan the optimizer would pick (for tests and the
     memo comparison). *)

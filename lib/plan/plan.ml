@@ -61,6 +61,12 @@ type t =
       part_scan_id : int;
       root_oid : oid;
       filter : Expr.t option;
+      ds_nparts : int;
+          (** number of leaf partitions the optimizer expects this scan to
+              open (after static pruning); [-1] = unknown / not accounted.
+              The verifier's accounting pass cross-checks this against
+              [Partition.Index.count_selected] on the matching selector's
+              statically-analyzable predicates. *)
     }
   | Partition_selector of {
       part_scan_id : int;
@@ -105,8 +111,8 @@ type t =
 let table_scan ?filter ?guard ~rel table_oid =
   Table_scan { rel; table_oid; filter; guard }
 
-let dynamic_scan ?filter ~rel ~part_scan_id root_oid =
-  Dynamic_scan { rel; part_scan_id; root_oid; filter }
+let dynamic_scan ?filter ?(nparts = -1) ~rel ~part_scan_id root_oid =
+  Dynamic_scan { rel; part_scan_id; root_oid; filter; ds_nparts = nparts }
 
 let partition_selector ?child ~part_scan_id ~root_oid ~keys ~predicates () =
   Partition_selector { part_scan_id; root_oid; keys; predicates; child }
@@ -243,9 +249,10 @@ let describe = function
         (match guard with
         | None -> ""
         | Some id -> Printf.sprintf ", skip-unless-param(%d)" id)
-  | Dynamic_scan { rel; part_scan_id; root_oid; filter } ->
-      Printf.sprintf "DynamicScan(%d, rel=%d, root=%d%s)" part_scan_id rel
+  | Dynamic_scan { rel; part_scan_id; root_oid; filter; ds_nparts } ->
+      Printf.sprintf "DynamicScan(%d, rel=%d, root=%d%s%s)" part_scan_id rel
         root_oid
+        (if ds_nparts >= 0 then Printf.sprintf ", nparts=%d" ds_nparts else "")
         (match filter with
         | None -> ""
         | Some f -> ", filter=" ^ Expr.to_string f)

@@ -55,6 +55,9 @@ type t =
       part_scan_id : int;
       root_oid : oid;
       filter : Expr.t option;
+      ds_nparts : int;
+          (** number of leaf partitions the optimizer expects this scan to
+              open (after static pruning); [-1] = unknown / not accounted *)
     }
   | Partition_selector of {
       part_scan_id : int;
@@ -95,7 +98,9 @@ type t =
 (** {2 Smart constructors} *)
 
 val table_scan : ?filter:Expr.t -> ?guard:int -> rel:int -> oid -> t
-val dynamic_scan : ?filter:Expr.t -> rel:int -> part_scan_id:int -> oid -> t
+val dynamic_scan :
+  ?filter:Expr.t -> ?nparts:int -> rel:int -> part_scan_id:int -> oid -> t
+(** [nparts] defaults to [-1] (unknown). *)
 
 val partition_selector :
   ?child:t ->

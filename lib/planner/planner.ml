@@ -72,12 +72,25 @@ type sub = {
 }
 
 let append_of_expansion ?guard (e : expansion) : Plan.t =
-  Plan.Append
-    (List.map
-       (fun (lf : Partition.leaf) ->
-         Plan.table_scan ?filter:e.exp_filter ?guard ~rel:e.exp_rel
-           lf.Partition.leaf_oid)
-       e.exp_leaves)
+  match e.exp_leaves with
+  | [] ->
+      (* Static exclusion eliminated every partition.  An empty Append has
+         no output layout, so any parent operator that references the
+         table's columns (a measure aggregate, a join key) would fail to
+         compile at run time — a latent crash the plan verifier's schema
+         pass rejects.  Scan a single leaf under an always-false filter
+         instead: same empty result, correct tuple layout, nothing read. *)
+      let lf = e.exp_partitioning.Partition.leaves.(0) in
+      Plan.Append
+        [ Plan.table_scan ~filter:Expr.false_ ?guard ~rel:e.exp_rel
+            lf.Partition.leaf_oid ]
+  | leaves ->
+      Plan.Append
+        (List.map
+           (fun (lf : Partition.leaf) ->
+             Plan.table_scan ?filter:e.exp_filter ?guard ~rel:e.exp_rel
+               lf.Partition.leaf_oid)
+           leaves)
 
 let finalize (s : sub) : Plan.t =
   match s.expansion with Some e -> append_of_expansion e | None -> s.plan
@@ -335,10 +348,12 @@ let plan t (lg : Logical.t) : Plan.t =
         finalize s
     | _ -> gather s
   in
-  match Mpp_plan.Plan_valid.check p with
+  (* Every plan the legacy planner emits runs the full static verifier —
+     the same four passes the Orca pipeline must satisfy, which is what
+     makes the two optimizers differentially checkable. *)
+  match Mpp_verify.Diag.errors (Mpp_verify.Verify.check ~catalog:t.catalog p) with
   | [] -> p
-  | violations ->
+  | errors ->
       raise
         (Invalid_plan
-           (String.concat "; "
-              (List.map Mpp_plan.Plan_valid.violation_to_string violations)))
+           (String.concat "; " (List.map Mpp_verify.Diag.to_string errors)))

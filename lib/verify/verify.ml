@@ -1,0 +1,1022 @@
+(** Multi-pass static analysis of physical plans — see [verify.mli]. *)
+
+open Mpp_expr
+module Plan = Mpp_plan.Plan
+module Catalog = Mpp_catalog.Catalog
+module Table = Mpp_catalog.Table
+module Partition = Mpp_catalog.Partition
+module Obs = Mpp_obs.Obs
+
+(* ------------------------------------------------------------------ *)
+(* Node paths                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let short = function
+  | Plan.Table_scan _ -> "Scan"
+  | Plan.Dynamic_scan _ -> "DynScan"
+  | Plan.Partition_selector _ -> "Selector"
+  | Plan.Sequence _ -> "Sequence"
+  | Plan.Filter _ -> "Filter"
+  | Plan.Project _ -> "Project"
+  | Plan.Hash_join _ -> "HashJoin"
+  | Plan.Nl_join _ -> "NLJoin"
+  | Plan.Agg _ -> "Agg"
+  | Plan.Sort _ -> "Sort"
+  | Plan.Limit _ -> "Limit"
+  | Plan.Motion _ -> "Motion"
+  | Plan.Append _ -> "Append"
+  | Plan.Update _ -> "Update"
+  | Plan.Delete _ -> "Delete"
+  | Plan.Insert _ -> "Insert"
+
+(* A path is kept as a reversed segment list and rendered on demand.  The
+   segments stay symbolic (child index + node) until a diagnostic is
+   actually emitted: clean plans — the common case on the optimizer hot
+   path — never pay for string formatting. *)
+type pseg = Root of Plan.t | Child of int * Plan.t
+
+let render path =
+  String.concat "/"
+    (List.rev_map
+       (function
+         | Root p -> short p
+         | Child (i, c) -> string_of_int i ^ "." ^ short c)
+       path)
+
+let seg i child = Child (i, child)
+
+let table_opt catalog oid =
+  try Some (Catalog.find_oid catalog oid) with Invalid_argument _ -> None
+
+(* A leaf scan's tuples use the root table's schema; the schema and
+   distribution passes resolve leaf → root once and cache per root. *)
+
+(* ------------------------------------------------------------------ *)
+(* Pass 1: structure                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Unmatched endpoint counts for one part_scan_id in a subtree; [tp]/[tc]
+   record whether any of the unmatched producers/consumers crossed a Motion
+   on the way up (the §3.1 process-boundary taint). *)
+type ep = { prod : int; cons : int; tp : bool; tc : bool }
+
+let ep_producer = { prod = 1; cons = 0; tp = false; tc = false }
+let ep_consumer = { prod = 0; cons = 1; tp = false; tc = false }
+
+let ep_merge a b =
+  { prod = a.prod + b.prod; cons = a.cons + b.cons;
+    tp = a.tp || b.tp; tc = a.tc || b.tc }
+
+let merge_tables acc tbl =
+  List.fold_left
+    (fun acc (id, e) ->
+      match List.assoc_opt id acc with
+      | None -> (id, e) :: acc
+      | Some e0 -> (id, ep_merge e0 e) :: List.remove_assoc id acc)
+    acc tbl
+
+let structure_pass ~catalog (plan : Plan.t) : Diag.t list =
+  let diags = ref [] in
+  let emit ?severity code path msg =
+    diags :=
+      Diag.make ?severity ~pass:Diag.Structure ~code ~path:(render path) msg
+      :: !diags
+  in
+  (* --- per-node checks and the global id maps, one pre-order walk --- *)
+  let sel_count : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let sel_root : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let scan_roots : (int * int * pseg list) list ref = ref [] in
+  let rec pre path p =
+    (match p with
+    | Plan.Partition_selector { part_scan_id; root_oid; keys; predicates; _ }
+      ->
+        Hashtbl.replace sel_count part_scan_id
+          (1 + Option.value (Hashtbl.find_opt sel_count part_scan_id)
+                 ~default:0);
+        if not (Hashtbl.mem sel_root part_scan_id) then
+          Hashtbl.add sel_root part_scan_id root_oid;
+        if List.length keys <> List.length predicates then
+          emit "structure/selector-arity" path
+            (Printf.sprintf
+               "PartitionSelector %d has %d keys but %d per-level predicates"
+               part_scan_id (List.length keys) (List.length predicates));
+        (match table_opt catalog root_oid with
+        | None ->
+            emit "structure/unknown-root" path
+              (Printf.sprintf "PartitionSelector %d targets unknown OID %d"
+                 part_scan_id root_oid)
+        | Some tbl -> (
+            match tbl.Table.partitioning with
+            | None ->
+                emit "structure/selector-unpartitioned" path
+                  (Printf.sprintf
+                     "PartitionSelector %d targets unpartitioned table %s"
+                     part_scan_id tbl.Table.name)
+            | Some part ->
+                if List.length keys <> Partition.nlevels part then
+                  emit "structure/selector-levels" path
+                    (Printf.sprintf
+                       "PartitionSelector %d has %d keys for %d partitioning \
+                        level(s) of %s"
+                       part_scan_id (List.length keys)
+                       (Partition.nlevels part) tbl.Table.name)))
+    | Plan.Dynamic_scan { part_scan_id; root_oid; _ } ->
+        scan_roots := (part_scan_id, root_oid, path) :: !scan_roots
+    | _ -> ());
+    List.iteri (fun i c -> pre (seg i c :: path) c) (Plan.children p)
+  in
+  pre [ Root plan ] plan;
+  Hashtbl.iter
+    (fun id n ->
+      if n > 1 then
+        emit "structure/duplicate-selector" [ Root plan ]
+          (Printf.sprintf "part_scan_id %d has %d PartitionSelectors" id n))
+    sel_count;
+  List.iter
+    (fun (id, root_oid, path) ->
+      match Hashtbl.find_opt sel_root id with
+      | Some r when r <> root_oid ->
+          emit "structure/root-oid-mismatch" path
+            (Printf.sprintf
+               "DynamicScan %d scans root OID %d but its PartitionSelector \
+                targets %d"
+               id root_oid r)
+      | _ -> ())
+    !scan_roots;
+  (* --- endpoint walk: pair matching, Motion taint, execution order --- *)
+  let rec walk path p : (int * ep) list =
+    let own =
+      match p with
+      | Plan.Partition_selector { part_scan_id; _ } ->
+          [ (part_scan_id, ep_producer) ]
+      | Plan.Dynamic_scan { part_scan_id; _ } ->
+          [ (part_scan_id, ep_consumer) ]
+      | Plan.Table_scan { guard = Some id; _ } -> [ (id, ep_consumer) ]
+      | _ -> []
+    in
+    let kid_tables =
+      List.mapi (fun i c -> walk (seg i c :: path) c) (Plan.children p)
+    in
+    (* Execution-order checks: children run left to right (Sequence by
+       definition; joins by the paper's build-first convention), so a
+       consumer in an earlier child than its producer never receives
+       OIDs. *)
+    (match p with
+    | Plan.Sequence _ | Plan.Hash_join _ | Plan.Nl_join _ ->
+        ignore
+          (List.fold_left
+             (fun seen tbl ->
+               List.iter
+                 (fun (id, e) ->
+                   if e.prod > 0 && List.mem id seen then
+                     emit "structure/consumer-before-producer" path
+                       (Printf.sprintf
+                          "DynamicScan %d executes before its \
+                           PartitionSelector"
+                          id))
+                 tbl;
+               List.filter_map
+                 (fun (id, e) -> if e.cons > 0 then Some id else None)
+                 tbl
+               @ seen)
+             [] kid_tables)
+    | _ -> ());
+    let merged = List.fold_left merge_tables own kid_tables in
+    let resolved, leftover =
+      List.partition (fun (_, e) -> e.prod > 0 && e.cons > 0) merged
+    in
+    List.iter
+      (fun (id, e) ->
+        if e.tp || e.tc then
+          emit "structure/motion-between-pair" path
+            (Printf.sprintf
+               "a Motion separates PartitionSelector and DynamicScan %d" id))
+      resolved;
+    match p with
+    | Plan.Motion _ ->
+        List.map
+          (fun (id, e) ->
+            (id, { e with tp = e.tp || e.prod > 0; tc = e.tc || e.cons > 0 }))
+          leftover
+    | _ -> leftover
+  in
+  let leftover = walk [ Root plan ] plan in
+  List.iter
+    (fun (id, e) ->
+      if e.prod > 0 then
+        emit "structure/unmatched-selector" [ Root plan ]
+          (Printf.sprintf "PartitionSelector %d has no DynamicScan" id);
+      if e.cons > 0 then
+        emit "structure/unmatched-scan" [ Root plan ]
+          (Printf.sprintf "DynamicScan %d has no PartitionSelector" id))
+    leftover;
+  List.rev !diags
+
+(* ------------------------------------------------------------------ *)
+(* Pass 2: schema / typecheck                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* The executor's tuple layout, enriched with per-column datatypes: one
+   entry per visible relation instance, [None] for computed columns of
+   unknown type.  An empty column array poisons the entry (unknown table):
+   lookups into it are silently skipped to avoid cascades. *)
+type layout = (int * Value.datatype option array) list
+
+let cls (dt : Value.datatype) =
+  match dt with
+  | Value.Tint | Value.Tfloat -> `Num
+  | Value.Tstring -> `String
+  | Value.Tdate -> `Date
+  | Value.Tbool -> `Bool
+
+let same_class a b = cls a = cls b
+let is_numeric dt = cls dt = `Num
+
+let table_layout_types (tbl : Table.t) : Value.datatype option array =
+  Array.map (fun (_, dt) -> Some dt) tbl.Table.columns
+
+let schema_pass ~catalog (plan : Plan.t) : Diag.t list =
+  let diags = ref [] in
+  let emit ?severity code path msg =
+    diags :=
+      Diag.make ?severity ~pass:Diag.Schema ~code ~path:(render path) msg
+      :: !diags
+  in
+  (* Resolve + type an expression against a layout.  Types come from the
+     layout only (the executor addresses tuples positionally), so a skewed
+     offset surfaces as an out-of-range column or a class-incompatible
+     comparison. *)
+  let rec typ path layout (e : Expr.t) : Value.datatype option =
+    match e with
+    | Expr.Const v -> Value.datatype_of v
+    | Expr.Param _ -> None
+    | Expr.Col c -> (
+        match List.assoc_opt c.Colref.rel layout with
+        | None ->
+            emit "schema/unresolved-column" path
+              (Printf.sprintf "column %s: relation %d not in scope (scope: %s)"
+                 (Colref.to_string c) c.Colref.rel
+                 (String.concat ", "
+                    (List.map (fun (r, _) -> string_of_int r) layout)));
+            None
+        | Some cols ->
+            if Array.length cols = 0 then None (* poisoned: unknown table *)
+            else if c.Colref.index < 0 || c.Colref.index >= Array.length cols
+            then begin
+              emit "schema/unresolved-column" path
+                (Printf.sprintf
+                   "column %s: offset %d out of range for relation %d \
+                    (width %d)"
+                   (Colref.to_string c) c.Colref.index c.Colref.rel
+                   (Array.length cols));
+              None
+            end
+            else cols.(c.Colref.index))
+    | Expr.Cmp (_, a, b) ->
+        (match (typ path layout a, typ path layout b) with
+        | Some ta, Some tb when not (same_class ta tb) ->
+            emit "schema/cmp-incompatible" path
+              (Printf.sprintf "comparison %s mixes %s and %s"
+                 (Expr.to_string e)
+                 (Value.datatype_to_string ta)
+                 (Value.datatype_to_string tb))
+        | _ -> ());
+        Some Value.Tbool
+    | Expr.And es | Expr.Or es ->
+        List.iter (fun sub -> pred path layout sub) es;
+        Some Value.Tbool
+    | Expr.Not sub ->
+        pred path layout sub;
+        Some Value.Tbool
+    | Expr.Arith (_, a, b) -> (
+        let ta = typ path layout a and tb = typ path layout b in
+        List.iter
+          (function
+            | Some t when not (is_numeric t) ->
+                emit "schema/arith-nonnumeric" path
+                  (Printf.sprintf "arithmetic %s over non-numeric %s"
+                     (Expr.to_string e)
+                     (Value.datatype_to_string t))
+            | _ -> ())
+          [ ta; tb ];
+        match (ta, tb) with
+        | Some Value.Tfloat, _ | _, Some Value.Tfloat -> Some Value.Tfloat
+        | Some Value.Tint, Some Value.Tint -> Some Value.Tint
+        | _ -> None)
+    | Expr.In_list (sub, vs) ->
+        (match typ path layout sub with
+        | Some t ->
+            List.iter
+              (fun v ->
+                match Value.datatype_of v with
+                | Some tv when not (same_class t tv) ->
+                    emit "schema/cmp-incompatible" path
+                      (Printf.sprintf "IN list mixes %s and %s"
+                         (Value.datatype_to_string t)
+                         (Value.datatype_to_string tv))
+                | _ -> ())
+              vs
+        | None -> ());
+        Some Value.Tbool
+    | Expr.Is_null sub ->
+        ignore (typ path layout sub);
+        Some Value.Tbool
+    | Expr.Func ("to_float", args) ->
+        List.iter (fun a -> ignore (typ path layout a)) args;
+        Some Value.Tfloat
+    | Expr.Func (_, args) ->
+        List.iter (fun a -> ignore (typ path layout a)) args;
+        None
+  (* A filter predicate: additionally require a boolean result (the
+     executor's [eval_pred] raises on non-boolean values). *)
+  and pred path layout e =
+    match typ path layout e with
+    | Some t when t <> Value.Tbool ->
+        emit "schema/pred-not-bool" path
+          (Printf.sprintf "predicate %s has type %s, not bool"
+             (Expr.to_string e)
+             (Value.datatype_to_string t))
+    | _ -> ()
+  in
+  let agg_result_type path layout (f : Plan.agg_fun) : Value.datatype option =
+    let arg_numeric what e =
+      match typ path layout e with
+      | Some t when not (is_numeric t) ->
+          emit "schema/agg-nonnumeric" path
+            (Printf.sprintf "%s over non-numeric %s argument %s" what
+               (Value.datatype_to_string t) (Expr.to_string e));
+          None
+      | t -> t
+    in
+    match f with
+    | Plan.Count_star -> Some Value.Tint
+    | Plan.Count e ->
+        ignore (typ path layout e);
+        Some Value.Tint
+    | Plan.Sum e -> arg_numeric "sum" e
+    | Plan.Avg e ->
+        ignore (arg_numeric "avg" e);
+        Some Value.Tfloat
+    | Plan.Min e | Plan.Max e -> typ path layout e
+  in
+  (* Leaf scans of one root share a schema, and an Append expansion shares
+     one (physically equal) filter across its children: cache the per-OID
+     column types and typecheck each distinct (oid, rel, filter) once, so a
+     P-leaf expansion costs O(P) hash probes rather than P full
+     typechecks. *)
+  let root_of oid =
+    match Catalog.root_of_leaf catalog oid with Some r -> r | None -> oid
+  in
+  let layout_cache : (int, Value.datatype option array option) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let types_of_root root =
+    match Hashtbl.find_opt layout_cache root with
+    | Some r -> r
+    | None ->
+        let r = Option.map table_layout_types (table_opt catalog root) in
+        Hashtbl.add layout_cache root r;
+        r
+  in
+  let scan_layout path ~rel root : layout =
+    match types_of_root root with
+    | None ->
+        emit "schema/unknown-oid" path
+          (Printf.sprintf "scan of unknown table OID %d" root);
+        [ (rel, [||]) ]
+    | Some types -> [ (rel, types) ]
+  in
+  let checked_filters : (int * int, Expr.t list) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let check_scan_filter path layout ~rel ~root filter =
+    match filter with
+    | None -> ()
+    | Some f ->
+        let key = (root, rel) in
+        let seen =
+          Option.value (Hashtbl.find_opt checked_filters key) ~default:[]
+        in
+        if not (List.memq f seen) then begin
+          pred path layout f;
+          Hashtbl.replace checked_filters key (f :: seen)
+        end
+  in
+  let rec infer path (p : Plan.t) : layout =
+    match p with
+    | Plan.Table_scan { rel; table_oid; filter; guard = _ } ->
+        let root = root_of table_oid in
+        let layout = scan_layout path ~rel root in
+        check_scan_filter path layout ~rel ~root filter;
+        layout
+    | Plan.Dynamic_scan { rel; root_oid; filter; _ } ->
+        let root = root_of root_oid in
+        let layout = scan_layout path ~rel root in
+        check_scan_filter path layout ~rel ~root filter;
+        layout
+    | Plan.Partition_selector { keys; predicates; child; _ } ->
+        let child_layout =
+          match child with
+          | None -> []
+          | Some c -> infer (seg 0 c :: path) c
+        in
+        (* Selector predicates range over the (symbolic) partitioning keys
+           plus whatever the child — the outer side for streaming DPE —
+           produces. *)
+        List.iter
+          (function
+            | None -> ()
+            | Some pr ->
+                List.iter
+                  (fun (c : Colref.t) ->
+                    if not (List.exists (Colref.equal c) keys) then
+                      match List.assoc_opt c.Colref.rel child_layout with
+                      | Some cols
+                        when Array.length cols = 0
+                             || (c.Colref.index >= 0
+                                && c.Colref.index < Array.length cols) ->
+                          ()
+                      | _ ->
+                          emit "schema/selector-unresolved" path
+                            (Printf.sprintf
+                               "selector predicate column %s is neither a \
+                                partitioning key nor produced by the \
+                                selector input"
+                               (Colref.to_string c)))
+                  (Expr.free_cols pr))
+          predicates;
+        child_layout
+    | Plan.Sequence cs ->
+        let layouts = List.mapi (fun i c -> infer (seg i c :: path) c) cs in
+        (match List.rev layouts with [] -> [] | last :: _ -> last)
+    | Plan.Filter { pred = f; child } ->
+        let layout = infer (seg 0 child :: path) child in
+        pred path layout f;
+        layout
+    | Plan.Project { exprs; child } ->
+        let layout = infer (seg 0 child :: path) child in
+        let types =
+          Array.of_list (List.map (fun (_, e) -> typ path layout e) exprs)
+        in
+        [ (-1, types) ]
+    | Plan.Hash_join { kind; pred = jp; left; right }
+    | Plan.Nl_join { kind; pred = jp; left; right } ->
+        let ll = infer (seg 0 left :: path) left in
+        let rl = infer (seg 1 right :: path) right in
+        pred path (ll @ rl) jp;
+        (match kind with
+        | Plan.Semi -> rl
+        | Plan.Inner | Plan.Left_outer -> ll @ rl)
+    | Plan.Agg { group_by; aggs; child; output_rel } ->
+        let layout = infer (seg 0 child :: path) child in
+        let gtypes = List.map (typ path layout) group_by in
+        let atypes =
+          List.map (fun (_, f) -> agg_result_type path layout f) aggs
+        in
+        [ (output_rel, Array.of_list (gtypes @ atypes)) ]
+    | Plan.Sort { keys; child } ->
+        let layout = infer (seg 0 child :: path) child in
+        List.iter (fun k -> ignore (typ path layout k)) keys;
+        layout
+    | Plan.Limit { child; _ } -> infer (seg 0 child :: path) child
+    | Plan.Motion { kind; child } ->
+        let layout = infer (seg 0 child :: path) child in
+        (match kind with
+        | Plan.Redistribute cols ->
+            List.iter (fun c -> ignore (typ path layout (Expr.Col c))) cols
+        | _ -> ());
+        layout
+    | Plan.Append cs ->
+        let layouts = List.mapi (fun i c -> infer (seg i c :: path) c) cs in
+        (match layouts with
+        | [] -> []
+        | first :: rest ->
+            let shape l = List.map (fun (r, cols) -> (r, Array.length cols)) l in
+            List.iteri
+              (fun i l ->
+                if shape l <> shape first then
+                  emit "schema/append-mismatch" path
+                    (Printf.sprintf
+                       "Append child %d has a different output layout than \
+                        child 0"
+                       (i + 1)))
+              rest;
+            first)
+    | Plan.Update { rel; table_oid; set_exprs; child } ->
+        dml path ~rel ~table_oid ~set_exprs:(Some set_exprs) child
+    | Plan.Delete { rel; table_oid; child } ->
+        dml path ~rel ~table_oid ~set_exprs:None child
+    | Plan.Insert { table_oid; rows } ->
+        (match table_opt catalog table_oid with
+        | None ->
+            emit "schema/unknown-oid" path
+              (Printf.sprintf "INSERT into unknown table OID %d" table_oid)
+        | Some tbl ->
+            let ncols = Table.ncols tbl in
+            List.iteri
+              (fun i row ->
+                if List.length row <> ncols then
+                  emit "schema/insert-arity" path
+                    (Printf.sprintf
+                       "INSERT row %d has %d values; %s has %d columns" i
+                       (List.length row) tbl.Table.name ncols)
+                else
+                  List.iteri
+                    (fun j e ->
+                      (* VALUES expressions are compiled against the empty
+                         layout: stray columns are unresolvable. *)
+                      match (typ path [] e, snd tbl.Table.columns.(j)) with
+                      | Some t, want when not (same_class t want) ->
+                          emit "schema/insert-type" path
+                            (Printf.sprintf
+                               "INSERT row %d column %s expects %s, got %s" i
+                               (fst tbl.Table.columns.(j))
+                               (Value.datatype_to_string want)
+                               (Value.datatype_to_string t))
+                      | _ -> ())
+                    row)
+              rows);
+        [ (-1, [| Some Value.Tint |]) ]
+  and dml path ~rel ~table_oid ~set_exprs child : layout =
+    let layout = infer (seg 0 child :: path) child in
+    (match table_opt catalog table_oid with
+    | None ->
+        emit "schema/unknown-oid" path
+          (Printf.sprintf "DML over unknown table OID %d" table_oid)
+    | Some tbl -> (
+        let ncols = Table.ncols tbl in
+        match List.assoc_opt rel layout with
+        | None ->
+            emit "schema/dml-target-missing" path
+              (Printf.sprintf
+                 "DML target relation %d (%s) is not in the child output" rel
+                 tbl.Table.name)
+        | Some cols ->
+            if Array.length cols <> 0 && Array.length cols <> ncols then
+              emit "schema/dml-width-mismatch" path
+                (Printf.sprintf
+                   "DML target %s carries %d columns in the child output; \
+                    the table has %d"
+                   tbl.Table.name (Array.length cols) ncols);
+            Option.iter
+              (List.iter (fun (idx, e) ->
+                   if idx < 0 || idx >= ncols then
+                     emit "schema/dml-set-range" path
+                       (Printf.sprintf
+                          "SET targets column %d of %s (width %d)" idx
+                          tbl.Table.name ncols)
+                   else
+                     match (typ path layout e, snd tbl.Table.columns.(idx)) with
+                     | Some t, want when not (same_class t want) ->
+                         emit "schema/dml-set-type" path
+                           (Printf.sprintf "SET %s = %s assigns %s to %s"
+                              (fst tbl.Table.columns.(idx))
+                              (Expr.to_string e)
+                              (Value.datatype_to_string t)
+                              (Value.datatype_to_string want))
+                     | _ -> ()))
+              set_exprs))
+    ;
+    [ (-1, [| Some Value.Tint |]) ]
+  in
+  ignore (infer [ Root plan ] plan);
+  List.rev !diags
+
+(* ------------------------------------------------------------------ *)
+(* Pass 3: distribution                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Abstract row placement: where an operator's output rows live.  [Dany]
+   is distributed-with-unknown-alignment (random tables, projected or
+   partially-aggregated streams) — conservative for co-location, but still
+   distributed for the gather checks. *)
+type dist = Dsingleton | Dreplicated | Dhashed of Colref.t list | Dany
+
+let dist_to_string = function
+  | Dsingleton -> "singleton"
+  | Dreplicated -> "replicated"
+  | Dhashed _ -> "hashed"
+  | Dany -> "distributed"
+
+let distributed = function
+  | Dhashed _ | Dany -> true
+  | Dsingleton | Dreplicated -> false
+
+(* Equi-join (build expr, probe expr) pairs of [pred] — mirrors the
+   optimizer's motion-decision analysis. *)
+let equi_pairs ~build_rels ~probe_rels p =
+  let refs_only rels e =
+    Expr.rels e <> [] && List.for_all (fun r -> List.mem r rels) (Expr.rels e)
+  in
+  List.filter_map
+    (function
+      | Expr.Cmp (Expr.Eq, a, b)
+        when refs_only build_rels a && refs_only probe_rels b ->
+          Some (a, b)
+      | Expr.Cmp (Expr.Eq, a, b)
+        when refs_only probe_rels a && refs_only build_rels b ->
+          Some (b, a)
+      | _ -> None)
+    (Expr.conjuncts p)
+
+let hashed_on_keys d keys =
+  match d with
+  | Dhashed cols ->
+      cols <> []
+      && List.length cols <= List.length keys
+      && List.for_all
+           (fun c ->
+             List.exists
+               (function Expr.Col k -> Colref.equal k c | _ -> false)
+               keys)
+           cols
+  | _ -> false
+
+let distribution_pass ~catalog (plan : Plan.t) : Diag.t list =
+  let diags = ref [] in
+  let emit ?severity code path msg =
+    diags :=
+      Diag.make ?severity ~pass:Diag.Distribution ~code ~path:(render path) msg
+      :: !diags
+  in
+  (* Every leaf of an Append expansion resolves to the same root table:
+     cache the scan distribution per (oid, rel) so P leaves cost P hash
+     probes, not P catalog walks and colref allocations. *)
+  let dist_cache : (int * int, dist) Hashtbl.t = Hashtbl.create 16 in
+  let scan_dist ~rel oid =
+    let root =
+      match Catalog.root_of_leaf catalog oid with Some r -> r | None -> oid
+    in
+    let key = (root, rel) in
+    match Hashtbl.find_opt dist_cache key with
+    | Some d -> d
+    | None ->
+        let d =
+          match table_opt catalog root with
+          | None -> Dany
+          | Some tbl -> (
+              match tbl.Table.distribution with
+              | Mpp_catalog.Distribution.Hashed idxs ->
+                  Dhashed
+                    (List.map
+                       (fun i ->
+                         let name, dtype = tbl.Table.columns.(i) in
+                         Colref.make ~rel ~index:i ~name ~dtype)
+                       idxs)
+              | Mpp_catalog.Distribution.Replicated -> Dreplicated
+              | Mpp_catalog.Distribution.Random -> Dany
+              | Mpp_catalog.Distribution.Singleton -> Dsingleton)
+        in
+        Hashtbl.add dist_cache key d;
+        d
+  in
+  (* [agg_above]: does an ancestor Agg recombine this stream?  A partial
+     (per-segment) aggregate over distributed input is only meaningful when
+     a final aggregate above it does. *)
+  let rec dist_of ~agg_above path (p : Plan.t) : dist =
+    match p with
+    | Plan.Table_scan { rel; table_oid; _ } -> scan_dist ~rel table_oid
+    | Plan.Dynamic_scan { rel; root_oid; _ } -> scan_dist ~rel root_oid
+    | Plan.Partition_selector { child = None; _ } -> Dsingleton
+    | Plan.Partition_selector { child = Some c; _ } ->
+        dist_of ~agg_above (seg 0 c :: path) c
+    | Plan.Sequence cs ->
+        let ds =
+          List.mapi (fun i c -> dist_of ~agg_above (seg i c :: path) c) cs
+        in
+        (match List.rev ds with [] -> Dsingleton | last :: _ -> last)
+    | Plan.Filter { child; _ } -> dist_of ~agg_above (seg 0 child :: path) child
+    | Plan.Project { child; _ } -> (
+        match dist_of ~agg_above (seg 0 child :: path) child with
+        | Dhashed _ -> Dany (* the hash columns may be projected away *)
+        | d -> d)
+    | Plan.Hash_join { kind = _; pred = jp; left; right }
+    | Plan.Nl_join { kind = _; pred = jp; left; right } ->
+        let dl = dist_of ~agg_above (seg 0 left :: path) left in
+        let dr = dist_of ~agg_above (seg 1 right :: path) right in
+        let build_rels = Plan.output_rels left
+        and probe_rels = Plan.output_rels right in
+        let pairs = equi_pairs ~build_rels ~probe_rels jp in
+        let build_keys = List.map fst pairs
+        and probe_keys = List.map snd pairs in
+        let colocated =
+          dl = Dreplicated || dr = Dreplicated
+          || (dl = Dsingleton && dr = Dsingleton)
+          || (pairs <> []
+             && hashed_on_keys dl build_keys
+             && hashed_on_keys dr probe_keys)
+        in
+        if not colocated then
+          emit "distribution/join-not-colocated" path
+            (Printf.sprintf
+               "join inputs are %s (build) and %s (probe): neither \
+                co-located on the join keys, broadcast, nor gathered"
+               (dist_to_string dl) (dist_to_string dr));
+        if dr = Dreplicated && dl <> Dreplicated then dl else dr
+    | Plan.Agg { child; _ } ->
+        let d = dist_of ~agg_above:true (seg 0 child :: path) child in
+        if distributed d && not agg_above then
+          emit "distribution/agg-distributed" path
+            (Printf.sprintf
+               "aggregate over %s input with no combining aggregate above: \
+                per-segment partial states are never merged"
+               (dist_to_string d));
+        if d = Dsingleton then Dsingleton else Dany
+    | Plan.Sort { child; _ } ->
+        let d = dist_of ~agg_above (seg 0 child :: path) child in
+        if distributed d then
+          emit "distribution/sort-distributed" path
+            "Sort over distributed input: per-segment order is not a total \
+             order";
+        d
+    | Plan.Limit { child; _ } ->
+        let d = dist_of ~agg_above (seg 0 child :: path) child in
+        if distributed d then
+          emit "distribution/limit-distributed" path
+            "Limit over distributed input truncates per segment";
+        d
+    | Plan.Motion { kind; child } ->
+        (match child with
+        | Plan.Motion _ ->
+            emit "distribution/motion-over-motion" path
+              "Motion directly above another Motion: the inner \
+               redistribution is wasted"
+        | _ -> ());
+        let d = dist_of ~agg_above (seg 0 child :: path) child in
+        (match kind with
+        | Plan.Gather -> Dsingleton
+        | Plan.Gather_one ->
+            if d <> Dreplicated && d <> Dsingleton then
+              emit "distribution/gather-one-nonreplicated" path
+                (Printf.sprintf
+                   "Gather-one over %s input reads only one segment's slice"
+                   (dist_to_string d));
+            Dsingleton
+        | Plan.Broadcast -> Dreplicated
+        | Plan.Redistribute cols -> Dhashed cols)
+    | Plan.Append cs -> (
+        let ds =
+          List.mapi (fun i c -> dist_of ~agg_above (seg i c :: path) c) cs
+        in
+        match ds with
+        | [] -> Dsingleton
+        | first :: rest ->
+            if List.for_all (fun d -> d = first) rest then first else Dany)
+    | Plan.Update { child; _ } | Plan.Delete { child; _ } ->
+        ignore (dist_of ~agg_above (seg 0 child :: path) child);
+        Dsingleton
+    | Plan.Insert _ -> Dsingleton
+  in
+  let root = dist_of ~agg_above:false [ Root plan ] plan in
+  if distributed root then
+    emit "distribution/root-not-gathered" [ Root plan ]
+      (Printf.sprintf
+         "plan root emits %s rows: the master only sees one segment's slice"
+         (dist_to_string root));
+  List.rev !diags
+
+(* ------------------------------------------------------------------ *)
+(* Pass 4: partition accounting                                        *)
+(* ------------------------------------------------------------------ *)
+
+let selector_map (plan : Plan.t) :
+    (int, int * Colref.t list * Expr.t option list) Hashtbl.t =
+  let sels = Hashtbl.create 8 in
+  ignore
+    (Plan.fold
+       (fun () p ->
+         match p with
+         | Plan.Partition_selector
+             { part_scan_id; root_oid; keys; predicates; _ } ->
+             if not (Hashtbl.mem sels part_scan_id) then
+               Hashtbl.add sels part_scan_id (root_oid, keys, predicates)
+         | _ -> ())
+       () plan);
+  sels
+
+let expected_nparts ~catalog ~keys ~predicates root_oid : int option =
+  match table_opt catalog root_oid with
+  | None -> None
+  | Some tbl -> (
+      match tbl.Table.partitioning with
+      | None -> None
+      | Some part ->
+          if
+            List.length keys <> List.length predicates
+            || List.length keys <> Partition.nlevels part
+          then None
+          else
+            let restr =
+              Array.of_list
+                (List.map2
+                   (fun k po ->
+                     match po with
+                     | None -> None
+                     | Some pr -> Expr.restriction k pr)
+                   keys predicates)
+            in
+            Some
+              (Partition.Index.count_selected
+                 (Partition.Index.of_partitioning part)
+                 restr))
+
+let total_nparts ~catalog root_oid =
+  match table_opt catalog root_oid with
+  | None -> None
+  | Some tbl -> Option.map Partition.nparts tbl.Table.partitioning
+
+let accounting_pass ~catalog (plan : Plan.t) : Diag.t list =
+  let diags = ref [] in
+  let emit ?severity code path msg =
+    diags :=
+      Diag.make ?severity ~pass:Diag.Accounting ~code ~path:(render path) msg
+      :: !diags
+  in
+  let sels = selector_map plan in
+  let rec walk path (p : Plan.t) =
+    (match p with
+    | Plan.Dynamic_scan { part_scan_id; root_oid; ds_nparts; _ }
+      when ds_nparts >= 0 -> (
+        match total_nparts ~catalog root_oid with
+        | None ->
+            emit "accounting/not-partitioned" path
+              (Printf.sprintf
+                 "DynamicScan %d declares %d partitions over a table that \
+                  is not partitioned"
+                 part_scan_id ds_nparts)
+        | Some _ -> (
+            match Hashtbl.find_opt sels part_scan_id with
+            | None -> () (* the structure pass reports the missing selector *)
+            | Some (sel_root, keys, predicates) -> (
+                match
+                  expected_nparts ~catalog ~keys ~predicates sel_root
+                with
+                | None -> ()
+                | Some expect ->
+                    if ds_nparts <> expect then
+                      emit "accounting/nparts-mismatch" path
+                        (Printf.sprintf
+                           "DynamicScan %d declares %d partition(s); static \
+                            selection over its selector's predicates yields \
+                            %d"
+                           part_scan_id ds_nparts expect))))
+    | Plan.Table_scan { table_oid; guard = Some id; _ } -> (
+        match Hashtbl.find_opt sels id with
+        | None -> ()
+        | Some (sel_root, _, _) ->
+            let root =
+              match Catalog.root_of_leaf catalog table_oid with
+              | Some r -> r
+              | None -> table_oid
+            in
+            if root <> sel_root then
+              emit "accounting/guard-foreign-leaf" path
+                (Printf.sprintf
+                   "guarded scan of OID %d (root %d) consumes channel %d of \
+                    a selector over root %d"
+                   table_oid root id sel_root))
+    | Plan.Append cs -> check_append path cs
+    | _ -> ());
+    List.iteri (fun i c -> walk (seg i c :: path) c) (Plan.children p)
+  (* Static-exclusion coverage: an Append expansion of one partitioned
+     table must still contain every leaf that survives the per-level
+     restrictions of its own (common) filter — otherwise a qualifying
+     partition was dropped at plan time. *)
+  and check_append path cs =
+    let scan_info = function
+      | Plan.Table_scan { rel; table_oid; filter; _ } ->
+          Some (rel, table_oid, filter)
+      | _ -> None
+    in
+    match List.map scan_info cs with
+    | [] -> ()
+    | infos when List.for_all Option.is_some infos -> (
+        let infos = List.map Option.get infos in
+        let rel0, oid0, filter0 = List.hd infos in
+        let same_shape =
+          List.for_all
+            (fun (r, _, f) ->
+              r = rel0
+              &&
+              match (f, filter0) with
+              | None, None -> true
+              | Some a, Some b -> a == b || Expr.equal a b
+              | _ -> false)
+            infos
+        in
+        let root0 = Catalog.root_of_leaf catalog oid0 in
+        match (same_shape, root0) with
+        | true, Some root
+          when List.for_all
+                 (fun (_, oid, _) ->
+                   Catalog.root_of_leaf catalog oid = Some root)
+                 infos -> (
+            match table_opt catalog root with
+            | Some ({ Table.partitioning = Some part; _ } as tbl) ->
+                let scanned = Hashtbl.create (List.length infos) in
+                List.iter
+                  (fun (_, oid, _) -> Hashtbl.replace scanned oid ())
+                  infos;
+                (* Every scanned OID is a leaf of [root] (checked above),
+                   so an Append carrying all P distinct leaves covers any
+                   surviving set — skip the selection recomputation on
+                   this common full-expansion shape. *)
+                if Hashtbl.length scanned < Partition.nparts part then begin
+                  let keys = Table.part_key_colrefs tbl ~rel:rel0 in
+                  let restr =
+                    Array.of_list
+                      (List.map
+                         (fun k ->
+                           match filter0 with
+                           | None -> None
+                           | Some f -> Expr.restriction k f)
+                         keys)
+                  in
+                  let surviving =
+                    Partition.Index.select_oids
+                      (Partition.Index.of_partitioning part)
+                      restr
+                  in
+                  let missing =
+                    List.filter
+                      (fun oid -> not (Hashtbl.mem scanned oid))
+                      surviving
+                  in
+                  if missing <> [] then
+                    emit "accounting/append-undercoverage" path
+                      (Printf.sprintf
+                         "Append over %s drops %d statically-surviving \
+                          leaf(s) (e.g. OID %d)"
+                         tbl.Table.name (List.length missing)
+                         (List.hd missing))
+                end
+            | _ -> ())
+        | _ -> ())
+    | _ -> ()
+  in
+  walk [ Root plan ] plan;
+  List.rev !diags
+
+(* ------------------------------------------------------------------ *)
+(* ds_nparts stamping (the optimizer-side producer of pass 4's input)  *)
+(* ------------------------------------------------------------------ *)
+
+let stamp_nparts ~catalog (plan : Plan.t) : Plan.t =
+  let sels = selector_map plan in
+  let rec go p =
+    match p with
+    | Plan.Dynamic_scan s ->
+        let nparts =
+          match Hashtbl.find_opt sels s.part_scan_id with
+          | Some (root, keys, predicates) -> (
+              match expected_nparts ~catalog ~keys ~predicates root with
+              | Some n -> Some n
+              | None -> total_nparts ~catalog s.root_oid)
+          | None -> total_nparts ~catalog s.root_oid
+        in
+        Plan.Dynamic_scan
+          { s with ds_nparts = Option.value nparts ~default:(-1) }
+    | _ -> Plan.with_children p (List.map go (Plan.children p))
+  in
+  go plan
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let check_pass ~catalog (pass : Diag.pass) plan =
+  match pass with
+  | Diag.Structure -> structure_pass ~catalog plan
+  | Diag.Schema -> schema_pass ~catalog plan
+  | Diag.Distribution -> distribution_pass ~catalog plan
+  | Diag.Accounting -> accounting_pass ~catalog plan
+
+let all_passes =
+  [ Diag.Structure; Diag.Schema; Diag.Distribution; Diag.Accounting ]
+
+let check ~catalog plan =
+  let obs = Obs.current () in
+  Obs.span obs "verify" (fun () ->
+      Obs.incr obs "verify.plans";
+      let diags =
+        List.concat_map (fun p -> check_pass ~catalog p plan) all_passes
+      in
+      Obs.add obs "verify.diagnostics" (List.length diags);
+      diags)
+
+let ok ~catalog plan = not (Diag.has_errors (check ~catalog plan))
+
+exception Rejected of string * Diag.t list
+
+let assert_valid ~catalog ~what plan =
+  match Diag.errors (check ~catalog plan) with
+  | [] -> ()
+  | errs -> raise (Rejected (what, errs))
+
+let pp_report fmt = function
+  | [] -> Format.fprintf fmt "plan verifies clean@."
+  | diags ->
+      List.iter (fun d -> Format.fprintf fmt "%a@." Diag.pp d) diags;
+      let ne = List.length (Diag.errors diags)
+      and nw = List.length (Diag.warnings diags) in
+      Format.fprintf fmt "%d error(s), %d warning(s)@." ne nw

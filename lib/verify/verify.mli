@@ -1,0 +1,76 @@
+(** Multi-pass static analysis of physical plans.
+
+    Subsumes and extends {!Mpp_plan.Plan_valid}: both optimizers run every
+    plan they emit through [check] before handing it to the executor, the
+    [mppsim check] front end pretty-prints the diagnostics, and the
+    mutation-kill harness asserts that each systematic plan corruption is
+    rejected with the right code.
+
+    Four passes, each emitting structured {!Diag.t} diagnostics:
+
+    - {b structure} — the paper's §3.1 invariants (matched
+      PartitionSelector/DynamicScan pairs, no Motion between a communicating
+      pair, producer-before-consumer order in Sequences {e and} across join
+      children, which execute left to right), plus selector arity against
+      the partitioning levels, duplicate producers, and selector/scan
+      root-OID agreement across nested Sequence boundaries;
+    - {b schema} — re-derives every operator's output tuple layout
+      (relation, width, per-column datatype) bottom-up exactly as the
+      executor does, and resolves every expression against it: out-of-range
+      column offsets, out-of-scope relations, class-incompatible
+      comparisons, non-boolean filter predicates, non-numeric aggregate
+      arguments, Append children with mismatched layouts, and DML targets
+      missing from the child output are all caught at plan time instead of
+      at [Expr.compile] time (or worse, silently at run time);
+    - {b distribution} — infers where each operator's rows live (singleton,
+      replicated, hashed on columns, or unknown-distributed) and checks
+      that every join's inputs are co-located, broadcast or gathered; that
+      [Gather_one] only reads replicated data; that Sort/Limit/final
+      aggregation run over gathered input; that no Motion sits directly on
+      another Motion; and that the plan root is gathered;
+    - {b accounting} — cross-checks each DynamicScan's [ds_nparts] against
+      {!Mpp_catalog.Partition.Index.count_selected} over its selector's
+      statically-analyzable per-level restrictions, verifies that guarded
+      leaf scans belong to their selector's table, and that a static-
+      exclusion Append still covers every statically-surviving leaf. *)
+
+open Mpp_expr
+module Plan = Mpp_plan.Plan
+
+val check : catalog:Mpp_catalog.Catalog.t -> Plan.t -> Diag.t list
+(** Run all four passes; diagnostics in pass order. *)
+
+val check_pass :
+  catalog:Mpp_catalog.Catalog.t -> Diag.pass -> Plan.t -> Diag.t list
+
+val ok : catalog:Mpp_catalog.Catalog.t -> Plan.t -> bool
+(** No [Error]-severity diagnostics. *)
+
+exception Rejected of string * Diag.t list
+(** [(what, errors)] raised by {!assert_valid}. *)
+
+val assert_valid :
+  catalog:Mpp_catalog.Catalog.t -> what:string -> Plan.t -> unit
+(** Raise {!Rejected} when any pass reports an error. *)
+
+val expected_nparts :
+  catalog:Mpp_catalog.Catalog.t ->
+  keys:Colref.t list ->
+  predicates:Expr.t option list ->
+  int ->
+  int option
+(** Statically-surviving partition count of the table rooted at the given
+    OID under a selector's per-level predicates ([Expr.restriction] per
+    level; unanalyzable levels select everything).  [None] when the OID is
+    unknown, the table is not partitioned, or the arity is wrong. *)
+
+val stamp_nparts : catalog:Mpp_catalog.Catalog.t -> Plan.t -> Plan.t
+(** Set [ds_nparts] on every DynamicScan from its matching selector's
+    statically-analyzable predicates (total partition count when the scan
+    has no selector or the selector is malformed).  The optimizer runs this
+    after selector placement so the accounting pass can later re-derive and
+    cross-check the same number. *)
+
+val pp_report : Format.formatter -> Diag.t list -> unit
+(** Human-readable multi-line report; prints ["plan verifies clean"] for
+    []. *)

@@ -142,7 +142,13 @@ let test_default_arm_equivalence () =
 let test_find_leaf_hash () =
   let _, orders = Support.orders_schema () in
   let p = Option.get orders.Mpp_catalog.Table.partitioning in
-  let linear = (Part.find_leaf_linear [@alert "-deprecated"]) in
+  (* inline linear-scan oracle (the library's own linear lookup is gone;
+     the hash answer is pinned against first principles instead) *)
+  let linear (p : Part.t) oid =
+    List.find_opt
+      (fun (lf : Part.leaf) -> lf.Part.leaf_oid = oid)
+      (Array.to_list p.Part.leaves)
+  in
   List.iter
     (fun oid ->
       Alcotest.(check (option int))
