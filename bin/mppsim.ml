@@ -85,7 +85,17 @@ let print_metrics env metrics =
   in
   Printf.printf "tuples scanned: %d; partitions scanned: %s\n"
     metrics.Mpp_exec.Metrics.tuples_scanned
-    (if scanned = [] then "(none partitioned)" else String.concat ", " scanned)
+    (if scanned = [] then "(none partitioned)" else String.concat ", " scanned);
+  (* runtime-join-filter effect: only reported when a filter actually ran,
+     so filter-free plans (and --no-runtime-filters runs) stay unchanged *)
+  let m = metrics in
+  if m.Mpp_exec.Metrics.filter_built > 0 then
+    Printf.printf
+      "runtime filters: built=%d; rows dropped at scan=%d, pre-Motion=%d; \
+       Motion rows saved=%d\n"
+      m.Mpp_exec.Metrics.filter_built m.Mpp_exec.Metrics.rows_filtered_scan
+      m.Mpp_exec.Metrics.rows_filtered_motion
+      m.Mpp_exec.Metrics.motion_rows_saved
 
 (* ---------------- tracing ---------------- *)
 
@@ -106,15 +116,26 @@ let write_trace trace sink extras =
       Json.to_file file json;
       Printf.eprintf "trace written to %s\n%!" file
 
-let do_explain ?(analyze = false) ?trace ?domains env kind selection sql =
+(* Whether the executor runs annotated filters: the [--no-runtime-filters]
+   flag wins, then [MPP_RUNTIME_FILTERS=0] (or [false]/[off]), default on.
+   Plans are identical either way — this is purely an executor knob. *)
+let runtime_filters_on ~no_rf =
+  (not no_rf)
+  &&
+  match Sys.getenv_opt "MPP_RUNTIME_FILTERS" with
+  | Some ("0" | "false" | "off") -> false
+  | Some _ | None -> true
+
+let do_explain ?(analyze = false) ?trace ?domains ?(runtime_filters = true) env
+    kind selection sql =
   let sink = sink_for trace in
   if Obs.enabled sink then Obs.install sink;
   let plan = plan_of env kind ~selection sql in
   let extras =
     if analyze then begin
       let _rows, metrics, stats =
-        Mpp_exec.Exec.run_analyze ?domains ~catalog:env.W.Runner.catalog
-          ~storage:env.W.Runner.storage plan
+        Mpp_exec.Exec.run_analyze ?domains ~runtime_filters
+          ~catalog:env.W.Runner.catalog ~storage:env.W.Runner.storage plan
       in
       print_string (Mpp_exec.Explain.analyze plan stats);
       print_metrics env metrics;
@@ -131,14 +152,14 @@ let do_explain ?(analyze = false) ?trace ?domains env kind selection sql =
   in
   write_trace trace sink extras
 
-let do_run ?trace ?domains env kind selection sql =
+let do_run ?trace ?domains ?(runtime_filters = true) env kind selection sql =
   let sink = sink_for trace in
   if Obs.enabled sink then Obs.install sink;
   let plan = plan_of env kind ~selection sql in
   let t0 = Unix.gettimeofday () in
   let rows, metrics =
-    Mpp_exec.Exec.run ~verify:true ?domains ~catalog:env.W.Runner.catalog
-      ~storage:env.W.Runner.storage plan
+    Mpp_exec.Exec.run ~verify:true ?domains ~runtime_filters
+      ~catalog:env.W.Runner.catalog ~storage:env.W.Runner.storage plan
   in
   let dt = Unix.gettimeofday () -. t0 in
   List.iteri
@@ -223,7 +244,7 @@ let do_schema env =
         (Mpp_catalog.Distribution.to_string t.Mpp_catalog.Table.distribution))
     (Mpp_catalog.Catalog.tables env.W.Runner.catalog)
 
-let do_repl ?domains env kind selection =
+let do_repl ?domains ?runtime_filters env kind selection =
   print_endline
     "mppsim repl — TPC-DS demo schema loaded; \\q quits, \\schema lists \
      tables, \\explain SQL shows the plan";
@@ -243,8 +264,9 @@ let do_repl ?domains env kind selection =
           else (false, line)
         in
         (try
-           if explain then do_explain ?domains env kind selection sql
-           else do_run ?domains env kind selection sql
+           if explain then
+             do_explain ?domains ?runtime_filters env kind selection sql
+           else do_run ?domains ?runtime_filters env kind selection sql
          with
         | Mpp_sql.Sql.Error m -> Printf.printf "error: %s\n" m
         | Invalid_argument m -> Printf.printf "error: %s\n" m);
@@ -299,6 +321,15 @@ let parallel_arg =
                Defaults to $(b,MPP_DOMAINS), else 1 (serial). Results are \
                identical at any setting.")
 
+let no_rf_arg =
+  Arg.(value & flag & info [ "no-runtime-filters" ]
+         ~doc:"Disable runtime join filters in the executor (the Bloom + \
+               min-max filters built during hash-join builds and pushed to \
+               probe-side scans and Motion sends). The plan is unchanged — \
+               annotated filter operators become no-ops — so this isolates \
+               the filters' execution-time effect. $(b,MPP_RUNTIME_FILTERS=0) \
+               (or $(b,false)/$(b,off)) disables them too; the flag wins.")
+
 let with_env f kind no_selection scale segments verbose =
   setup_logs verbose;
   let env = env_of ~scale ~segments in
@@ -306,27 +337,36 @@ let with_env f kind no_selection scale segments verbose =
 
 let explain_cmd =
   Cmd.v (Cmd.info "explain" ~doc:"Show the plan for a SQL statement.")
-    Term.(const (fun k n sc sg v analyze trace domains sql -> with_env
+    Term.(const (fun k n sc sg v analyze trace domains no_rf sql -> with_env
                     (fun env k sel ->
-                      do_explain ~analyze ?trace ?domains env k sel sql)
+                      do_explain ~analyze ?trace ?domains
+                        ~runtime_filters:(runtime_filters_on ~no_rf) env k sel
+                        sql)
                     k n sc sg v)
           $ optimizer_arg $ no_selection_arg $ scale_arg $ segments_arg
-          $ verbose_arg $ analyze_arg $ trace_arg $ parallel_arg $ sql_arg)
+          $ verbose_arg $ analyze_arg $ trace_arg $ parallel_arg $ no_rf_arg
+          $ sql_arg)
 
 let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Execute a SQL statement on the demo cluster.")
-    Term.(const (fun k n sc sg v trace domains sql -> with_env
-                    (fun env k sel -> do_run ?trace ?domains env k sel sql)
+    Term.(const (fun k n sc sg v trace domains no_rf sql -> with_env
+                    (fun env k sel ->
+                      do_run ?trace ?domains
+                        ~runtime_filters:(runtime_filters_on ~no_rf) env k sel
+                        sql)
                     k n sc sg v)
           $ optimizer_arg $ no_selection_arg $ scale_arg $ segments_arg
-          $ verbose_arg $ trace_arg $ parallel_arg $ sql_arg)
+          $ verbose_arg $ trace_arg $ parallel_arg $ no_rf_arg $ sql_arg)
 
 let repl_cmd =
   Cmd.v (Cmd.info "repl" ~doc:"Interactive SQL prompt on the demo cluster.")
-    Term.(const (fun k n sc sg v domains -> with_env
-                    (fun env k sel -> do_repl ?domains env k sel) k n sc sg v)
+    Term.(const (fun k n sc sg v domains no_rf -> with_env
+                    (fun env k sel ->
+                      do_repl ?domains
+                        ~runtime_filters:(runtime_filters_on ~no_rf) env k sel)
+                    k n sc sg v)
           $ optimizer_arg $ no_selection_arg $ scale_arg $ segments_arg
-          $ verbose_arg $ parallel_arg)
+          $ verbose_arg $ parallel_arg $ no_rf_arg)
 
 let check_cmd =
   let workload_arg =
@@ -341,8 +381,8 @@ let check_cmd =
     (Cmd.info "check"
        ~doc:
          "Statically verify the plans both optimizers produce (structure, \
-          schema, distribution, partition accounting); exit 1 on any \
-          diagnostic of error severity.")
+          schema, distribution, partition accounting, runtime filters); \
+          exit 1 on any diagnostic of error severity.")
     Term.(const (fun n sc sg v workload sql -> with_env
                     (fun env _k sel -> do_check env sel ~workload sql)
                     Orca n sc sg v)

@@ -1,0 +1,221 @@
+(** Runtime join filters: a Bloom filter over join-key tuples plus a
+    per-key min-max summary — see bloom.mli.
+
+    Built on the build side of a hash join (one filter per segment, over
+    exactly the rows that segment inserted into its hash table), merged by
+    the coordinator into a single filter, and applied on the probe side:
+    the Bloom bits drop rows before the per-row hash-table probe, and the
+    min-max summary intersects with partition-index restrictions to drop
+    whole partitions.
+
+    Representation follows {!Mpp_catalog.Bitset}: an [int array] of
+    [Sys.int_size]-bit words, sized to a power of two so probe positions
+    are a mask instead of a modulo.  Sizing is {e deterministic} in the
+    planner's cardinality estimate (never in the observed row count), so
+    every segment builds an identically-shaped filter and the coordinator
+    can merge them word-by-word.
+
+    NULL semantics: a key tuple containing NULL is never inserted and
+    never passes {!mem} — a NULL join key cannot equal anything, so probe
+    rows carrying one are unmatchable under Inner, Semi and build-side
+    outer joins alike. *)
+
+open Mpp_expr
+
+(* Bits are addressed in 32-bit sub-words (each array element uses its low
+   32 bits only): word index and bit position become a shift and a mask
+   instead of division/modulo by the 63-bit native word size.  The probe
+   loop runs once per probe-side row, so the addressing arithmetic is the
+   hot path. *)
+let bits_per_word = 32
+
+(* Sizing policy (the "deterministic with a hard cap" contract):
+   ~12 bits per expected key, rounded up to a power of two, clamped to
+   [min_bits, max_bits].  With k = 4 probes and m/n = 12 the false-positive
+   rate is about (1 - e^{-4/12})^4 ~ 0.7%. *)
+let bits_per_key = 12
+let min_bits = 256
+let max_bits = 1 lsl 20
+let nprobes = 4
+
+let next_pow2 n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+let bits_for ~expected =
+  let wanted = max 1 expected * bits_per_key in
+  min max_bits (max min_bits (next_pow2 wanted))
+
+type t = {
+  nkeys : int;
+  nbits : int;  (** power of two *)
+  mask : int;
+  words : int array;
+  mutable count : int;  (** key tuples inserted (non-NULL) *)
+  mins : Value.t option array;  (** per key position; [None] = empty *)
+  maxs : Value.t option array;
+}
+
+let create ~nkeys ~expected =
+  if nkeys <= 0 then invalid_arg "Bloom.create: nkeys must be positive";
+  let nbits = bits_for ~expected in
+  {
+    nkeys;
+    nbits;
+    mask = nbits - 1;
+    words = Array.make ((nbits + bits_per_word - 1) / bits_per_word) 0;
+    count = 0;
+    mins = Array.make nkeys None;
+    maxs = Array.make nkeys None;
+  }
+
+let nkeys t = t.nkeys
+let nbits t = t.nbits
+let count t = t.count
+
+(* 64-bit finalizer (splitmix64 style); the multiplier constants are the
+   splitmix64 ones wrapped into OCaml's 63-bit native int (written as
+   Int64 literals — the plain hex form would not parse). *)
+let mix_c1 = Int64.to_int 0xbf58476d1ce4e5b9L
+let mix_c2 = Int64.to_int 0x94d049bb133111ebL
+
+let mix h =
+  let h = (h lxor (h lsr 30)) * mix_c1 in
+  let h = (h lxor (h lsr 27)) * mix_c2 in
+  (h lxor (h lsr 31)) land max_int
+
+(* One well-mixed hash of the key tuple, then double hashing for the k
+   probe positions: position_i = h1 + i * h2 (mod nbits), h2 odd so the
+   probe sequence walks the whole (power-of-two-sized) table. *)
+let hash_seed = Int64.to_int 0x9e3779b97f4a7c15L
+
+(* Per-component hash.  Scalar constructors are mixed directly — the
+   generic [Value.hash] bottoms out in the polymorphic runtime hash, an
+   out-of-line C call that dominates the probe cost for the typical
+   single-int join key.  Strings (and anything else) still take the
+   generic path. *)
+let value_hash (v : Value.t) =
+  match v with
+  | Value.Int i -> mix i
+  | Value.Date d -> mix (d : Date.t :> int)
+  | Value.Bool b -> mix (if b then 1 else 2)
+  | Value.Float f -> mix (Int64.to_int (Int64.bits_of_float f))
+  | Value.Null | Value.String _ -> Value.hash v
+
+let hash_tuple keys =
+  let n = Array.length keys in
+  let h = ref hash_seed in
+  for i = 0 to n - 1 do
+    h := mix ((!h * 31) + value_hash (Array.unsafe_get keys i))
+  done;
+  !h
+
+let set_bit words i =
+  let w = i lsr 5 in
+  words.(w) <- words.(w) lor (1 lsl (i land 31))
+
+let get_bit words i = words.(i lsr 5) land (1 lsl (i land 31)) <> 0
+
+let has_null keys =
+  let n = Array.length keys in
+  let rec go i = i < n && (Value.is_null keys.(i) || go (i + 1)) in
+  go 0
+
+let add t keys =
+  if Array.length keys <> t.nkeys then invalid_arg "Bloom.add: key arity";
+  if not (has_null keys) then begin
+    let h1 = hash_tuple keys in
+    let h2 = mix h1 lor 1 in
+    for i = 0 to nprobes - 1 do
+      set_bit t.words ((h1 + (i * h2)) land t.mask)
+    done;
+    t.count <- t.count + 1;
+    for k = 0 to t.nkeys - 1 do
+      let v = keys.(k) in
+      (match t.mins.(k) with
+      | None -> t.mins.(k) <- Some v
+      | Some lo -> if Value.compare v lo < 0 then t.mins.(k) <- Some v);
+      match t.maxs.(k) with
+      | None -> t.maxs.(k) <- Some v
+      | Some hi -> if Value.compare v hi > 0 then t.maxs.(k) <- Some v
+    done
+  end
+
+let mem1 t v =
+  if t.nkeys <> 1 then invalid_arg "Bloom.mem1: key arity";
+  (not (Value.is_null v))
+  &&
+  (* identical probe positions to {!mem} on [\[| v |\]]: same seed, same
+     per-component fold, same double hashing *)
+  let h1 = mix ((hash_seed * 31) + value_hash v) in
+  let h2 = mix h1 lor 1 in
+  let rec probe i =
+    i >= nprobes
+    || (get_bit t.words ((h1 + (i * h2)) land t.mask) && probe (i + 1))
+  in
+  probe 0
+
+let mem t keys =
+  if Array.length keys <> t.nkeys then invalid_arg "Bloom.mem: key arity";
+  (not (has_null keys))
+  &&
+  let h1 = hash_tuple keys in
+  let h2 = mix h1 lor 1 in
+  let rec probe i =
+    i >= nprobes
+    || (get_bit t.words ((h1 + (i * h2)) land t.mask) && probe (i + 1))
+  in
+  probe 0
+
+let minmax t ~key =
+  if key < 0 || key >= t.nkeys then invalid_arg "Bloom.minmax: key";
+  match (t.mins.(key), t.maxs.(key)) with
+  | Some lo, Some hi -> Some (lo, hi)
+  | _ -> None
+
+let union_into ~into src =
+  if into.nkeys <> src.nkeys || into.nbits <> src.nbits then
+    invalid_arg "Bloom.union_into: shape mismatch";
+  for w = 0 to Array.length into.words - 1 do
+    into.words.(w) <- into.words.(w) lor src.words.(w)
+  done;
+  into.count <- into.count + src.count;
+  for k = 0 to into.nkeys - 1 do
+    (match (into.mins.(k), src.mins.(k)) with
+    | None, m -> into.mins.(k) <- m
+    | Some _, None -> ()
+    | Some a, Some b -> if Value.compare b a < 0 then into.mins.(k) <- Some b);
+    match (into.maxs.(k), src.maxs.(k)) with
+    | None, m -> into.maxs.(k) <- m
+    | Some _, None -> ()
+    | Some a, Some b -> if Value.compare b a > 0 then into.maxs.(k) <- Some b
+  done
+
+let merge = function
+  | [] -> None
+  | first :: rest ->
+      let acc =
+        {
+          first with
+          words = Array.copy first.words;
+          mins = Array.copy first.mins;
+          maxs = Array.copy first.maxs;
+        }
+      in
+      List.iter (fun src -> union_into ~into:acc src) rest;
+      Some acc
+
+(* SWAR popcount, as in Bitset. *)
+let popcount x =
+  let x = x - ((x lsr 1) land 0x5555555555555555) in
+  let x = (x land 0x3333333333333333) + ((x lsr 2) land 0x3333333333333333) in
+  let x = (x + (x lsr 4)) land 0x0F0F0F0F0F0F0F0F in
+  (x * 0x0101010101010101) lsr 56
+
+let fill t =
+  let set = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words in
+  float_of_int set /. float_of_int t.nbits
+
+let pp fmt t =
+  Format.fprintf fmt "bloom(%d keys, %d bits, %d entries, %.1f%% full)"
+    t.nkeys t.nbits t.count (100.0 *. fill t)

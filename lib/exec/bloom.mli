@@ -1,0 +1,60 @@
+(** Runtime join filters: a Bloom filter over join-key tuples plus a
+    per-key min-max summary.
+
+    During a hash-join build each segment feeds its build rows' key tuples
+    into one of these; the coordinator merges the per-segment filters
+    (word-wise OR of the Bloom bits, min/max of the summaries) and the
+    probe side applies the result — the Bloom bits as a row-level
+    pre-predicate ahead of scans and Motion sends, the min-max summary as
+    an interval restriction against the partition index.
+
+    Sizing is deterministic in the {e planner's} cardinality estimate
+    (~12 bits per expected key, power-of-two, clamped to
+    [\[256, 2{^20}\]] bits) so that filters built independently on every
+    segment have identical shape and merge word-by-word.  Key tuples
+    containing NULL are neither inserted nor accepted by {!mem}: a NULL
+    join key matches nothing, so rows carrying one are unmatchable. *)
+
+open Mpp_expr
+
+type t
+
+val create : nkeys:int -> expected:int -> t
+(** [create ~nkeys ~expected] sizes the filter for [expected] build-side
+    key tuples of arity [nkeys].  Sizing depends only on the arguments. *)
+
+val add : t -> Value.t array -> unit
+(** Insert one key tuple (no-op when any component is NULL).  Raises
+    [Invalid_argument] on arity mismatch. *)
+
+val mem : t -> Value.t array -> bool
+(** May return a false positive; never a false negative for inserted
+    tuples.  Always [false] when any component is NULL. *)
+
+val mem1 : t -> Value.t -> bool
+(** [mem1 t v] = [mem t [| v |]] without the per-row array traffic — the
+    single-key specialization the executor fuses into scan row loops.
+    Raises [Invalid_argument] unless the filter has exactly one key. *)
+
+val minmax : t -> key:int -> (Value.t * Value.t) option
+(** Closed bounds [\[lo, hi\]] of the values seen at key position [key];
+    [None] while no tuple has been inserted. *)
+
+val union_into : into:t -> t -> unit
+(** Merge [src] into [into]; both must have identical shape (same [nkeys]
+    and same bit count — guaranteed when built from the same estimate). *)
+
+val merge : t list -> t option
+(** Fresh merged filter; [None] on the empty list.  Inputs are unchanged. *)
+
+val nkeys : t -> int
+val nbits : t -> int
+
+val count : t -> int
+(** Key tuples inserted (summed across merges). *)
+
+val fill : t -> float
+(** Fraction of bits set, in [\[0, 1\]] — the observable proxy for the
+    false-positive rate. *)
+
+val pp : Format.formatter -> t -> unit

@@ -14,12 +14,25 @@
     happen on the coordinating domain between operators, never concurrently
     with a parallel section. *)
 
-type t = { shards : (int, (int, unit) Hashtbl.t) Hashtbl.t array }
+type t = {
+  shards : (int, (int, unit) Hashtbl.t) Hashtbl.t array;
+  filters : (int, Bloom.t) Hashtbl.t array;
+      (** [filters.(segment)] maps rf_id → the runtime join filter that
+          segment built; same sharding discipline as [shards] *)
+  merged : (int, Bloom.t option) Hashtbl.t;
+      (** coordinator-side memo of cross-segment merges, keyed by rf_id;
+          touched only on the coordinating domain, between parallel
+          sections *)
+}
 (** [shards.(segment)] maps part_scan_id → set of pushed OIDs. *)
 
 let create ~nsegments =
   if nsegments <= 0 then invalid_arg "Channel.create: nsegments must be > 0";
-  { shards = Array.init nsegments (fun _ -> Hashtbl.create 8) }
+  {
+    shards = Array.init nsegments (fun _ -> Hashtbl.create 8);
+    filters = Array.init nsegments (fun _ -> Hashtbl.create 4);
+    merged = Hashtbl.create 4;
+  }
 
 let nsegments t = Array.length t.shards
 
@@ -59,4 +72,41 @@ let consume t ~segment ~part_scan_id =
 let mem t ~segment ~part_scan_id oid =
   Hashtbl.mem (slot t ~segment ~part_scan_id) oid
 
-let reset t = Array.iter Hashtbl.reset t.shards
+(** Publish a segment's runtime join filter on channel [rf_id] — the
+    filter sibling of {!propagate_set}, with the same dedup contract:
+    publishing the {e same} filter again is a no-op, and a genuinely new
+    contribution (another operator instance on this segment) is unioned
+    in, so repeated pushes can neither double-count entries nor lose
+    bits. *)
+let publish_filter t ~segment ~rf_id bloom =
+  let shard = t.filters.(segment) in
+  match Hashtbl.find_opt shard rf_id with
+  | None -> Hashtbl.replace shard rf_id bloom
+  | Some existing when existing == bloom -> ()
+  | Some existing -> Bloom.union_into ~into:existing bloom
+
+(** The cross-segment merge of every filter published on [rf_id]; [None]
+    until at least one segment has published.  Memoized per rf_id — must
+    be called on the coordinating domain after the builders' parallel
+    section has completed (the executor resolves it between operators,
+    mirroring how EXPLAIN ANALYZE reads the OID shards). *)
+let merged_filter t ~rf_id =
+  match Hashtbl.find_opt t.merged rf_id with
+  | Some m -> m
+  | None ->
+      let parts =
+        Array.fold_left
+          (fun acc shard ->
+            match Hashtbl.find_opt shard rf_id with
+            | Some b -> b :: acc
+            | None -> acc)
+          [] t.filters
+      in
+      let m = Bloom.merge parts in
+      Hashtbl.replace t.merged rf_id m;
+      m
+
+let reset t =
+  Array.iter Hashtbl.reset t.shards;
+  Array.iter Hashtbl.reset t.filters;
+  Hashtbl.reset t.merged

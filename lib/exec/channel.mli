@@ -28,4 +28,14 @@ val consume : t -> segment:int -> part_scan_id:int -> int list
 val mem : t -> segment:int -> part_scan_id:int -> int -> bool
 (** Membership test without materializing the sorted list. *)
 
+val publish_filter : t -> segment:int -> rf_id:int -> Bloom.t -> unit
+(** Publish a segment's runtime join filter — the filter sibling of
+    {!propagate_set}, with the same dedup contract: re-publishing the same
+    filter is a no-op; a distinct contribution is unioned in. *)
+
+val merged_filter : t -> rf_id:int -> Bloom.t option
+(** Cross-segment merge of every filter published on [rf_id]; [None] until
+    one exists.  Memoized; call on the coordinating domain only, after the
+    builders' parallel section completed. *)
+
 val reset : t -> unit

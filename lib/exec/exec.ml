@@ -35,6 +35,20 @@ module Vec = Mpp_storage.Vec
 
 type row = Value.t array
 
+(* A runtime join filter handed from a [Runtime_filter] node to the scan
+   directly beneath it, so the Bloom test runs inside the scan's row loop
+   (a compiled pre-predicate) instead of over a materialized batch:
+   - [rf_make segment] is called once per segment inside the scan's
+     parallel section; the returned closure owns per-segment scratch and
+     counts dropped rows into that segment's metrics shard;
+   - [rf_allowed] is the min-max summary intersected with the partition
+     index: the leaf OIDs that can possibly hold matching join keys.
+     A DynamicScan drops channel OIDs outside it without opening them. *)
+type fused_rf = {
+  rf_make : int -> row -> bool;
+  rf_allowed : (int, unit) Hashtbl.t option;
+}
+
 type ctx = {
   catalog : Mpp_catalog.Catalog.t;
   storage : Mpp_storage.Storage.t;
@@ -63,10 +77,26 @@ type ctx = {
           root plan before interpreting it, rejecting structurally,
           schema-, distribution- or accounting-invalid plans up front
           instead of failing (or mis-executing) mid-flight *)
+  runtime_filters : bool;
+      (** when [false], [Runtime_filter_build] / [Runtime_filter] nodes are
+          pure pass-throughs — the "runtime filters off" half of the
+          on/off comparison; plans are identical either way, only the
+          executor behaviour changes *)
+  mutable fused_rf : fused_rf option;
+      (** one-shot handoff slot between a [Runtime_filter] node and the
+          scan directly beneath it; set and consumed on the coordinating
+          domain within a single parent→child call, never across a
+          parallel section *)
+  mutable rf_motion_claimed : int;
+      (** pre-Motion drops already credited to [motion_rows_saved] by some
+          Motion: each Motion claims only the drops below it that no inner
+          Motion claimed first, so a drop is credited exactly once — at its
+          nearest enclosing Motion, the send it actually skipped.  Only
+          touched on the coordinating domain (Motions execute there). *)
 }
 
 let create_ctx ?(params = [||]) ?(selection_enabled = true) ?(verify = false)
-    ?stats ?domains ~catalog ~storage () =
+    ?(runtime_filters = true) ?stats ?domains ~catalog ~storage () =
   let nsegs = Mpp_storage.Storage.nsegments storage in
   let domains =
     match domains with Some d -> d | None -> Dpool.default_domains ()
@@ -94,6 +124,9 @@ let create_ctx ?(params = [||]) ?(selection_enabled = true) ?(verify = false)
     pool = Dpool.get ~domains;
     pindex;
     verify;
+    runtime_filters;
+    fused_rf = None;
+    rf_motion_claimed = 0;
   }
 
 type result = {
@@ -170,7 +203,25 @@ let scan_physical ctx ~segment ~oid =
 let table_width ctx oid =
   Mpp_catalog.Table.ncols (Mpp_catalog.Catalog.find_oid ctx.catalog oid)
 
+(* Take (and clear) the runtime-filter handoff slot; called at scan entry
+   on the coordinating domain, before any fan-out. *)
+let take_fused_rf ctx =
+  let rf = ctx.fused_rf in
+  ctx.fused_rf <- None;
+  rf
+
+(* The scan-side composition of its own compiled filter with a fused
+   runtime-filter test: the Bloom test is the pre-predicate (it runs
+   first — a hash and a handful of bit probes, cheaper than most compiled
+   predicates and selective by construction). *)
+let compose_pred ~rf_test ~pred =
+  match (rf_test, pred) with
+  | None, p -> p
+  | Some t, None -> Some t
+  | Some t, Some p -> Some (fun row -> t row && p row)
+
 let exec_table_scan ctx ~rel ~table_oid ~filter ~guard =
+  let rf = take_fused_rf ctx in
   let root = root_oid_of ctx table_oid in
   let width = table_width ctx root in
   let layout = [ (rel, width) ] in
@@ -185,18 +236,39 @@ let exec_table_scan ctx ~rel ~table_oid ~filter ~guard =
         in
         if skipped then Vec.create ()
         else
+          let rf_test =
+            match rf with None -> None | Some f -> Some (f.rf_make segment)
+          in
           let heap = scan_physical ctx ~segment ~oid:table_oid in
-          match pred with None -> heap | Some p -> Vec.filter p heap)
+          match compose_pred ~rf_test ~pred with
+          | None -> heap
+          | Some p -> Vec.filter p heap)
   in
   { layout; rows }
 
 let exec_dynamic_scan ctx ~rel ~part_scan_id ~root_oid ~filter =
+  let rf = take_fused_rf ctx in
   let width = table_width ctx root_oid in
   let layout = [ (rel, width) ] in
   let pred = Option.map (compile_filter ctx layout) filter in
+  (* the min-max ∩ partition-index elimination: channel OIDs outside the
+     filter's possible key range are dropped without opening their heap —
+     pruning beyond what the (static or streaming) selector already did *)
+  let restrict oids =
+    match rf with
+    | Some { rf_allowed = Some allowed; _ } ->
+        List.filter (Hashtbl.mem allowed) oids
+    | _ -> oids
+  in
   let rows =
     par_init ctx (fun segment ->
-        match (Channel.consume ctx.channel ~segment ~part_scan_id, pred) with
+        let oids =
+          restrict (Channel.consume ctx.channel ~segment ~part_scan_id)
+        in
+        let rf_test =
+          match rf with None -> None | Some f -> Some (f.rf_make segment)
+        in
+        match (oids, compose_pred ~rf_test ~pred) with
         | [ oid ], None ->
             (* single selected partition, no filter: alias its heap *)
             scan_physical ctx ~segment ~oid
@@ -393,6 +465,113 @@ let run_streaming_selection ctx ~part_scan_id ~root_oid ~keys
                    push oids)
              rows
          end))
+
+(* ------------------------------------------------------------------ *)
+(* Runtime join filters                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Build side: feed every build row's key tuple into a per-segment Bloom +
+   min-max filter and publish it on the channel.  Sizing uses only the
+   plan's [rows_est], so every segment's filter has the same shape and the
+   coordinator's merge is a word-wise union.  Pass-through for rows. *)
+let exec_rf_build ctx ~rf_id ~keys ~rows_est (child : result) =
+  let offs = Array.of_list (List.map (resolver child.layout) keys) in
+  let nkeys = Array.length offs in
+  ignore
+    (par_init ctx (fun segment ->
+         let bloom = Bloom.create ~nkeys ~expected:rows_est in
+         let scratch = Array.make nkeys Value.Null in
+         Vec.iter
+           (fun row ->
+             for i = 0 to nkeys - 1 do
+               scratch.(i) <- row.(offs.(i))
+             done;
+             Bloom.add bloom scratch)
+           child.rows.(segment);
+         Channel.publish_filter ctx.channel ~segment ~rf_id bloom;
+         let m = ctx.metrics.(segment) in
+         m.Metrics.filter_built <- m.Metrics.filter_built + 1));
+  child
+
+(* Probe side: the per-segment row test over the merged filter.  The
+   factory is invoked once per segment inside a parallel section; the
+   closure owns that segment's scratch tuple and counts every dropped row
+   into that segment's metrics shard ([rows_filtered_motion] when the
+   filter sits under a Motion send, [rows_filtered_scan] otherwise). *)
+let rf_make_test ctx ~at_motion mf layout keys =
+  let offs = Array.of_list (List.map (resolver layout) keys) in
+  let nkeys = Array.length offs in
+  let count (m : Metrics.t) =
+    if at_motion then
+      m.Metrics.rows_filtered_motion <- m.Metrics.rows_filtered_motion + 1
+    else m.Metrics.rows_filtered_scan <- m.Metrics.rows_filtered_scan + 1
+  in
+  if nkeys = 1 then (
+    (* single join key — the overwhelmingly common case: test the column
+       value directly, no scratch-tuple traffic per row *)
+    let off = offs.(0) in
+    fun segment ->
+      let m = ctx.metrics.(segment) in
+      fun (row : row) ->
+        let keep = Bloom.mem1 mf row.(off) in
+        if not keep then count m;
+        keep)
+  else
+    fun segment ->
+    let scratch = Array.make nkeys Value.Null in
+    let m = ctx.metrics.(segment) in
+    fun (row : row) ->
+      for i = 0 to nkeys - 1 do
+        scratch.(i) <- row.(offs.(i))
+      done;
+      let keep = Bloom.mem mf scratch in
+      if not keep then count m;
+      keep
+
+(* The min-max ∩ partition-index intersection: for each partitioning level
+   of [root_oid] whose key column is one of the filter's probe-side key
+   columns, the merged filter's [lo, hi] summary becomes a closed-interval
+   restriction; the selection index turns the restriction array into the
+   set of leaves that can possibly hold matching keys.  An empty build
+   side restricts every matched level to the empty set.  [None] when no
+   level is covered (no pruning possible). *)
+let rf_allowed_oids ctx ~root_oid ~rel keys mf =
+  let part = partitioning_of ctx root_oid in
+  let index = index_of ctx root_oid in
+  let covered = ref false in
+  let restrictions =
+    Array.map
+      (fun (lv : Mpp_catalog.Partition.level) ->
+        let rec find i = function
+          | [] -> None
+          | (k : Colref.t) :: rest ->
+              if k.Colref.rel = rel && k.Colref.index = lv.key_index then
+                Some i
+              else find (i + 1) rest
+        in
+        match find 0 keys with
+        | None -> None
+        | Some kpos ->
+            covered := true;
+            if Bloom.count mf = 0 then Some Interval.Set.empty
+            else (
+              match Bloom.minmax mf ~key:kpos with
+              | None -> None
+              | Some (lo, hi) ->
+                  Some
+                    (Interval.Set.of_interval_opt
+                       (Interval.make (Interval.B (lo, true))
+                          (Interval.B (hi, true))))))
+      part.Mpp_catalog.Partition.levels
+  in
+  if not !covered then None
+  else begin
+    let allowed = Hashtbl.create 32 in
+    List.iter
+      (fun oid -> Hashtbl.replace allowed oid ())
+      (Mpp_catalog.Partition.Index.select_oids index restrictions);
+    Some allowed
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Joins                                                               *)
@@ -1006,8 +1185,85 @@ and exec_node ctx id (plan : Plan.t) : result =
       let r = kid 0 child in
       { r with rows = Array.map (Vec.take n) r.rows }
   | Plan.Motion { kind; child } ->
+      (* credit Motion sends avoided by pre-Motion runtime filtering: rows a
+         [Runtime_filter ~at_motion:true] below this Motion dropped while
+         the subtree executed would each have cost one send here (or
+         [nsegments] sends for a Broadcast).  Each drop is claimed by its
+         nearest enclosing Motion — inner Motions finish (and claim) before
+         this one, so whatever is still unclaimed was dropped directly
+         below this send and is credited exactly once. *)
+      let filtered_below () =
+        Array.fold_left
+          (fun acc m -> acc + m.Metrics.rows_filtered_motion)
+          0 ctx.metrics
+      in
       let r = kid 0 child in
+      let delta = filtered_below () - ctx.rf_motion_claimed in
+      ctx.rf_motion_claimed <- ctx.rf_motion_claimed + delta;
+      let factor =
+        match kind with
+        | Plan.Broadcast -> nsegments ctx
+        | Plan.Redistribute _ | Plan.Gather -> 1
+        | Plan.Gather_one -> 0
+      in
+      if delta > 0 && factor > 0 then begin
+        let m = ctx.metrics.(0) in
+        m.Metrics.motion_rows_saved <-
+          m.Metrics.motion_rows_saved + (delta * factor)
+      end;
       exec_motion ctx ~kind ~child:r
+  | Plan.Runtime_filter_build { rf_id; keys; rows_est; child } ->
+      let r = kid 0 child in
+      if ctx.runtime_filters then exec_rf_build ctx ~rf_id ~keys ~rows_est r
+      else r
+  | Plan.Runtime_filter { rf_id; keys; at_motion; child } -> (
+      if not ctx.runtime_filters then kid 0 child
+      else
+        (* resolved on the coordinating domain, after the build subtree's
+           parallel sections completed (the consumer sits on the probe
+           side, which executes strictly after the build side) *)
+        match Channel.merged_filter ctx.channel ~rf_id with
+        | None -> kid 0 child
+        | Some mf -> (
+            match child with
+            | Plan.Table_scan { rel; table_oid; _ } ->
+                (* fuse into the scan's row loop as a pre-predicate *)
+                let width = table_width ctx (root_oid_of ctx table_oid) in
+                ctx.fused_rf <-
+                  Some
+                    {
+                      rf_make =
+                        rf_make_test ctx ~at_motion mf [ (rel, width) ] keys;
+                      rf_allowed = None;
+                    };
+                kid 0 child
+            | Plan.Dynamic_scan { rel; root_oid; _ } ->
+                (* fuse the row test, and intersect the filter's min-max
+                   summary with the partition index to drop whole leaves —
+                   partition-level elimination, so it honors the
+                   selection-disabled ablation like the selectors do *)
+                let width = table_width ctx root_oid in
+                ctx.fused_rf <-
+                  Some
+                    {
+                      rf_make =
+                        rf_make_test ctx ~at_motion mf [ (rel, width) ] keys;
+                      rf_allowed =
+                        (if ctx.selection_enabled then
+                           rf_allowed_oids ctx ~root_oid ~rel keys mf
+                         else None);
+                    };
+                kid 0 child
+            | _ ->
+                (* standalone: filter the child's batches in place *)
+                let r = kid 0 child in
+                let test = rf_make_test ctx ~at_motion mf r.layout keys in
+                {
+                  r with
+                  rows =
+                    par_init ctx (fun seg ->
+                        Vec.filter (test seg) r.rows.(seg));
+                }))
   | Plan.Append children ->
       let results = List.mapi kid children in
       (match results with
@@ -1048,11 +1304,11 @@ let exec ctx (plan : Plan.t) : result =
   exec_at ctx 0 plan
 
 (** Execute [plan] and gather all segments' output rows on the master. *)
-let run ?(params = [||]) ?(selection_enabled = true) ?(verify = false) ?stats
-    ?domains ~catalog ~storage plan =
+let run ?(params = [||]) ?(selection_enabled = true) ?(verify = false)
+    ?(runtime_filters = true) ?stats ?domains ~catalog ~storage plan =
   let ctx =
-    create_ctx ~params ~selection_enabled ~verify ?stats ?domains ~catalog
-      ~storage ()
+    create_ctx ~params ~selection_enabled ~verify ~runtime_filters ?stats
+      ?domains ~catalog ~storage ()
   in
   let r = exec ctx plan in
   let rows =
@@ -1062,10 +1318,10 @@ let run ?(params = [||]) ?(selection_enabled = true) ?(verify = false) ?stats
 
 (** Execute [plan] collecting per-node EXPLAIN ANALYZE statistics. *)
 let run_analyze ?(params = [||]) ?(selection_enabled = true) ?(verify = false)
-    ?domains ~catalog ~storage plan =
+    ?(runtime_filters = true) ?domains ~catalog ~storage plan =
   let stats = Node_stats.create () in
   let rows, metrics =
-    run ~params ~selection_enabled ~verify ~stats ?domains ~catalog ~storage
-      plan
+    run ~params ~selection_enabled ~verify ~runtime_filters ~stats ?domains
+      ~catalog ~storage plan
   in
   (rows, metrics, stats)

@@ -23,6 +23,21 @@ module Vec = Mpp_storage.Vec
 
 type row = Value.t array
 
+type fused_rf = {
+  rf_make : int -> row -> bool;
+      (** per-segment row-test factory: [rf_make segment] is invoked once
+          per segment inside the scan's parallel section and owns that
+          segment's scratch state and metrics shard *)
+  rf_allowed : (int, unit) Hashtbl.t option;
+      (** partition OIDs the filter's min-max summary cannot rule out
+          ([None]: no partitioning level is covered by the filter keys);
+          a DynamicScan intersects its channel OIDs with this set *)
+}
+(** A runtime join filter fused into the scan below it: the
+    [Runtime_filter] node compiles the merged filter against the scan's
+    layout and hands it to the scan through {!ctx.fused_rf} so the Bloom
+    test runs inside the scan's row loop as a pre-predicate. *)
+
 type ctx = {
   catalog : Mpp_catalog.Catalog.t;
   storage : Mpp_storage.Storage.t;
@@ -50,12 +65,26 @@ type ctx = {
           routinely execute ad-hoc plan fragments — ungathered scans,
           bare joins — that are fine to interpret but are not complete
           top-level plans) *)
+  runtime_filters : bool;
+      (** [false]: [Runtime_filter_build] / [Runtime_filter] nodes become
+          pass-throughs — no filter is built, published, or applied (the
+          [--no-runtime-filters] configuration); plans are unchanged *)
+  mutable fused_rf : fused_rf option;
+      (** one-shot handoff slot from a [Runtime_filter] node to the scan
+          directly below it; set and consumed on the coordinating domain
+          within a single parent→child call *)
+  mutable rf_motion_claimed : int;
+      (** pre-Motion drops already credited to
+          [Metrics.motion_rows_saved]: each Motion claims the drops below
+          it that no inner Motion claimed, so every drop is credited at
+          exactly one Motion — its nearest enclosing send *)
 }
 
 val create_ctx :
   ?params:Value.t array ->
   ?selection_enabled:bool ->
   ?verify:bool ->
+  ?runtime_filters:bool ->
   ?stats:Node_stats.t ->
   ?domains:int ->
   catalog:Mpp_catalog.Catalog.t ->
@@ -84,6 +113,7 @@ val run :
   ?params:Value.t array ->
   ?selection_enabled:bool ->
   ?verify:bool ->
+  ?runtime_filters:bool ->
   ?stats:Node_stats.t ->
   ?domains:int ->
   catalog:Mpp_catalog.Catalog.t ->
@@ -96,6 +126,7 @@ val run_analyze :
   ?params:Value.t array ->
   ?selection_enabled:bool ->
   ?verify:bool ->
+  ?runtime_filters:bool ->
   ?domains:int ->
   catalog:Mpp_catalog.Catalog.t ->
   storage:Mpp_storage.Storage.t ->

@@ -10,6 +10,18 @@ type t = {
       (** root table OID → set of distinct partition OIDs scanned *)
   mutable rows_updated : int;
   mutable rows_deleted : int;
+  mutable filter_built : int;
+      (** runtime join filters built (one per builder per segment with a
+          non-empty build side) *)
+  mutable rows_filtered_scan : int;
+      (** probe rows dropped by a runtime filter fused into a scan *)
+  mutable rows_filtered_motion : int;
+      (** probe rows dropped by a runtime filter sitting below a Motion
+          send *)
+  mutable motion_rows_saved : int;
+      (** Motion sends avoided thanks to pre-Motion filtering: for a
+          Redistribute each dropped row saves one send, for a Broadcast it
+          saves [nsegments] *)
 }
 
 let create () =
@@ -20,6 +32,10 @@ let create () =
     parts_scanned = Hashtbl.create 16;
     rows_updated = 0;
     rows_deleted = 0;
+    filter_built = 0;
+    rows_filtered_scan = 0;
+    rows_filtered_motion = 0;
+    motion_rows_saved = 0;
   }
 
 let record_scan t ~root_oid ~part_oid ~rows =
@@ -49,9 +65,11 @@ let total_parts_scanned t =
 let pp fmt t =
   Format.fprintf fmt
     "tuples_scanned=%d tuples_moved=%d partition_opens=%d parts_scanned=%d \
-     rows_updated=%d rows_deleted=%d"
+     rows_updated=%d rows_deleted=%d filter_built=%d rows_filtered_scan=%d \
+     rows_filtered_motion=%d motion_rows_saved=%d"
     t.tuples_scanned t.tuples_moved t.partition_opens (total_parts_scanned t)
-    t.rows_updated t.rows_deleted
+    t.rows_updated t.rows_deleted t.filter_built t.rows_filtered_scan
+    t.rows_filtered_motion t.motion_rows_saved
 
 (** Combine two runs' counters into a fresh record: sums for the scalar
     counters, per-root union of distinct partition OIDs for
@@ -63,6 +81,10 @@ let merge a b =
   t.partition_opens <- a.partition_opens + b.partition_opens;
   t.rows_updated <- a.rows_updated + b.rows_updated;
   t.rows_deleted <- a.rows_deleted + b.rows_deleted;
+  t.filter_built <- a.filter_built + b.filter_built;
+  t.rows_filtered_scan <- a.rows_filtered_scan + b.rows_filtered_scan;
+  t.rows_filtered_motion <- a.rows_filtered_motion + b.rows_filtered_motion;
+  t.motion_rows_saved <- a.motion_rows_saved + b.motion_rows_saved;
   let union src =
     Hashtbl.iter
       (fun root set ->
@@ -108,4 +130,8 @@ let to_json t =
       ("parts_scanned", Mpp_obs.Json.Int (total_parts_scanned t));
       ("rows_updated", Mpp_obs.Json.Int t.rows_updated);
       ("rows_deleted", Mpp_obs.Json.Int t.rows_deleted);
+      ("filter_built", Mpp_obs.Json.Int t.filter_built);
+      ("rows_filtered_scan", Mpp_obs.Json.Int t.rows_filtered_scan);
+      ("rows_filtered_motion", Mpp_obs.Json.Int t.rows_filtered_motion);
+      ("motion_rows_saved", Mpp_obs.Json.Int t.motion_rows_saved);
     ]

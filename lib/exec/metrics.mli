@@ -11,6 +11,16 @@ type t = {
       (** root table OID → set of distinct partition OIDs scanned *)
   mutable rows_updated : int;
   mutable rows_deleted : int;
+  mutable filter_built : int;
+      (** runtime join filters built (one per builder per segment with a
+          non-empty build side) *)
+  mutable rows_filtered_scan : int;
+      (** probe rows dropped by a runtime filter fused into a scan *)
+  mutable rows_filtered_motion : int;
+      (** probe rows dropped by a runtime filter below a Motion send *)
+  mutable motion_rows_saved : int;
+      (** Motion sends avoided by pre-Motion filtering (a Broadcast row
+          counts [nsegments] sends) *)
 }
 
 val create : unit -> t

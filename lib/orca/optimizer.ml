@@ -769,6 +769,100 @@ and build_physical t ~rel_tables ~pinned_rel (lg : Logical.t) : annotated =
         dyn_scans = [];
       }
 
+(* ------------------------------------------------------------------ *)
+(* Runtime-join-filter annotation (costing side)                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Row estimate of a *physical* subtree, for sizing and costing runtime
+   filters after placement (the annotated-subplan estimates are gone by
+   then).  Deliberately crude — scan rowcounts shaped by filter
+   selectivity, the textbook join and aggregate discounts — but it only
+   gates the filter-or-not decision and the Bloom's deterministic size. *)
+let rec est_rows t ~rel_tables (p : Plan.t) : float =
+  let scan_rows ~rel oid filter =
+    let table =
+      match List.assoc_opt rel rel_tables with
+      | Some tbl -> tbl
+      | None -> Mpp_catalog.Catalog.find_oid t.catalog oid
+    in
+    let rows = float_of_int (stats_of t table).Mpp_stats.Stats.rowcount in
+    match filter with
+    | None -> rows
+    | Some f ->
+        Float.max 1.0
+          (rows
+          *. Mpp_stats.Selectivity.estimate ~stats:(stats_of t table) ~rel f)
+  in
+  match p with
+  | Plan.Table_scan { rel; table_oid; filter; _ } ->
+      scan_rows ~rel table_oid filter
+  | Plan.Dynamic_scan { rel; root_oid; filter; _ } ->
+      scan_rows ~rel root_oid filter
+  | Plan.Filter { pred = _; child } ->
+      Float.max 1.0 (est_rows t ~rel_tables child *. 0.5)
+  | Plan.Hash_join { kind; pred; left; right }
+  | Plan.Nl_join { kind; pred; left; right } -> (
+      let lr = est_rows t ~rel_tables left
+      and rr = est_rows t ~rel_tables right in
+      match kind with
+      | Plan.Semi -> Float.max 1.0 (rr *. 0.5)
+      | Plan.Inner | Plan.Left_outer -> (
+          match
+            Mpp_plan.Rf_annotate.equi_col_pairs
+              ~build_rels:(Plan.output_rels left)
+              ~probe_rels:(Plan.output_rels right) pred
+          with
+          | (bk, pk) :: _ ->
+              Mpp_stats.Selectivity.join_rows ~left_rows:lr ~right_rows:rr
+                ~left_ndv:(key_ndv t ~rel_tables (Expr.Col bk))
+                ~right_ndv:(key_ndv t ~rel_tables (Expr.Col pk))
+          | [] -> Float.max 1.0 (lr *. rr *. 0.1)))
+  | Plan.Agg { group_by = []; _ } -> 1.0
+  | Plan.Agg { child; _ } ->
+      Float.max 1.0 (est_rows t ~rel_tables child /. 10.0)
+  | Plan.Limit { rows; child } ->
+      Float.min (float_of_int rows) (est_rows t ~rel_tables child)
+  | Plan.Append cs ->
+      List.fold_left (fun acc c -> acc +. est_rows t ~rel_tables c) 0.0 cs
+  | Plan.Sequence cs -> (
+      match List.rev cs with
+      | last :: _ -> est_rows t ~rel_tables last
+      | [] -> 0.0)
+  | Plan.Partition_selector { child = Some c; _ }
+  | Plan.Project { child = c; _ }
+  | Plan.Sort { child = c; _ }
+  | Plan.Motion { child = c; _ }
+  | Plan.Runtime_filter_build { child = c; _ }
+  | Plan.Runtime_filter { child = c; _ } ->
+      est_rows t ~rel_tables c
+  | Plan.Partition_selector { child = None; _ }
+  | Plan.Update _ | Plan.Delete _ | Plan.Insert _ ->
+      1.0
+
+(* Annotate-or-not, per eligible join: expected probe-row reduction from
+   the NDV ratio of the key pair (the fraction of probe key values the
+   build side can match), charged against the constant per-row test.  The
+   filter pays for itself when the probe stream is non-trivial and at
+   least ~10% of it is expected to drop; the Bloom is sized from the
+   build-side estimate (the executor caps the bit count). *)
+let rf_decide t ~rel_tables ~build ~probe ~build_keys ~probe_keys =
+  let build_rows = est_rows t ~rel_tables build in
+  let probe_rows = est_rows t ~rel_tables probe in
+  let bk = List.hd build_keys and pk = List.hd probe_keys in
+  let build_ndv = float_of_int (key_ndv t ~rel_tables (Expr.Col bk)) in
+  let probe_ndv = float_of_int (key_ndv t ~rel_tables (Expr.Col pk)) in
+  let distinct_build = Float.min build_rows build_ndv in
+  let keep = Float.min 1.0 (distinct_build /. Float.max 1.0 probe_ndv) in
+  let saved = probe_rows *. (1.0 -. keep) in
+  if probe_rows >= 256.0 && saved >= 0.1 *. probe_rows then begin
+    Obs.incr (Obs.current ()) "optimizer.runtime_filters_placed";
+    Log.debug (fun m ->
+        m "runtime filter: build=%.0f rows probe=%.0f rows keep=%.2f" build_rows
+          probe_rows keep);
+    Some (int_of_float (Float.min build_rows 1e7))
+  end
+  else None
+
 exception Invalid_plan of string
 
 (** Optimize a logical tree into an executable physical plan. *)
@@ -802,9 +896,23 @@ let optimize t (lg : Logical.t) : Plan.t =
         Obs.annotate obs "plan_nodes"
           (Mpp_obs.Json.Int (Plan.node_count placed))
       end;
+      (* Annotate eligible hash joins with runtime-join-filter pairs (a
+         semantic no-op; the executor's [runtime_filters] knob decides
+         whether they run), after placement so Placement never sees the
+         new operators and the streaming-DPE redundancy skip can see the
+         placed selectors. *)
+      let placed =
+        (* the Figure-17 ablation disables the whole partition-selection /
+           runtime-pruning machinery, so its plans stay unannotated *)
+        if not t.config.enable_partition_selection then placed
+        else
+          Obs.span obs "optimize.runtime_filters" (fun () ->
+              Mpp_plan.Rf_annotate.annotate ~catalog:t.catalog
+                ~decide:(rf_decide t ~rel_tables) placed)
+      in
       (* Stamp each DynamicScan's statically-surviving partition count from
          its placed selector, then run the full static verifier: every plan
-         this optimizer emits passes all four passes or is rejected. *)
+         this optimizer emits passes all five passes or is rejected. *)
       let placed = Mpp_verify.Verify.stamp_nparts ~catalog:t.catalog placed in
       match
         Mpp_verify.Diag.errors

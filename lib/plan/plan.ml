@@ -105,6 +105,36 @@ type t =
   | Insert of { table_oid : oid; rows : Expr.t list list }
       (** INSERT … VALUES: row expressions evaluated at run time (they may
           reference parameters) and routed through distribution and f_T *)
+  | Runtime_filter_build of {
+      rf_id : int;
+      keys : Colref.t list;
+          (** build-side join-key colrefs, in join-key order *)
+      rows_est : int;
+          (** optimizer cardinality estimate of the build side — the
+              {e only} input to Bloom sizing, so every segment builds an
+              identically-shaped filter *)
+      child : t;
+    }
+      (** producer: sits on the build (left) subtree of a hash join, feeds
+          every build row's key tuple into a per-segment Bloom + min-max
+          filter and publishes it on channel [rf_id].  Pass-through for
+          rows.  Placed {e below} the build side's Motion so the filter is
+          built from pre-Motion rows and crosses the Motion boundary
+          through the channel, not the data path. *)
+  | Runtime_filter of {
+      rf_id : int;
+      keys : Colref.t list;
+          (** probe-side join-key colrefs, positionally matching the
+              builder's [keys] *)
+      at_motion : bool;
+          (** directly below a Redistribute/Broadcast send: rows dropped
+              here never pay Motion cost *)
+      child : t;
+    }
+      (** consumer: on the probe (right) subtree of the same join, drops
+          rows whose key tuple fails the merged filter.  Semantically a
+          no-op (Bloom filters have no false negatives; NULL keys cannot
+          join) — only row counts and timings change. *)
 
 (* Smart constructors: the common node shapes, with optional fields
    defaulted. *)
@@ -124,6 +154,12 @@ let motion kind child = Motion { kind; child }
 let agg ?(output_rel = -1) ~group_by ~aggs child =
   Agg { group_by; aggs; child; output_rel }
 
+let runtime_filter_build ~rf_id ~keys ~rows_est child =
+  Runtime_filter_build { rf_id; keys; rows_est; child }
+
+let runtime_filter ?(at_motion = false) ~rf_id ~keys child =
+  Runtime_filter { rf_id; keys; at_motion; child }
+
 let children = function
   | Table_scan _ -> []
   | Dynamic_scan _ -> []
@@ -138,7 +174,9 @@ let children = function
   | Limit { child; _ }
   | Motion { child; _ }
   | Update { child; _ }
-  | Delete { child; _ } ->
+  | Delete { child; _ }
+  | Runtime_filter_build { child; _ }
+  | Runtime_filter { child; _ } ->
       [ child ]
   | Hash_join { left; right; _ } | Nl_join { left; right; _ } ->
       [ left; right ]
@@ -159,6 +197,8 @@ let with_children (p : t) (cs : t list) : t =
   | Motion m, [ child ] -> Motion { m with child }
   | Update u, [ child ] -> Update { u with child }
   | Delete d, [ child ] -> Delete { d with child }
+  | Runtime_filter_build b, [ child ] -> Runtime_filter_build { b with child }
+  | Runtime_filter r, [ child ] -> Runtime_filter { r with child }
   | Hash_join j, [ left; right ] -> Hash_join { j with left; right }
   | Nl_join j, [ left; right ] -> Nl_join { j with left; right }
   | _ -> invalid_arg "Plan.with_children: arity mismatch"
@@ -185,7 +225,9 @@ let rec output_rels = function
   | Filter { child; _ }
   | Sort { child; _ }
   | Limit { child; _ }
-  | Motion { child; _ } ->
+  | Motion { child; _ }
+  | Runtime_filter_build { child; _ }
+  | Runtime_filter { child; _ } ->
       output_rels child
   | Update _ | Delete _ | Insert _ -> []
 
@@ -287,6 +329,14 @@ let describe = function
   | Delete { table_oid; _ } -> Printf.sprintf "Delete(oid=%d)" table_oid
   | Insert { table_oid; rows } ->
       Printf.sprintf "Insert(oid=%d, %d rows)" table_oid (List.length rows)
+  | Runtime_filter_build { rf_id; keys; rows_est; _ } ->
+      Printf.sprintf "RuntimeFilterBuild(%d, keys=[%s], est=%d)" rf_id
+        (String.concat ", " (List.map Colref.to_string keys))
+        rows_est
+  | Runtime_filter { rf_id; keys; at_motion; _ } ->
+      Printf.sprintf "RuntimeFilter(%d, keys=[%s]%s)" rf_id
+        (String.concat ", " (List.map Colref.to_string keys))
+        (if at_motion then ", pre-Motion" else "")
 
 let rec pp fmt plan =
   let rec go indent p =

@@ -94,6 +94,34 @@ type t =
   | Insert of { table_oid : oid; rows : Expr.t list list }
       (** INSERT … VALUES: row expressions evaluated at run time (they may
           reference parameters) and routed through distribution and f_T *)
+  | Runtime_filter_build of {
+      rf_id : int;
+      keys : Colref.t list;
+          (** build-side join-key colrefs, in join-key order *)
+      rows_est : int;
+          (** optimizer cardinality estimate of the build side — the only
+              input to Bloom sizing, so per-segment filters merge *)
+      child : t;
+    }
+      (** producer of a runtime join filter: pass-through on the build
+          (left) subtree of a hash join; publishes a per-segment
+          Bloom + min-max filter over its rows' key tuples on channel
+          [rf_id].  Placed below the build side's Motion so the filter
+          crosses the Motion boundary through the channel, not the data
+          path. *)
+  | Runtime_filter of {
+      rf_id : int;
+      keys : Colref.t list;
+          (** probe-side join-key colrefs, positionally matching the
+              builder's [keys] *)
+      at_motion : bool;
+          (** directly below a Redistribute/Broadcast send: rows dropped
+              here never pay Motion cost *)
+      child : t;
+    }
+      (** consumer: on the probe (right) subtree of the same join, drops
+          rows whose key tuple fails the merged filter; semantically a
+          no-op (no false negatives, NULL keys cannot join) *)
 
 (** {2 Smart constructors} *)
 
@@ -119,6 +147,13 @@ val motion : motion_kind -> t -> t
 val agg :
   ?output_rel:int -> group_by:Expr.t list -> aggs:(string * agg_fun) list ->
   t -> t
+
+val runtime_filter_build :
+  rf_id:int -> keys:Colref.t list -> rows_est:int -> t -> t
+
+val runtime_filter :
+  ?at_motion:bool -> rf_id:int -> keys:Colref.t list -> t -> t
+(** [at_motion] defaults to [false]. *)
 
 (** {2 Traversal} *)
 

@@ -78,6 +78,10 @@ let bytes ~catalog (plan : Plan.t) : int =
             (fun acc row ->
               List.fold_left (fun a e -> a + expr_size e) acc row)
             dml_descriptor rows
+      | Plan.Runtime_filter_build { keys; child; _ }
+      | Plan.Runtime_filter { keys; child; _ } ->
+          (* a filter spec ships key colrefs and an id, never filter bits *)
+          64 + (16 * List.length keys) + size child
     in
     node_header + payload
   in

@@ -337,6 +337,47 @@ and plan_dml t ~rel ~table_name ~set_cols child : sub =
 
 exception Invalid_plan of string
 
+(* Build-side cardinality for sizing a runtime join filter: textbook
+   default rowcounts of the base relations in the subtree (the legacy
+   planner has no analyzed statistics), leaf scans resolved to their one
+   partition's share.  It only has to be deterministic and roughly
+   order-of-magnitude right — the executor caps the Bloom size. *)
+let rf_rows_est t (p : Plan.t) : int =
+  let rows =
+    Plan.fold
+      (fun acc node ->
+        match node with
+        | Plan.Table_scan { table_oid; _ } -> (
+            match Mpp_catalog.Catalog.root_of_leaf t.catalog table_oid with
+            | Some root ->
+                let tbl = Mpp_catalog.Catalog.find_oid t.catalog root in
+                let nparts =
+                  match tbl.Table.partitioning with
+                  | Some pt -> max 1 (Partition.nparts pt)
+                  | None -> 1
+                in
+                acc
+                + max 1
+                    ((Mpp_stats.Stats.defaults tbl).Mpp_stats.Stats.rowcount
+                    / nparts)
+            | None ->
+                let tbl = Mpp_catalog.Catalog.find_oid t.catalog table_oid in
+                acc + (Mpp_stats.Stats.defaults tbl).Mpp_stats.Stats.rowcount)
+        | Plan.Dynamic_scan { root_oid; _ } ->
+            let tbl = Mpp_catalog.Catalog.find_oid t.catalog root_oid in
+            acc + (Mpp_stats.Stats.defaults tbl).Mpp_stats.Stats.rowcount
+        | _ -> acc)
+      0 p
+  in
+  max 1 rows
+
+(* The legacy planner is not cost-based, and its runtime-filter policy is
+   equally simple: annotate every eligible equi-join (the shared rewrite
+   still skips joins whose filter would only re-derive the guard-based
+   dynamic elimination). *)
+let rf_decide t ~build ~probe:_ ~build_keys:_ ~probe_keys:_ =
+  Some (rf_rows_est t build)
+
 (** Plan a logical tree with the legacy planner. *)
 let plan t (lg : Logical.t) : Plan.t =
   t.next_scan_id <- 1;
@@ -348,8 +389,9 @@ let plan t (lg : Logical.t) : Plan.t =
         finalize s
     | _ -> gather s
   in
+  let p = Mpp_plan.Rf_annotate.annotate ~catalog:t.catalog ~decide:(rf_decide t) p in
   (* Every plan the legacy planner emits runs the full static verifier —
-     the same four passes the Orca pipeline must satisfy, which is what
+     the same five passes the Orca pipeline must satisfy, which is what
      makes the two optimizers differentially checkable. *)
   match Mpp_verify.Diag.errors (Mpp_verify.Verify.check ~catalog:t.catalog p) with
   | [] -> p

@@ -2,7 +2,7 @@
 
 type severity = Error | Warning
 
-type pass = Structure | Schema | Distribution | Accounting
+type pass = Structure | Schema | Distribution | Accounting | Filters
 
 type t = {
   severity : severity;
@@ -19,12 +19,14 @@ let pass_to_string = function
   | Schema -> "schema"
   | Distribution -> "distribution"
   | Accounting -> "accounting"
+  | Filters -> "filters"
 
 let pass_of_string = function
   | "structure" -> Some Structure
   | "schema" -> Some Schema
   | "distribution" -> Some Distribution
   | "accounting" -> Some Accounting
+  | "filters" -> Some Filters
   | _ -> None
 
 let make ?(severity = Error) ~pass ~code ~path message =

@@ -7,7 +7,7 @@
 
 type severity = Error | Warning
 
-type pass = Structure | Schema | Distribution | Accounting
+type pass = Structure | Schema | Distribution | Accounting | Filters
 
 type t = {
   severity : severity;

@@ -28,6 +28,8 @@ let short = function
   | Plan.Update _ -> "Update"
   | Plan.Delete _ -> "Delete"
   | Plan.Insert _ -> "Insert"
+  | Plan.Runtime_filter_build _ -> "RFBuild"
+  | Plan.Runtime_filter _ -> "RFApply"
 
 (* A path is kept as a reversed segment list and rendered on demand.  The
    segments stay symbolic (child index + node) until a diagnostic is
@@ -479,6 +481,13 @@ let schema_pass ~catalog (plan : Plan.t) : Diag.t list =
         List.iter (fun k -> ignore (typ path layout k)) keys;
         layout
     | Plan.Limit { child; _ } -> infer (seg 0 child :: path) child
+    | Plan.Runtime_filter_build { keys; child; _ }
+    | Plan.Runtime_filter { keys; child; _ } ->
+        (* pass-through; the filter keys must resolve in the child's
+           layout — the builder hashes them, the consumer probes them *)
+        let layout = infer (seg 0 child :: path) child in
+        List.iter (fun c -> ignore (typ path layout (Expr.Col c))) keys;
+        layout
     | Plan.Motion { kind; child } ->
         let layout = infer (seg 0 child :: path) child in
         (match kind with
@@ -766,6 +775,12 @@ let distribution_pass ~catalog (plan : Plan.t) : Diag.t list =
         ignore (dist_of ~agg_above (seg 0 child :: path) child);
         Dsingleton
     | Plan.Insert _ -> Dsingleton
+    | Plan.Runtime_filter_build { child; _ } ->
+        (* row pass-through: publishes per-segment filter state only *)
+        dist_of ~agg_above (seg 0 child :: path) child
+    | Plan.Runtime_filter { child; _ } ->
+        (* drops rows per segment; placement is unchanged *)
+        dist_of ~agg_above (seg 0 child :: path) child
   in
   let root = dist_of ~agg_above:false [ Root plan ] plan in
   if distributed root then
@@ -958,6 +973,180 @@ let accounting_pass ~catalog (plan : Plan.t) : Diag.t list =
   List.rev !diags
 
 (* ------------------------------------------------------------------ *)
+(* Pass 5: runtime-filter placement                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Legality of runtime join filters (builder = [Runtime_filter_build],
+   consumer = [Runtime_filter], paired by [rf_id]):
+
+   - each rf_id has exactly one builder, and builder/consumer sit on
+     opposite sides of the same join: builder in the build (left) subtree,
+     consumer(s) in the probe (right) subtree, so the filter is published
+     before any consumer resolves the merge;
+   - key arity agrees between builder and consumers (the Bloom probe is
+     positional);
+   - the filter never crosses a Gather above its join: past a Gather the
+     stream is a singleton and the per-segment filter channel no longer
+     corresponds to the rows' placement.  Crossing a Redistribute or
+     Broadcast is the whole point and is fine — the filter crosses through
+     the channel, not the data stream.
+
+   Key resolution against the child layout is the schema pass's job. *)
+
+(* Unmatched builder/consumer counts for one rf_id, with the §3.1-style
+   taint recording whether any crossed a Gather on the way up. *)
+type fep = { fb : int; fc : int; gb : bool; gc : bool }
+
+let fep_builder = { fb = 1; fc = 0; gb = false; gc = false }
+let fep_consumer = { fb = 0; fc = 1; gb = false; gc = false }
+
+let fep_merge a b =
+  { fb = a.fb + b.fb; fc = a.fc + b.fc; gb = a.gb || b.gb; gc = a.gc || b.gc }
+
+let merge_ftables acc tbl =
+  List.fold_left
+    (fun acc (id, e) ->
+      match List.assoc_opt id acc with
+      | None -> (id, e) :: acc
+      | Some e0 -> (id, fep_merge e0 e) :: List.remove_assoc id acc)
+    acc tbl
+
+let filters_pass ~catalog:_ (plan : Plan.t) : Diag.t list =
+  let diags = ref [] in
+  let emit ?severity code path msg =
+    diags :=
+      Diag.make ?severity ~pass:Diag.Filters ~code ~path:(render path) msg
+      :: !diags
+  in
+  (* --- per-node checks: builder uniqueness, arity, at_motion placement --- *)
+  let builder_keys : (int, int) Hashtbl.t = Hashtbl.create 4 in
+  let builder_count : (int, int) Hashtbl.t = Hashtbl.create 4 in
+  let consumers : (int * int * pseg list) list ref = ref [] in
+  let rec pre ~under_send path p =
+    (match p with
+    | Plan.Runtime_filter_build { rf_id; keys; rows_est; _ } ->
+        Hashtbl.replace builder_count rf_id
+          (1 + Option.value (Hashtbl.find_opt builder_count rf_id) ~default:0);
+        if not (Hashtbl.mem builder_keys rf_id) then
+          Hashtbl.add builder_keys rf_id (List.length keys);
+        if keys = [] then
+          emit "filters/no-keys" path
+            (Printf.sprintf "RuntimeFilterBuild %d has no key columns" rf_id);
+        if rows_est < 0 then
+          emit "filters/bad-estimate" path
+            (Printf.sprintf
+               "RuntimeFilterBuild %d has negative cardinality estimate %d"
+               rf_id rows_est)
+    | Plan.Runtime_filter { rf_id; keys; at_motion; _ } ->
+        consumers := (rf_id, List.length keys, path) :: !consumers;
+        if at_motion && not under_send then
+          emit "filters/at-motion-misplaced" path
+            (Printf.sprintf
+               "RuntimeFilter %d is marked pre-Motion but no Redistribute or \
+                Broadcast sits directly above it"
+               rf_id)
+    | _ -> ());
+    let send =
+      match p with
+      | Plan.Motion { kind = Plan.Redistribute _ | Plan.Broadcast; _ } -> true
+      | _ -> false
+    in
+    List.iteri
+      (fun i c -> pre ~under_send:send (seg i c :: path) c)
+      (Plan.children p)
+  in
+  pre ~under_send:false [ Root plan ] plan;
+  Hashtbl.iter
+    (fun id n ->
+      if n > 1 then
+        emit "filters/duplicate-builder" [ Root plan ]
+          (Printf.sprintf "rf_id %d has %d RuntimeFilterBuild nodes" id n))
+    builder_count;
+  List.iter
+    (fun (id, nkeys, path) ->
+      match Hashtbl.find_opt builder_keys id with
+      | Some n when n <> nkeys ->
+          emit "filters/key-arity" path
+            (Printf.sprintf
+               "RuntimeFilter %d probes %d key(s); its builder hashes %d" id
+               nkeys n)
+      | _ -> ())
+    !consumers;
+  (* --- endpoint walk: build-side/probe-side pairing, Gather taint --- *)
+  let rec walk path p : (int * fep) list =
+    let own =
+      match p with
+      | Plan.Runtime_filter_build { rf_id; _ } -> [ (rf_id, fep_builder) ]
+      | Plan.Runtime_filter { rf_id; _ } -> [ (rf_id, fep_consumer) ]
+      | _ -> []
+    in
+    let kid_tables =
+      List.mapi (fun i c -> walk (seg i c :: path) c) (Plan.children p)
+    in
+    match p with
+    | Plan.Hash_join _ | Plan.Nl_join _ ->
+        let left, right =
+          match kid_tables with
+          | [ l; r ] -> (l, r)
+          | _ -> ([], []) (* malformed; the structure pass reports it *)
+        in
+        (* consumers in the build subtree execute before the builder
+           publishes — the merge resolves to nothing *)
+        List.iter
+          (fun (id, e) ->
+            if e.fc > 0 && List.exists (fun (i, e') -> i = id && e'.fb > 0) right
+            then
+              emit "filters/consumer-on-build-side" path
+                (Printf.sprintf
+                   "RuntimeFilter %d sits on the build side of the join \
+                    whose probe side holds its builder: it executes before \
+                    the filter exists"
+                   id))
+          left;
+        (* the legal pairing: builder left (build), consumer right (probe) *)
+        let merged = merge_ftables (merge_ftables own left) right in
+        List.filter_map
+          (fun (id, e) ->
+            let lb = List.exists (fun (i, e') -> i = id && e'.fb > 0) left in
+            let rc = List.exists (fun (i, e') -> i = id && e'.fc > 0) right in
+            if lb && rc then begin
+              if e.gb || e.gc then
+                emit "filters/crosses-gather" path
+                  (Printf.sprintf
+                     "runtime filter %d crosses a Gather between its \
+                      builder and this join"
+                     id);
+              (* resolved here; drop the endpoint record *)
+              None
+            end
+            else Some (id, e))
+          merged
+    | Plan.Motion { kind = Plan.Gather | Plan.Gather_one; _ } ->
+        List.map
+          (fun (id, e) ->
+            (id, { e with gb = e.gb || e.fb > 0; gc = e.gc || e.fc > 0 }))
+          (List.fold_left merge_ftables own kid_tables)
+    | _ -> List.fold_left merge_ftables own kid_tables
+  in
+  let leftover = walk [ Root plan ] plan in
+  List.iter
+    (fun (id, e) ->
+      if e.fb > 0 && e.fc > 0 then
+        emit "filters/not-across-join" [ Root plan ]
+          (Printf.sprintf
+             "runtime filter %d has builder and consumer on the same side \
+              of every join"
+             id)
+      else if e.fb > 0 then
+        emit ~severity:Diag.Warning "filters/unmatched-builder" [ Root plan ]
+          (Printf.sprintf "RuntimeFilterBuild %d has no RuntimeFilter" id)
+      else if e.fc > 0 then
+        emit "filters/unmatched-consumer" [ Root plan ]
+          (Printf.sprintf "RuntimeFilter %d has no RuntimeFilterBuild" id))
+    leftover;
+  List.rev !diags
+
+(* ------------------------------------------------------------------ *)
 (* ds_nparts stamping (the optimizer-side producer of pass 4's input)  *)
 (* ------------------------------------------------------------------ *)
 
@@ -990,9 +1179,13 @@ let check_pass ~catalog (pass : Diag.pass) plan =
   | Diag.Schema -> schema_pass ~catalog plan
   | Diag.Distribution -> distribution_pass ~catalog plan
   | Diag.Accounting -> accounting_pass ~catalog plan
+  | Diag.Filters -> filters_pass ~catalog plan
 
 let all_passes =
-  [ Diag.Structure; Diag.Schema; Diag.Distribution; Diag.Accounting ]
+  [
+    Diag.Structure; Diag.Schema; Diag.Distribution; Diag.Accounting;
+    Diag.Filters;
+  ]
 
 let check ~catalog plan =
   let obs = Obs.current () in

@@ -6,7 +6,7 @@
     mutation-kill harness asserts that each systematic plan corruption is
     rejected with the right code.
 
-    Four passes, each emitting structured {!Diag.t} diagnostics:
+    Five passes, each emitting structured {!Diag.t} diagnostics:
 
     - {b structure} — the paper's §3.1 invariants (matched
       PartitionSelector/DynamicScan pairs, no Motion between a communicating
@@ -32,13 +32,19 @@
       {!Mpp_catalog.Partition.Index.count_selected} over its selector's
       statically-analyzable per-level restrictions, verifies that guarded
       leaf scans belong to their selector's table, and that a static-
-      exclusion Append still covers every statically-surviving leaf. *)
+      exclusion Append still covers every statically-surviving leaf;
+    - {b filters} — runtime-join-filter placement legality: every
+      [Runtime_filter] pairs with exactly one [Runtime_filter_build] of the
+      same [rf_id], builder on the build (left) side and consumer(s) on the
+      probe (right) side of the same join, key arities agree, a pre-Motion
+      consumer sits directly below a Redistribute/Broadcast send, and no
+      filter crosses a Gather above its join. *)
 
 open Mpp_expr
 module Plan = Mpp_plan.Plan
 
 val check : catalog:Mpp_catalog.Catalog.t -> Plan.t -> Diag.t list
-(** Run all four passes; diagnostics in pass order. *)
+(** Run all five passes; diagnostics in pass order. *)
 
 val check_pass :
   catalog:Mpp_catalog.Catalog.t -> Diag.pass -> Plan.t -> Diag.t list

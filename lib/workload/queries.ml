@@ -114,6 +114,15 @@ let all : query list =
     q "sr_dow_join" Equal ~rt:Long
       "SELECT count(*) FROM store_returns sr, date_dim d WHERE \
        sr.sr_returned_date = d.d_date AND d.d_dow = 1";
+    (* ---- runtime-join-filter targets: selective build side, probe keys off
+       the partition key — no elimination, so the classifiers agree, but the
+       Bloom filter drops ~7/8 of probe rows before the hash probe ---- *)
+    q "ss_customer_rf_scan" Equal ~rt:Long
+      "SELECT count(*), sum(ss.ss_price) FROM store_sales ss, customer c \
+       WHERE ss.ss_customer = c.c_id AND c.c_state = 'CA'";
+    q "ws_customer_rf_scan" Equal ~rt:Long
+      "SELECT sum(ws.ws_price) FROM web_sales ws, customer c WHERE \
+       ws.ws_customer = c.c_id AND c.c_state = 'TX'";
     (* ---- simple joins the Planner's rudimentary DPE also handles ---- *)
     q "ss_datedim_month" Equal ~rt:Short
       "SELECT count(*) FROM date_dim d, store_sales s WHERE s.ss_sold_date = \
@@ -153,6 +162,10 @@ let all : query list =
       "SELECT avg(ss.ss_price) FROM store_sales ss, customer c, date_dim d \
        WHERE ss.ss_customer = c.c_id AND ss.ss_sold_date = d.d_date AND \
        d.d_year = 2012 AND d.d_month = 5 AND c.c_state = 'WA'";
+    q "ss_star_rf_year" Equal ~rt:Long
+      "SELECT sum(ss.ss_price) FROM store_sales ss, customer c, date_dim d \
+       WHERE ss.ss_customer = c.c_id AND ss.ss_sold_date = d.d_date AND \
+       d.d_year = 2013 AND c.c_state = 'CA'";
     q "ss_static_week" Equal ~rt:Short
       "SELECT count(*) FROM store_sales WHERE ss_sold_date BETWEEN \
        '2012-08-06' AND '2012-08-12'";

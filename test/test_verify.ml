@@ -5,10 +5,10 @@
     - {b soundness}: every plan either optimizer produces for the full
       evaluation workload — and for hundreds of fuzz-generated queries over
       the same schema — verifies with zero diagnostics;
-    - {b sensitivity}: ~20 systematic corruptions of real plans (dropped
+    - {b sensitivity}: ~30 systematic corruptions of real plans (dropped
       selectors, reordered Sequences, skewed column offsets, stripped
-      Motions, miscounted partitions, …) are each rejected with the
-      expected diagnostic code.
+      Motions, miscounted partitions, broken runtime-filter pairings, …)
+      are each rejected with the expected diagnostic code.
 
     Together these pin the verifier to the executor's actual contract: it
     accepts exactly what the optimizers emit and kills every mutant. *)
@@ -92,6 +92,11 @@ let dpe_planner () = plan_for W.Runner.Legacy_planner "ss_datedim_august"
 let select_orca () =
   adhoc W.Runner.Orca
     "SELECT ss_price FROM store_sales WHERE ss_sold_date >= '2013-06-01'"
+
+(* Orca, runtime-join-filter annotation: HashJoin with a
+   RuntimeFilterBuild on the (selective dimension) build side and a
+   RuntimeFilter pushed to the fact scan on the probe side *)
+let rf_orca () = plan_for W.Runner.Orca "ss_customer_rf_scan"
 
 (* ------------------------------------------------------------------ *)
 (* The mutations                                                       *)
@@ -339,6 +344,80 @@ let mutations :
         let ss = oid_of "store_sales" in
         Plan.Delete
           { rel = 5; table_oid = ss; child = Plan.table_scan ~rel:0 ss } );
+    (* ---- runtime-join-filter corruptions (the fifth pass) ---- *)
+    ( "filter builder dropped",
+      "filters/unmatched-consumer",
+      fun () ->
+        once
+          (function
+            | Plan.Runtime_filter_build { child; _ } -> Some child
+            | _ -> None)
+          (rf_orca ()) );
+    ( "filter builder duplicated",
+      "filters/duplicate-builder",
+      fun () ->
+        once
+          (function
+            | Plan.Runtime_filter_build { rf_id; keys; rows_est; _ } as b ->
+                Some (Plan.runtime_filter_build ~rf_id ~keys ~rows_est b)
+            | _ -> None)
+          (rf_orca ()) );
+    ( "consumer key arity diverges from its builder",
+      "filters/key-arity",
+      fun () ->
+        once
+          (function
+            | Plan.Runtime_filter ({ keys = k :: _; _ } as f) ->
+                Some (Plan.Runtime_filter { f with keys = [ k; k ] })
+            | _ -> None)
+          (rf_orca ()) );
+    ( "filter endpoints on the wrong join sides",
+      "filters/consumer-on-build-side",
+      fun () ->
+        once
+          (function
+            | Plan.Hash_join ({ left = Plan.Runtime_filter_build _; _ } as j)
+              ->
+                Some
+                  (Plan.Hash_join { j with left = j.right; right = j.left })
+            | _ -> None)
+          (rf_orca ()) );
+    ( "at_motion claimed without a send above",
+      "filters/at-motion-misplaced",
+      fun () ->
+        once
+          (function
+            | Plan.Runtime_filter ({ at_motion = false; _ } as f) ->
+                Some (Plan.Runtime_filter { f with at_motion = true })
+            | _ -> None)
+          (rf_orca ()) );
+    ( "gather inserted between consumer and join",
+      "filters/crosses-gather",
+      fun () ->
+        once
+          (function
+            | Plan.Runtime_filter _ as f -> Some (Plan.motion Plan.Gather f)
+            | _ -> None)
+          (rf_orca ()) );
+    ( "builder with no key columns",
+      "filters/no-keys",
+      fun () ->
+        once
+          (function
+            | Plan.Runtime_filter_build ({ keys = _ :: _; _ } as b) ->
+                Some (Plan.Runtime_filter_build { b with keys = [] })
+            | _ -> None)
+          (rf_orca ()) );
+    ( "builder with a negative cardinality estimate",
+      "filters/bad-estimate",
+      fun () ->
+        once
+          (function
+            | Plan.Runtime_filter_build ({ rows_est; _ } as b)
+              when rows_est >= 0 ->
+                Some (Plan.Runtime_filter_build { b with rows_est = -1 })
+            | _ -> None)
+          (rf_orca ()) );
   ]
 
 let test_mutations_killed () =
