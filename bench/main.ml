@@ -11,11 +11,16 @@
     [verify] measures plan-verifier cost against optimize time (the <1%
     overhead budget) and its scaling with plan size; [join-filter]
     measures runtime-join-filter speedup (on vs off, same plan) and
-    Motion-row reduction from pre-Motion filtering; the
+    Motion-row reduction from pre-Motion filtering; [profile] measures
+    the PR-6 query profiler's overhead (off vs pool accounting vs full
+    stats+trace) on the Table-2 scan; the
     [--smoke] variants are the tiny-input schema checks that
     [dune runtest] runs.  Whatever ran is also written as structured data
     to [BENCH_RESULTS.json]; sections merge with an existing file, so
     single experiments can be re-run without losing the rest.
+    [check-regression [BASELINE]] compares a fresh [BENCH_RESULTS.json]
+    against the committed [bench/BASELINE.json] (±20% per pinned metric)
+    and exits 1 loudly on regression.
 
     Absolute numbers differ from the paper (its substrate was a 16-node
     Greenplum cluster over 256 GB of TPC-DS; ours is an in-process simulated
@@ -1449,6 +1454,268 @@ let join_filter ?(smoke = false) () =
        zero, filtered scan sets subsets, Motion volume non-increasing"
 
 (* ------------------------------------------------------------------ *)
+(* Profiler overhead: table2 scan suite with the profiler off vs on     *)
+(* ------------------------------------------------------------------ *)
+
+(* The PR-6 profiler promises to be free when off.  The disabled path is
+   the default path (null trace, no stats, accounting flag false), so the
+   measurable upper bound on its cost is the cheapest *enabled* layer:
+   pool accounting on, stats and trace still off.  Three configurations
+   over the Table-2 scan (lineitem, 42 parts):
+
+     plain      — profiler fully off (what every non-profiled query runs)
+     accounting — Dpool busy/wait accounting on, stats/trace off
+     profile    — Node_stats + Perfetto trace + accounting (mppsim profile)
+
+   [~smoke] asserts accounting-vs-plain stays under 2% (with a 0.05 ms
+   absolute floor so µs-level timer noise cannot flake the suite) and
+   that the Perfetto export round-trips through our own JSON parser with
+   monotone timestamps and a named track per pool domain. *)
+let bench_profile ?(smoke = false) () =
+  header
+    (if smoke then "Bench: profiler overhead (smoke mode)"
+     else "Bench: profiler overhead on the Table-2 scan suite");
+  let rows = if smoke then 150_000 else 500_000 in
+  Gc.compact ();
+  let catalog = Cat.create () in
+  let storage = Storage.create ~nsegments:4 in
+  let _ = W.Tpch.setup ~catalog ~storage ~scenario:W.Tpch.Parts_42 ~rows in
+  let lg = Mpp_sql.Sql.to_logical catalog "SELECT count(*) FROM lineitem" in
+  let plan =
+    Orca.Optimizer.optimize (Orca.Optimizer.create ~catalog ()) lg
+  in
+  let pool = Mpp_exec.Dpool.get ~domains:(Mpp_exec.Dpool.default_domains ()) in
+  let run_plain () = ignore (Mpp_exec.Exec.run ~catalog ~storage plan) in
+  let with_accounting f =
+    Mpp_exec.Dpool.set_accounting pool true;
+    Fun.protect
+      ~finally:(fun () -> Mpp_exec.Dpool.set_accounting pool false)
+      f
+  in
+  let run_accounting () = with_accounting run_plain in
+  let run_profile () =
+    with_accounting (fun () ->
+        let stats = Mpp_exec.Node_stats.create () in
+        let trace = Mpp_obs.Trace.create () in
+        ignore (Mpp_exec.Exec.run ~stats ~trace ~catalog ~storage plan))
+  in
+  let reps = if smoke then 13 else 21 in
+  (* paired alternating runs (same discipline as join_filter): drift and
+     GC debt land on both configurations evenly.  Median for reporting;
+     minimum for the smoke gate — the suite runs concurrently with the
+     other smoke benches under [dune runtest], and scheduler contention
+     only ever *adds* time, so the paired minima are the contention-robust
+     estimate of the true cost difference. *)
+  let times_pair f_a f_b =
+    ignore (f_a ());
+    ignore (f_b ());
+    let ta = ref [] and tb = ref [] in
+    for i = 1 to reps do
+      let timed f =
+        Gc.major ();
+        fst (time_run f)
+      in
+      if i land 1 = 0 then begin
+        ta := timed f_a :: !ta;
+        tb := timed f_b :: !tb
+      end
+      else begin
+        tb := timed f_b :: !tb;
+        ta := timed f_a :: !ta
+      end
+    done;
+    (!ta, !tb)
+  in
+  let ms = List.map (fun t -> 1000.0 *. t) in
+  let minimum l = List.fold_left Float.min infinity l in
+  let ta, tb = times_pair run_plain run_accounting in
+  let ta', tc = times_pair run_plain run_profile in
+  let plain_ms = Float.min (median (ms ta)) (median (ms ta'))
+  and acct_ms = median (ms tb)
+  and prof_ms = median (ms tc) in
+  let plain_min = Float.min (minimum (ms ta)) (minimum (ms ta'))
+  and acct_min = minimum (ms tb) in
+  let pct over base = 100.0 *. (over -. base) /. base in
+  Printf.printf
+    "%-34s %10.2f ms\n%-34s %10.2f ms  (%+.2f%%)\n%-34s %10.2f ms  (%+.2f%%)\n"
+    "profiler off (default path)" plain_ms "pool accounting on" acct_ms
+    (pct acct_ms plain_ms) "full profile (stats+trace+acct)" prof_ms
+    (pct prof_ms plain_ms);
+  (* one fully profiled run for the export round-trip check *)
+  let stats = Mpp_exec.Node_stats.create () in
+  let trace = Mpp_obs.Trace.create () in
+  ignore
+    (with_accounting (fun () ->
+         Mpp_exec.Exec.run ~stats ~trace ~catalog ~storage plan));
+  let exported = Json.to_string (Mpp_obs.Trace.to_json trace) in
+  let roundtrip = Json.parse exported in
+  let events =
+    match Json.member "traceEvents" roundtrip with
+    | Some (Json.List evs) -> evs
+    | _ -> failwith "profile: traceEvents missing from exported trace"
+  in
+  let num = function
+    | Some (Json.Float f) -> f
+    | Some (Json.Int i) -> float_of_int i
+    | _ -> nan
+  in
+  let xs =
+    List.filter
+      (fun e -> Json.member "ph" e = Some (Json.String "X"))
+      events
+  in
+  let rec monotone prev = function
+    | [] -> true
+    | e :: tl ->
+        let ts = num (Json.member "ts" e) in
+        ts >= prev && monotone ts tl
+  in
+  if not (monotone 0.0 xs) then
+    failwith "profile: exported trace timestamps not monotone";
+  let thread_names =
+    List.filter
+      (fun e -> Json.member "name" e = Some (Json.String "thread_name"))
+      events
+  in
+  (* coordinator track + one per pool domain *)
+  let expect_tracks = 1 + Mpp_exec.Dpool.size pool in
+  if List.length thread_names <> expect_tracks then
+    failwith
+      (Printf.sprintf "profile: expected %d named tracks, trace has %d"
+         expect_tracks
+         (List.length thread_names));
+  record "profile"
+    (Json.Obj
+       [ ("smoke", Json.Bool smoke);
+         ("rows", Json.Int rows);
+         ("reps", Json.Int reps);
+         ("plain_ms", Json.Float plain_ms);
+         ("accounting_ms", Json.Float acct_ms);
+         ("profile_ms", Json.Float prof_ms);
+         ("accounting_overhead_pct", Json.Float (pct acct_ms plain_ms));
+         ("full_profile_overhead_pct", Json.Float (pct prof_ms plain_ms));
+         ("trace_events", Json.Int (List.length xs));
+         ("trace_tracks", Json.Int expect_tracks) ]);
+  if smoke then begin
+    let tol_ms = Float.max (0.02 *. plain_min) 0.05 in
+    if acct_min -. plain_min > tol_ms then
+      failwith
+        (Printf.sprintf
+           "profile smoke: disabled-profiler overhead %.3f ms over %.3f ms \
+            exceeds 2%% budget (tolerance %.3f ms)"
+           (acct_min -. plain_min) plain_min tol_ms);
+    print_endline
+      "smoke OK: disabled-profiler overhead within the 2% budget; Perfetto \
+       export round-trips with monotone timestamps and a named track per \
+       domain"
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Regression gate: fresh BENCH_RESULTS.json vs committed baseline      *)
+(* ------------------------------------------------------------------ *)
+
+(* [check-regression [BASELINE]] — compare the metrics listed in the
+   committed baseline (default [BASELINE.json] next to this executable's
+   invocation directory, i.e. [bench/BASELINE.json] in the repo) against a
+   fresh [BENCH_RESULTS.json], with a ±tolerance (default 20%) per metric.
+   The baseline deliberately pins only machine-independent metrics
+   (deterministic tuple/Motion counts from the seeded generators), so the
+   gate is meaningful on any machine; paths are dotted keys into the
+   [experiments] object.  Exits 1 loudly on any missing or out-of-band
+   metric. *)
+let check_regression baseline_file =
+  header ("Regression check vs " ^ baseline_file);
+  let load path =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> Json.parse (really_input_string ic (in_channel_length ic)))
+  in
+  if not (Sys.file_exists baseline_file) then begin
+    Printf.eprintf "check-regression: baseline %s not found\n" baseline_file;
+    exit 1
+  end;
+  if not (Sys.file_exists "BENCH_RESULTS.json") then begin
+    Printf.eprintf
+      "check-regression: no fresh BENCH_RESULTS.json here — run the \
+       benchmarks first (e.g. bench/main.exe join-filter --smoke)\n";
+    exit 1
+  end;
+  let baseline = load baseline_file in
+  let fresh = load "BENCH_RESULTS.json" in
+  let tolerance_pct =
+    match Json.member "tolerance_pct" baseline with
+    | Some (Json.Float f) -> f
+    | Some (Json.Int i) -> float_of_int i
+    | _ -> 20.0
+  in
+  let metrics =
+    match Json.member "metrics" baseline with
+    | Some (Json.Obj kvs) -> kvs
+    | _ ->
+        Printf.eprintf
+          "check-regression: baseline has no \"metrics\" object\n";
+        exit 1
+  in
+  let experiments =
+    match Json.member "experiments" fresh with
+    | Some obj -> obj
+    | None ->
+        Printf.eprintf
+          "check-regression: BENCH_RESULTS.json has no experiments\n";
+        exit 1
+  in
+  let lookup path =
+    let rec go j = function
+      | [] -> Some j
+      | k :: tl -> (
+          match j with
+          | Json.Obj _ -> Option.bind (Json.member k j) (fun v -> go v tl)
+          | Json.List l -> (
+              match int_of_string_opt k with
+              | Some i when i >= 0 && i < List.length l ->
+                  go (List.nth l i) tl
+              | _ -> None)
+          | _ -> None)
+    in
+    go experiments (String.split_on_char '.' path)
+  in
+  let as_float = function
+    | Some (Json.Float f) -> Some f
+    | Some (Json.Int i) -> Some (float_of_int i)
+    | _ -> None
+  in
+  let nfail = ref 0 in
+  Printf.printf "%-44s %12s %12s  %s\n" "metric" "baseline" "fresh" "status";
+  List.iter
+    (fun (path, base_j) ->
+      match (as_float (Some base_j), as_float (lookup path)) with
+      | Some base, Some now ->
+          let tol = tolerance_pct /. 100.0 *. Float.abs base in
+          let ok = Float.abs (now -. base) <= tol in
+          if not ok then incr nfail;
+          Printf.printf "%-44s %12.3f %12.3f  %s\n" path base now
+            (if ok then "ok"
+             else
+               Printf.sprintf "REGRESSION (>±%.0f%%)" tolerance_pct)
+      | Some _, None ->
+          incr nfail;
+          Printf.printf "%-44s %12s %12s  MISSING in fresh results\n" path
+            "-" "-"
+      | None, _ ->
+          incr nfail;
+          Printf.printf "%-44s %12s %12s  baseline value not numeric\n" path
+            "-" "-")
+    metrics;
+  if !nfail > 0 then begin
+    Printf.printf "\n%d metric(s) regressed or missing vs %s\n" !nfail
+      baseline_file;
+    exit 1
+  end
+  else Printf.printf "\nall %d metric(s) within ±%.0f%% of baseline\n"
+         (List.length metrics) tolerance_pct
+
+(* ------------------------------------------------------------------ *)
 (* Entry point                                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -1465,7 +1732,8 @@ let all () =
   micro_exec ();
   part_select ();
   bench_verify ();
-  join_filter ()
+  join_filter ();
+  bench_profile ()
 
 let () =
   (match if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" with
@@ -1492,12 +1760,19 @@ let () =
   | "join-filter" ->
       join_filter
         ~smoke:(Array.length Sys.argv > 2 && Sys.argv.(2) = "--smoke") ()
+  | "profile" ->
+      bench_profile
+        ~smoke:(Array.length Sys.argv > 2 && Sys.argv.(2) = "--smoke") ()
+  | "check-regression" | "--check-regression" ->
+      check_regression
+        (if Array.length Sys.argv > 2 then Sys.argv.(2) else "BASELINE.json")
   | "all" -> all ()
   | other ->
       Printf.eprintf
         "unknown experiment %s (expected table2|table3|fig16|fig17|fig18a|\
          fig18b|fig18c|ablation-memo|ablation-pwj|micro|micro-exec|\
-         part-select|obs-overhead|verify|join-filter|all)\n"
+         part-select|obs-overhead|verify|join-filter|profile|\
+         check-regression|all)\n"
         other;
       exit 1);
   write_results ()

@@ -44,23 +44,36 @@ let trace_memo_exploration env logical =
     with Invalid_argument _ -> ()
   end
 
-let plan_of env kind ~selection sql =
+(* Plan plus the optimizer's per-node plan-time row estimates (stamped
+   against the same stats the costing saw); the legacy planner has no
+   cardinality model, so its estimate array is empty. *)
+let plan_est_of env kind ~selection sql =
   let logical = Mpp_sql.Sql.to_logical env.W.Runner.catalog sql in
   trace_memo_exploration env logical;
   match kind with
   | Planner ->
-      Mpp_planner.Planner.plan
-        (Mpp_planner.Planner.create ~catalog:env.W.Runner.catalog ())
-        logical
+      ( Mpp_planner.Planner.plan
+          (Mpp_planner.Planner.create ~catalog:env.W.Runner.catalog ())
+          logical,
+        Mpp_plan.Est.none )
   | Orca ->
       let config =
         { Orca.Optimizer.default_config with
           enable_partition_selection = selection }
       in
-      Orca.Optimizer.optimize
-        (Orca.Optimizer.create ~config ~stats:env.W.Runner.stats
-           ~catalog:env.W.Runner.catalog ())
-        logical
+      let opt =
+        Orca.Optimizer.create ~config ~stats:env.W.Runner.stats
+          ~catalog:env.W.Runner.catalog ()
+      in
+      let plan = Orca.Optimizer.optimize opt logical in
+      let est =
+        Mpp_plan.Est.of_plan
+          ~estimate:(Orca.Optimizer.row_estimator opt logical)
+          plan
+      in
+      (plan, est)
+
+let plan_of env kind ~selection sql = fst (plan_est_of env kind ~selection sql)
 
 let print_metrics env metrics =
   (* every partitioned table in the catalog, not only the TPC-DS facts:
@@ -130,16 +143,16 @@ let do_explain ?(analyze = false) ?trace ?domains ?(runtime_filters = true) env
     kind selection sql =
   let sink = sink_for trace in
   if Obs.enabled sink then Obs.install sink;
-  let plan = plan_of env kind ~selection sql in
+  let plan, est = plan_est_of env kind ~selection sql in
   let extras =
     if analyze then begin
       let _rows, metrics, stats =
         Mpp_exec.Exec.run_analyze ?domains ~runtime_filters
           ~catalog:env.W.Runner.catalog ~storage:env.W.Runner.storage plan
       in
-      print_string (Mpp_exec.Explain.analyze plan stats);
+      print_string (Mpp_exec.Explain.analyze ~est plan stats);
       print_metrics env metrics;
-      [ ("explain", Mpp_exec.Explain.to_json plan stats);
+      [ ("explain", Mpp_exec.Explain.to_json ~est plan stats);
         ("metrics", Mpp_exec.Metrics.to_json metrics) ]
     end
     else begin
@@ -152,16 +165,7 @@ let do_explain ?(analyze = false) ?trace ?domains ?(runtime_filters = true) env
   in
   write_trace trace sink extras
 
-let do_run ?trace ?domains ?(runtime_filters = true) env kind selection sql =
-  let sink = sink_for trace in
-  if Obs.enabled sink then Obs.install sink;
-  let plan = plan_of env kind ~selection sql in
-  let t0 = Unix.gettimeofday () in
-  let rows, metrics =
-    Mpp_exec.Exec.run ~verify:true ?domains ~runtime_filters
-      ~catalog:env.W.Runner.catalog ~storage:env.W.Runner.storage plan
-  in
-  let dt = Unix.gettimeofday () -. t0 in
+let print_rows rows dt =
   List.iteri
     (fun i row ->
       if i < 50 then begin
@@ -174,9 +178,107 @@ let do_run ?trace ?domains ?(runtime_filters = true) env kind selection sql =
       end
       else if i = 50 then Printf.printf "... (%d rows)\n" (List.length rows))
     rows;
-  Printf.printf "(%d rows in %.2f ms)\n" (List.length rows) (dt *. 1000.0);
-  print_metrics env metrics;
-  write_trace trace sink [ ("metrics", Mpp_exec.Metrics.to_json metrics) ]
+  Printf.printf "(%d rows in %.2f ms)\n" (List.length rows) (dt *. 1000.0)
+
+let do_run ?trace ?stats_json ?domains ?(runtime_filters = true) env kind
+    selection sql =
+  let sink = sink_for trace in
+  if Obs.enabled sink then Obs.install sink;
+  let plan, est = plan_est_of env kind ~selection sql in
+  match stats_json with
+  | None ->
+      let t0 = Unix.gettimeofday () in
+      let rows, metrics =
+        Mpp_exec.Exec.run ~verify:true ?domains ~runtime_filters
+          ~catalog:env.W.Runner.catalog ~storage:env.W.Runner.storage plan
+      in
+      let dt = Unix.gettimeofday () -. t0 in
+      print_rows rows dt;
+      print_metrics env metrics;
+      write_trace trace sink [ ("metrics", Mpp_exec.Metrics.to_json metrics) ]
+  | Some file ->
+      (* profiled run: per-node stats, per-domain pool accounting and
+         channel occupancy, all dumped to one JSON artifact *)
+      let stats = Mpp_exec.Node_stats.create () in
+      let ctx =
+        Mpp_exec.Exec.create_ctx ~verify:true ?domains ~runtime_filters ~stats
+          ~catalog:env.W.Runner.catalog ~storage:env.W.Runner.storage ()
+      in
+      Mpp_exec.Dpool.reset_stats ctx.Mpp_exec.Exec.pool;
+      Mpp_exec.Dpool.set_accounting ctx.Mpp_exec.Exec.pool true;
+      let t0 = Unix.gettimeofday () in
+      let res = Mpp_exec.Exec.exec ctx plan in
+      let dt = Unix.gettimeofday () -. t0 in
+      Mpp_exec.Dpool.set_accounting ctx.Mpp_exec.Exec.pool false;
+      let rows =
+        List.concat
+          (Array.to_list
+             (Array.map Mpp_storage.Vec.to_list res.Mpp_exec.Exec.rows))
+      in
+      let metrics = Mpp_exec.Exec.metrics ctx in
+      print_rows rows dt;
+      print_metrics env metrics;
+      Json.to_file file
+        (Json.Obj
+           [ ("query", Json.String sql);
+             ("wall_ms", Json.Float (dt *. 1000.0));
+             ("explain", Mpp_exec.Explain.to_json ~est plan stats);
+             ("metrics", Mpp_exec.Metrics.to_json metrics);
+             ("dpool", Mpp_exec.Dpool.stats_to_json ctx.Mpp_exec.Exec.pool);
+             ("channel",
+              Mpp_exec.Channel.stats_to_json ctx.Mpp_exec.Exec.channel) ]);
+      Printf.eprintf "stats written to %s\n%!" file;
+      write_trace trace sink [ ("metrics", Mpp_exec.Metrics.to_json metrics) ]
+
+(* [mppsim profile] — run one query with the full profiler on: per-node
+   stats with plan-time estimates, per-segment skew, per-domain pool
+   accounting, and a Chrome/Perfetto trace-event timeline (one track per
+   executor domain plus coordinator and optimizer tracks) written to a
+   file loadable in ui.perfetto.dev. *)
+let do_profile ?domains ?(runtime_filters = true) ~out env kind selection sql =
+  let trace = Mpp_obs.Trace.create () in
+  (* capture the optimizer's phase spans for the optimizer track *)
+  let sink = Obs.create () in
+  Obs.install sink;
+  let plan, est = plan_est_of env kind ~selection sql in
+  Obs.uninstall ();
+  Mpp_obs.Trace.declare_track trace ~tid:Mpp_exec.Exec.optimizer_tid
+    "optimizer";
+  Mpp_obs.Trace.add_obs_spans trace ~tid:Mpp_exec.Exec.optimizer_tid
+    ~cat:"optimizer" (Obs.root_spans sink);
+  let stats = Mpp_exec.Node_stats.create () in
+  let ctx =
+    Mpp_exec.Exec.create_ctx ~verify:true ?domains ~runtime_filters ~stats
+      ~trace ~catalog:env.W.Runner.catalog ~storage:env.W.Runner.storage ()
+  in
+  Mpp_exec.Dpool.reset_stats ctx.Mpp_exec.Exec.pool;
+  Mpp_exec.Dpool.set_accounting ctx.Mpp_exec.Exec.pool true;
+  let t0 = Unix.gettimeofday () in
+  let res = Mpp_exec.Exec.exec ctx plan in
+  let dt = Unix.gettimeofday () -. t0 in
+  Mpp_exec.Dpool.set_accounting ctx.Mpp_exec.Exec.pool false;
+  let nrows =
+    Array.fold_left
+      (fun acc v -> acc + Mpp_storage.Vec.length v)
+      0 res.Mpp_exec.Exec.rows
+  in
+  print_string (Mpp_exec.Explain.analyze ~est plan stats);
+  print_metrics env (Mpp_exec.Exec.metrics ctx);
+  Printf.printf "(%d rows in %.2f ms)\n" nrows (dt *. 1000.0);
+  Array.iteri
+    (fun i (d : Mpp_exec.Dpool.domain_stats) ->
+      Printf.printf
+        "domain %d: %d task(s), busy %.2f ms, wait %.2f ms\n" i
+        d.Mpp_exec.Dpool.tasks
+        (d.Mpp_exec.Dpool.busy_s *. 1000.0)
+        (d.Mpp_exec.Dpool.wait_s *. 1000.0))
+    (Mpp_exec.Dpool.stats ctx.Mpp_exec.Exec.pool);
+  Mpp_obs.Trace.write_file trace out;
+  Printf.printf
+    "trace written to %s (%d events, %d tracks) — open in ui.perfetto.dev\n"
+    out
+    (Mpp_obs.Trace.event_count trace)
+    (List.length (Mpp_obs.Trace.track_ids trace))
 
 (* [mppsim check] — run the multi-pass plan verifier over the plans both
    optimizers produce (for one SQL statement, or for the whole built-in
@@ -347,16 +449,47 @@ let explain_cmd =
           $ verbose_arg $ analyze_arg $ trace_arg $ parallel_arg $ no_rf_arg
           $ sql_arg)
 
+let stats_json_arg =
+  Arg.(value & opt (some string) None & info [ "stats-json" ] ~docv:"FILE"
+         ~doc:"Write the full execution profile (per-node EXPLAIN ANALYZE \
+               stats with estimates and per-segment skew, executor metrics, \
+               per-domain pool accounting, channel occupancy) as JSON to \
+               $(docv).")
+
 let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Execute a SQL statement on the demo cluster.")
-    Term.(const (fun k n sc sg v trace domains no_rf sql -> with_env
+    Term.(const (fun k n sc sg v trace stats_json domains no_rf sql -> with_env
                     (fun env k sel ->
-                      do_run ?trace ?domains
+                      do_run ?trace ?stats_json ?domains
                         ~runtime_filters:(runtime_filters_on ~no_rf) env k sel
                         sql)
                     k n sc sg v)
           $ optimizer_arg $ no_selection_arg $ scale_arg $ segments_arg
-          $ verbose_arg $ trace_arg $ parallel_arg $ no_rf_arg $ sql_arg)
+          $ verbose_arg $ trace_arg $ stats_json_arg $ parallel_arg $ no_rf_arg
+          $ sql_arg)
+
+let profile_cmd =
+  let out_arg =
+    Arg.(value & opt string "profile.json" & info [ "out" ] ~docv:"FILE"
+           ~doc:"Trace-event output file (default $(b,profile.json)); open \
+                 it in ui.perfetto.dev or chrome://tracing.")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Execute a SQL statement with the full profiler on: EXPLAIN \
+          ANALYZE with plan-time estimates and per-segment skew, per-domain \
+          busy/wait accounting, and a Chrome/Perfetto trace-event timeline \
+          with one track per executor domain plus coordinator and optimizer \
+          tracks.")
+    Term.(const (fun k n sc sg v out domains no_rf sql -> with_env
+                    (fun env k sel ->
+                      do_profile ?domains
+                        ~runtime_filters:(runtime_filters_on ~no_rf) ~out env
+                        k sel sql)
+                    k n sc sg v)
+          $ optimizer_arg $ no_selection_arg $ scale_arg $ segments_arg
+          $ verbose_arg $ out_arg $ parallel_arg $ no_rf_arg $ sql_arg)
 
 let repl_cmd =
   Cmd.v (Cmd.info "repl" ~doc:"Interactive SQL prompt on the demo cluster.")
@@ -401,6 +534,6 @@ let main =
        ~doc:
          "Simulated MPP database with partitioned-table optimization \
           (SIGMOD 2014 reproduction).")
-    [ explain_cmd; run_cmd; repl_cmd; check_cmd; schema_cmd ]
+    [ explain_cmd; run_cmd; profile_cmd; repl_cmd; check_cmd; schema_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -14,6 +14,19 @@
     happen on the coordinating domain between operators, never concurrently
     with a parallel section. *)
 
+(* Per-segment occupancy counters (profiler accounting): plain integer
+   fields under the same sharding discipline as the OID slots — segment
+   [s]'s domain is the only writer of [counters.(s)], so no locks.
+   "Offered" counts every OID a selector pushed (including duplicates);
+   "admitted" counts the ones actually inserted, so [offered - admitted]
+   is the dedup hit count — how much repeated selector work the channel
+   absorbed. *)
+type seg_counters = {
+  mutable oids_offered : int;
+  mutable oids_admitted : int;
+  mutable filters_published : int;
+}
+
 type t = {
   shards : (int, (int, unit) Hashtbl.t) Hashtbl.t array;
   filters : (int, Bloom.t) Hashtbl.t array;
@@ -23,6 +36,7 @@ type t = {
       (** coordinator-side memo of cross-segment merges, keyed by rf_id;
           touched only on the coordinating domain, between parallel
           sections *)
+  counters : seg_counters array;  (** occupancy accounting per segment *)
 }
 (** [shards.(segment)] maps part_scan_id → set of pushed OIDs. *)
 
@@ -32,6 +46,9 @@ let create ~nsegments =
     shards = Array.init nsegments (fun _ -> Hashtbl.create 8);
     filters = Array.init nsegments (fun _ -> Hashtbl.create 4);
     merged = Hashtbl.create 4;
+    counters =
+      Array.init nsegments (fun _ ->
+          { oids_offered = 0; oids_admitted = 0; filters_published = 0 });
   }
 
 let nsegments t = Array.length t.shards
@@ -48,7 +65,13 @@ let slot t ~segment ~part_scan_id =
 (** Push a selected partition OID to the DynamicScan with the given id on
     the given segment (idempotent). *)
 let propagate t ~segment ~part_scan_id oid =
-  Hashtbl.replace (slot t ~segment ~part_scan_id) oid ()
+  let s = slot t ~segment ~part_scan_id in
+  let c = t.counters.(segment) in
+  c.oids_offered <- c.oids_offered + 1;
+  if not (Hashtbl.mem s oid) then begin
+    c.oids_admitted <- c.oids_admitted + 1;
+    Hashtbl.replace s oid ()
+  end
 
 (** Batched push: one slot lookup for the whole OID set.  Dedup happens
     here at the channel — OIDs already present are left untouched, so a
@@ -58,8 +81,14 @@ let propagate t ~segment ~part_scan_id oid =
     each OID exactly once. *)
 let propagate_set t ~segment ~part_scan_id oids =
   let s = slot t ~segment ~part_scan_id in
+  let c = t.counters.(segment) in
   List.iter
-    (fun oid -> if not (Hashtbl.mem s oid) then Hashtbl.replace s oid ())
+    (fun oid ->
+      c.oids_offered <- c.oids_offered + 1;
+      if not (Hashtbl.mem s oid) then begin
+        c.oids_admitted <- c.oids_admitted + 1;
+        Hashtbl.replace s oid ()
+      end)
     oids
 
 (** All OIDs pushed so far for this (segment, scan id), sorted. *)
@@ -80,6 +109,8 @@ let mem t ~segment ~part_scan_id oid =
     bits. *)
 let publish_filter t ~segment ~rf_id bloom =
   let shard = t.filters.(segment) in
+  let c = t.counters.(segment) in
+  c.filters_published <- c.filters_published + 1;
   match Hashtbl.find_opt shard rf_id with
   | None -> Hashtbl.replace shard rf_id bloom
   | Some existing when existing == bloom -> ()
@@ -109,4 +140,51 @@ let merged_filter t ~rf_id =
 let reset t =
   Array.iter Hashtbl.reset t.shards;
   Array.iter Hashtbl.reset t.filters;
-  Hashtbl.reset t.merged
+  Hashtbl.reset t.merged;
+  Array.iter
+    (fun c ->
+      c.oids_offered <- 0;
+      c.oids_admitted <- 0;
+      c.filters_published <- 0)
+    t.counters
+
+(* ------------------------------------------------------------------ *)
+(* Occupancy accounting                                                *)
+(* ------------------------------------------------------------------ *)
+
+type seg_stats = {
+  offered : int;  (** OIDs pushed, duplicates included *)
+  admitted : int;  (** OIDs actually inserted (post-dedup) *)
+  filters_published : int;  (** runtime-filter publications *)
+  occupancy : int;  (** distinct OIDs currently held, over all slots *)
+}
+
+(** This segment's occupancy counters.  Reads happen on the coordinating
+    domain between parallel sections (the same discipline as
+    {!merged_filter}), so the per-segment fields are quiescent. *)
+let seg_stats t ~segment =
+  let c = t.counters.(segment) in
+  let occupancy =
+    Hashtbl.fold (fun _ s acc -> acc + Hashtbl.length s) t.shards.(segment) 0
+  in
+  {
+    offered = c.oids_offered;
+    admitted = c.oids_admitted;
+    filters_published = c.filters_published;
+    occupancy;
+  }
+
+let stats_to_json t =
+  let open Mpp_obs.Json in
+  List
+    (List.init (nsegments t) (fun segment ->
+         let s = seg_stats t ~segment in
+         Obj
+           [
+             ("segment", Int segment);
+             ("oids_offered", Int s.offered);
+             ("oids_admitted", Int s.admitted);
+             ("dedup_hits", Int (s.offered - s.admitted));
+             ("filters_published", Int s.filters_published);
+             ("occupancy", Int s.occupancy);
+           ]))

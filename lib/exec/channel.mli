@@ -39,3 +39,24 @@ val merged_filter : t -> rf_id:int -> Bloom.t option
     builders' parallel section completed. *)
 
 val reset : t -> unit
+
+(** {1 Occupancy accounting}
+
+    Per-segment counters under the same sharding discipline as the OID
+    slots (segment [s]'s domain is the only writer of its counters; reads
+    happen on the coordinating domain between parallel sections).
+    [offered - admitted] is the dedup hit count — repeated selector
+    pushes the channel absorbed. *)
+
+type seg_stats = {
+  offered : int;  (** OIDs pushed, duplicates included *)
+  admitted : int;  (** OIDs actually inserted (post-dedup) *)
+  filters_published : int;  (** runtime-filter publications *)
+  occupancy : int;  (** distinct OIDs currently held, over all slots *)
+}
+
+val seg_stats : t -> segment:int -> seg_stats
+
+val stats_to_json : t -> Mpp_obs.Json.t
+(** One object per segment: [{"segment", "oids_offered", "oids_admitted",
+    "dedup_hits", "filters_published", "occupancy"}]. *)

@@ -13,7 +13,17 @@
     just a current-job slot guarded by a mutex, a generation counter so
     workers never re-run an exhausted job, and a completion count the
     submitter waits on.  Exceptions raised by tasks are captured and
-    re-raised in the submitting domain after the job drains. *)
+    re-raised in the submitting domain after the job drains.
+
+    Profiler accounting: every pool carries per-domain counters — tasks
+    run, busy seconds inside task bodies, wait (idle) seconds parked on
+    the work condition — plus job-level counters (jobs submitted, largest
+    task fan-out).  Task-body timing costs two clock reads per task and is
+    gated behind {!set_accounting} (off by default) so the disabled
+    profiler adds only a branch; the cheap integer counters are always
+    on.  Each worker knows its {e index} (submitter = 0, spawned workers
+    1..size-1), exposed through {!worker_index} so profiling code running
+    inside a task can attribute work to the executing domain. *)
 
 type job = {
   f : int -> unit;
@@ -21,6 +31,15 @@ type job = {
   next : int Atomic.t;  (** next task index to claim *)
   completed : int Atomic.t;
   mutable error : (exn * Printexc.raw_backtrace) option;
+}
+
+(* Per-domain accounting slots: worker [i] is the only writer of slot [i]
+   (the shard-per-toucher discipline used everywhere else), so the slots
+   need no locks.  Reads happen between jobs. *)
+type domain_counters = {
+  mutable d_tasks : int;  (** tasks this domain ran *)
+  mutable d_busy_s : float;  (** seconds inside task bodies (gated) *)
+  mutable d_wait_s : float;  (** seconds parked waiting for work *)
 }
 
 type t = {
@@ -32,24 +51,64 @@ type t = {
   mutable job : job option;
   mutable stop : bool;
   mutable domains : unit Domain.t list;
+  mutable accounting : bool;  (** time task bodies into [counters] *)
+  counters : domain_counters array;  (** slot per worker index *)
+  mutable jobs_submitted : int;
+  mutable max_tasks : int;  (** largest single-job fan-out seen *)
 }
 
 let size t = t.size
 
+(* The executing worker's index within its pool: 0 for the submitting
+   domain (and for any domain that never joined a pool), 1..size-1 for
+   spawned workers.  Domain-local so closures running inside a task can
+   ask "which domain am I on?" — the profiler's track id. *)
+let ix_key : int Domain.DLS.key = Domain.DLS.new_key (fun () -> 0)
+let worker_index () = Domain.DLS.get ix_key
+
+let set_accounting t on = t.accounting <- on
+let accounting t = t.accounting
+
+type domain_stats = { tasks : int; busy_s : float; wait_s : float }
+
+let stats t =
+  Array.map
+    (fun c -> { tasks = c.d_tasks; busy_s = c.d_busy_s; wait_s = c.d_wait_s })
+    t.counters
+
+let jobs_submitted t = t.jobs_submitted
+let max_tasks t = t.max_tasks
+
+let reset_stats t =
+  Array.iter
+    (fun c ->
+      c.d_tasks <- 0;
+      c.d_busy_s <- 0.0;
+      c.d_wait_s <- 0.0)
+    t.counters;
+  t.jobs_submitted <- 0;
+  t.max_tasks <- 0
+
 (* Claim and run tasks until the job is exhausted; returns having
-   contributed [completed] increments for every task it ran. *)
-let drain t (job : job) =
+   contributed [completed] increments for every task it ran.  [ix] is the
+   calling worker's index — its accounting slot. *)
+let drain t ~ix (job : job) =
+  let c = t.counters.(ix) in
   let rec loop () =
     let i = Atomic.fetch_and_add job.next 1 in
     if i < job.n then begin
+      let t0 = if t.accounting then Unix.gettimeofday () else 0.0 in
       (try job.f i
        with e ->
          let bt = Printexc.get_raw_backtrace () in
          Mutex.lock t.mutex;
          if job.error = None then job.error <- Some (e, bt);
          Mutex.unlock t.mutex);
-      let c = 1 + Atomic.fetch_and_add job.completed 1 in
-      if c = job.n then begin
+      if t.accounting then
+        c.d_busy_s <- c.d_busy_s +. (Unix.gettimeofday () -. t0);
+      c.d_tasks <- c.d_tasks + 1;
+      let done_ = 1 + Atomic.fetch_and_add job.completed 1 in
+      if done_ = job.n then begin
         (* last task finished (maybe on a worker): wake the submitter *)
         Mutex.lock t.mutex;
         Condition.broadcast t.done_cv;
@@ -60,19 +119,23 @@ let drain t (job : job) =
   in
   loop ()
 
-let worker t () =
+let worker t ix () =
+  Domain.DLS.set ix_key ix;
+  let c = t.counters.(ix) in
   let last_gen = ref 0 in
   let rec loop () =
     Mutex.lock t.mutex;
+    let w0 = Unix.gettimeofday () in
     while (not t.stop) && t.generation = !last_gen do
       Condition.wait t.work_cv t.mutex
     done;
+    c.d_wait_s <- c.d_wait_s +. (Unix.gettimeofday () -. w0);
     if t.stop then Mutex.unlock t.mutex
     else begin
       last_gen := t.generation;
       let job = t.job in
       Mutex.unlock t.mutex;
-      (match job with Some j -> drain t j | None -> ());
+      (match job with Some j -> drain t ~ix j | None -> ());
       loop ()
     end
   in
@@ -90,9 +153,15 @@ let create size =
       job = None;
       stop = false;
       domains = [];
+      accounting = false;
+      counters =
+        Array.init size (fun _ ->
+            { d_tasks = 0; d_busy_s = 0.0; d_wait_s = 0.0 });
+      jobs_submitted = 0;
+      max_tasks = 0;
     }
   in
-  t.domains <- List.init (size - 1) (fun _ -> Domain.spawn (worker t));
+  t.domains <- List.init (size - 1) (fun i -> Domain.spawn (worker t (i + 1)));
   t
 
 (** Run [f 0 .. f (n - 1)] across the pool's domains; returns when all have
@@ -100,30 +169,48 @@ let create size =
     serial loop — no synchronization on the serial path. *)
 let parallel_for t n f =
   if n <= 0 then ()
-  else if t.size = 1 || n = 1 then
-    for i = 0 to n - 1 do
-      f i
-    done
   else begin
-    let job =
-      { f; n; next = Atomic.make 0; completed = Atomic.make 0; error = None }
-    in
-    Mutex.lock t.mutex;
-    t.job <- Some job;
-    t.generation <- t.generation + 1;
-    Condition.broadcast t.work_cv;
-    Mutex.unlock t.mutex;
-    (* the submitter pulls tasks like any worker *)
-    drain t job;
-    Mutex.lock t.mutex;
-    while Atomic.get job.completed < n do
-      Condition.wait t.done_cv t.mutex
-    done;
-    t.job <- None;
-    Mutex.unlock t.mutex;
-    match job.error with
-    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
-    | None -> ()
+    t.jobs_submitted <- t.jobs_submitted + 1;
+    if n > t.max_tasks then t.max_tasks <- n;
+    if t.size = 1 || n = 1 then begin
+      let c = t.counters.(0) in
+      if t.accounting then begin
+        let t0 = Unix.gettimeofday () in
+        for i = 0 to n - 1 do
+          f i
+        done;
+        c.d_busy_s <- c.d_busy_s +. (Unix.gettimeofday () -. t0)
+      end
+      else
+        for i = 0 to n - 1 do
+          f i
+        done;
+      c.d_tasks <- c.d_tasks + n
+    end
+    else begin
+      let job =
+        { f; n; next = Atomic.make 0; completed = Atomic.make 0; error = None }
+      in
+      Mutex.lock t.mutex;
+      t.job <- Some job;
+      t.generation <- t.generation + 1;
+      Condition.broadcast t.work_cv;
+      Mutex.unlock t.mutex;
+      (* the submitter pulls tasks like any worker *)
+      drain t ~ix:0 job;
+      Mutex.lock t.mutex;
+      let w0 = Unix.gettimeofday () in
+      while Atomic.get job.completed < n do
+        Condition.wait t.done_cv t.mutex
+      done;
+      t.counters.(0).d_wait_s <-
+        t.counters.(0).d_wait_s +. (Unix.gettimeofday () -. w0);
+      t.job <- None;
+      Mutex.unlock t.mutex;
+      match job.error with
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ()
+    end
   end
 
 (** [map_init t n f] is [Array.init n f] with the [f i] computed across the
@@ -187,3 +274,29 @@ let get ~domains =
     Mutex.unlock pools_mutex;
     pool
   end
+
+(* ------------------------------------------------------------------ *)
+(* JSON export                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let stats_to_json t =
+  let open Mpp_obs.Json in
+  Obj
+    [
+      ("size", Int t.size);
+      ("jobs_submitted", Int t.jobs_submitted);
+      ("max_tasks", Int t.max_tasks);
+      ( "domains",
+        List
+          (Array.to_list
+             (Array.mapi
+                (fun i c ->
+                  Obj
+                    [
+                      ("index", Int i);
+                      ("tasks", Int c.d_tasks);
+                      ("busy_ms", Float (c.d_busy_s *. 1000.0));
+                      ("wait_ms", Float (c.d_wait_s *. 1000.0));
+                    ])
+                t.counters)) );
+    ]

@@ -15,6 +15,12 @@ val create : int -> t
 val size : t -> int
 (** Total domains participating, caller included. *)
 
+val worker_index : unit -> int
+(** The calling domain's index within its pool: 0 for the submitting
+    domain (and outside any pool), 1..size-1 for spawned workers.
+    Domain-local — profiling code inside a task uses it to attribute work
+    to the executing domain. *)
+
 val parallel_for : t -> int -> (int -> unit) -> unit
 (** [parallel_for t n f] runs [f 0 .. f (n - 1)] across the pool and waits
     for completion.  An exception raised by any task is re-raised in the
@@ -32,3 +38,40 @@ val default_domains : unit -> int
 val get : domains:int -> t
 (** A process-wide pool of [domains] total domains, created on first use and
     cached for the process lifetime. *)
+
+(** {1 Profiler accounting}
+
+    Per-domain counters (tasks run, busy seconds, wait seconds) plus
+    job-level counters.  Integer counters are always on; task-body timing
+    (two clock reads per task) is gated behind {!set_accounting}, off by
+    default, so the disabled profiler costs one branch per task.  Each
+    worker is the only writer of its own slot — reads are exact between
+    jobs. *)
+
+val set_accounting : t -> bool -> unit
+(** Enable / disable busy-time measurement of task bodies. *)
+
+val accounting : t -> bool
+
+type domain_stats = {
+  tasks : int;  (** tasks this domain ran *)
+  busy_s : float;  (** seconds inside task bodies (0 unless accounting) *)
+  wait_s : float;  (** seconds parked waiting for work *)
+}
+
+val stats : t -> domain_stats array
+(** One entry per worker index (0 = submitter). *)
+
+val jobs_submitted : t -> int
+(** Jobs ({!parallel_for} calls with [n > 0]) since the last reset. *)
+
+val max_tasks : t -> int
+(** Largest single-job fan-out (queue depth at submission) seen. *)
+
+val reset_stats : t -> unit
+(** Zero all accounting counters (call between profiled runs — pools are
+    process-wide and cached). *)
+
+val stats_to_json : t -> Mpp_obs.Json.t
+(** [{"size", "jobs_submitted", "max_tasks", "domains": [{"index",
+    "tasks", "busy_ms", "wait_ms"}]}]. *)

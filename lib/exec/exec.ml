@@ -32,8 +32,16 @@
 open Mpp_expr
 module Plan = Mpp_plan.Plan
 module Vec = Mpp_storage.Vec
+module Trace = Mpp_obs.Trace
 
 type row = Value.t array
+
+(* Profiler track-id convention (Perfetto threads): 0 = the coordinator
+   (per-node spans from the plan walk), 1 = the optimizer (spans added by
+   front ends), 2 + i = executor domain i (per-segment task events). *)
+let coordinator_tid = 0
+let optimizer_tid = 1
+let domain_tid i = 2 + i
 
 (* A runtime join filter handed from a [Runtime_filter] node to the scan
    directly beneath it, so the Bloom test runs inside the scan's row loop
@@ -93,10 +101,23 @@ type ctx = {
           Motion claimed first, so a drop is credited exactly once — at its
           nearest enclosing Motion, the send it actually skipped.  Only
           touched on the coordinating domain (Motions execute there). *)
+  trace : Trace.t;
+      (** profiler timeline: per-node events on the coordinator track,
+          per-segment task events on the executing domain's track;
+          {!Trace.null} (one flag test per node) when not profiling *)
+  mutable cur_node : int;
+      (** pre-order index of the node currently interpreted, so the
+          per-segment fan-out can attribute task time to it; -1 outside
+          {!exec_at}.  Coordinating domain only (saved/restored around
+          child execution). *)
+  mutable cur_label : string;
+      (** the current node's one-line operator description, for trace
+          events; maintained only while the trace is enabled *)
 }
 
 let create_ctx ?(params = [||]) ?(selection_enabled = true) ?(verify = false)
-    ?(runtime_filters = true) ?stats ?domains ~catalog ~storage () =
+    ?(runtime_filters = true) ?stats ?(trace = Trace.null) ?domains ~catalog
+    ~storage () =
   let nsegs = Mpp_storage.Storage.nsegments storage in
   let domains =
     match domains with Some d -> d | None -> Dpool.default_domains ()
@@ -113,6 +134,20 @@ let create_ctx ?(params = [||]) ?(selection_enabled = true) ?(verify = false)
             (Mpp_catalog.Partition.Index.of_partitioning p)
       | None -> ())
     (Mpp_catalog.Catalog.tables catalog);
+  let pool = Dpool.get ~domains in
+  (* Size the per-segment stat arrays before any node record exists. *)
+  (match stats with
+  | Some st -> Node_stats.set_nsegments st nsegs
+  | None -> ());
+  (* Name every executor track up front so idle domains still show in the
+     exported timeline — the "one track per domain" contract. *)
+  if Trace.enabled trace then begin
+    Trace.declare_track trace ~tid:coordinator_tid "coordinator";
+    for i = 0 to Dpool.size pool - 1 do
+      Trace.declare_track trace ~tid:(domain_tid i)
+        (Printf.sprintf "domain-%d" i)
+    done
+  end;
   {
     catalog;
     storage;
@@ -121,12 +156,15 @@ let create_ctx ?(params = [||]) ?(selection_enabled = true) ?(verify = false)
     params;
     selection_enabled;
     stats;
-    pool = Dpool.get ~domains;
+    pool;
     pindex;
     verify;
     runtime_filters;
     fused_rf = None;
     rf_motion_claimed = 0;
+    trace;
+    cur_node = -1;
+    cur_label = "";
   }
 
 type result = {
@@ -143,9 +181,53 @@ let metrics ctx = Metrics.merge_all ctx.metrics
 
 (* Per-segment fan-out: one task per segment across the domain pool.  The
    closure for segment [s] may only touch per-segment state (its own output
-   batch, channel shard [s], metrics shard [s]). *)
+   batch, channel shard [s], metrics shard [s]).
+
+   When profiling, each task is additionally timed: its wall time lands in
+   the current node's [seg_time_s.(s)] slot (segment [s]'s task is the
+   only writer of slot [s], so the parallel section needs no locks) and,
+   when the trace is enabled, an event on the {e executing domain's}
+   track — which is how the Perfetto timeline shows which domain ran
+   which segment of which operator. *)
 let par_init ctx (f : int -> 'a) : 'a array =
-  Dpool.map_init ctx.pool (nsegments ctx) f
+  let n = nsegments ctx in
+  let node =
+    match ctx.stats with
+    | Some st when ctx.cur_node >= 0 -> Node_stats.find st ctx.cur_node
+    | _ -> None
+  in
+  let traced = Trace.enabled ctx.trace in
+  match (node, traced) with
+  | None, false -> Dpool.map_init ctx.pool n f
+  | _ ->
+      let id = ctx.cur_node and label = ctx.cur_label in
+      let clock =
+        if traced then fun () -> Trace.now ctx.trace
+        else
+          match ctx.stats with
+          | Some st -> fun () -> Node_stats.time st
+          | None -> Unix.gettimeofday
+      in
+      Dpool.map_init ctx.pool n (fun seg ->
+          let t0 = clock () in
+          let r = f seg in
+          let t1 = clock () in
+          (match node with
+          | Some nd when seg < Array.length nd.Node_stats.seg_time_s ->
+              nd.Node_stats.seg_time_s.(seg) <-
+                nd.Node_stats.seg_time_s.(seg) +. (t1 -. t0)
+          | _ -> ());
+          if traced then
+            Trace.emit ctx.trace
+              ~tid:(domain_tid (Dpool.worker_index ()))
+              ~cat:"segment" ~name:label
+              ~args:
+                [
+                  ("node", Mpp_obs.Json.Int id);
+                  ("segment", Mpp_obs.Json.Int seg);
+                ]
+              ~start:t0 ~stop:t1 ();
+          r)
 
 (* ------------------------------------------------------------------ *)
 (* Layout plumbing and expression compilation                          *)
@@ -1062,11 +1144,40 @@ let nparts_of_root ctx root_oid =
 
 let rec exec_at ctx id (plan : Plan.t) : result =
   match ctx.stats with
-  | None -> exec_node ctx id plan
+  | None ->
+      if not (Trace.enabled ctx.trace) then exec_node ctx id plan
+      else begin
+        (* trace without stats: per-node and per-segment events only *)
+        let prev_node = ctx.cur_node and prev_label = ctx.cur_label in
+        ctx.cur_node <- id;
+        ctx.cur_label <- Plan.describe plan;
+        let t0 = Trace.now ctx.trace in
+        let finally () =
+          ctx.cur_node <- prev_node;
+          ctx.cur_label <- prev_label
+        in
+        let r = Fun.protect ~finally (fun () -> exec_node ctx id plan) in
+        Trace.emit ctx.trace ~tid:coordinator_tid ~cat:"node"
+          ~name:(Plan.describe plan)
+          ~args:[ ("node", Mpp_obs.Json.Int id) ]
+          ~start:t0 ~stop:(Trace.now ctx.trace) ();
+        r
+      end
   | Some st ->
       let n = Node_stats.node st id in
+      let prev_node = ctx.cur_node and prev_label = ctx.cur_label in
+      let traced = Trace.enabled ctx.trace in
+      ctx.cur_node <- id;
+      if traced then ctx.cur_label <- Plan.describe plan;
+      let tr0 = if traced then Trace.now ctx.trace else 0.0 in
       let t0 = Node_stats.time st in
-      let r = exec_node ctx id plan in
+      let r =
+        Fun.protect
+          ~finally:(fun () ->
+            ctx.cur_node <- prev_node;
+            ctx.cur_label <- prev_label)
+          (fun () -> exec_node ctx id plan)
+      in
       n.Node_stats.time_s <-
         n.Node_stats.time_s +. (Node_stats.time st -. t0);
       n.Node_stats.invocations <- n.Node_stats.invocations + 1;
@@ -1074,6 +1185,25 @@ let rec exec_at ctx id (plan : Plan.t) : result =
         Array.fold_left (fun acc v -> acc + Vec.length v) 0 r.rows
       in
       n.Node_stats.rows <- n.Node_stats.rows + emitted;
+      (* per-segment rows, recorded here on the coordinating domain from
+         the per-segment output batches: deterministic, so serial and
+         parallel runs agree — the skew ratio's raw signal *)
+      let nseg_arr = Array.length n.Node_stats.seg_rows in
+      Array.iteri
+        (fun s v ->
+          if s < nseg_arr then
+            n.Node_stats.seg_rows.(s) <-
+              n.Node_stats.seg_rows.(s) + Vec.length v)
+        r.rows;
+      if traced then
+        Trace.emit ctx.trace ~tid:coordinator_tid ~cat:"node"
+          ~name:(Plan.describe plan)
+          ~args:
+            [
+              ("node", Mpp_obs.Json.Int id);
+              ("rows", Mpp_obs.Json.Int emitted);
+            ]
+          ~start:tr0 ~stop:(Trace.now ctx.trace) ();
       (match plan with
       | Plan.Dynamic_scan { part_scan_id; root_oid; _ } ->
           n.Node_stats.parts_scanned <- channel_oid_count ctx ~part_scan_id;
@@ -1305,10 +1435,10 @@ let exec ctx (plan : Plan.t) : result =
 
 (** Execute [plan] and gather all segments' output rows on the master. *)
 let run ?(params = [||]) ?(selection_enabled = true) ?(verify = false)
-    ?(runtime_filters = true) ?stats ?domains ~catalog ~storage plan =
+    ?(runtime_filters = true) ?stats ?trace ?domains ~catalog ~storage plan =
   let ctx =
     create_ctx ~params ~selection_enabled ~verify ~runtime_filters ?stats
-      ?domains ~catalog ~storage ()
+      ?trace ?domains ~catalog ~storage ()
   in
   let r = exec ctx plan in
   let rows =
@@ -1318,10 +1448,10 @@ let run ?(params = [||]) ?(selection_enabled = true) ?(verify = false)
 
 (** Execute [plan] collecting per-node EXPLAIN ANALYZE statistics. *)
 let run_analyze ?(params = [||]) ?(selection_enabled = true) ?(verify = false)
-    ?(runtime_filters = true) ?domains ~catalog ~storage plan =
+    ?(runtime_filters = true) ?trace ?domains ~catalog ~storage plan =
   let stats = Node_stats.create () in
   let rows, metrics =
-    run ~params ~selection_enabled ~verify ~runtime_filters ~stats ?domains
-      ~catalog ~storage plan
+    run ~params ~selection_enabled ~verify ~runtime_filters ~stats ?trace
+      ?domains ~catalog ~storage plan
   in
   (rows, metrics, stats)

@@ -78,7 +78,26 @@ type ctx = {
           [Metrics.motion_rows_saved]: each Motion claims the drops below
           it that no inner Motion claimed, so every drop is credited at
           exactly one Motion — its nearest enclosing send *)
+  trace : Mpp_obs.Trace.t;
+      (** profiler timeline: per-node events on the coordinator track,
+          per-segment task events on the executing domain's track;
+          {!Mpp_obs.Trace.null} when not profiling *)
+  mutable cur_node : int;
+      (** pre-order index of the node currently interpreted (-1 outside
+          {!exec}); coordinating domain only *)
+  mutable cur_label : string;
+      (** current node's operator description, for trace events *)
 }
+
+val coordinator_tid : int
+(** Trace track 0: the coordinating domain's per-node spans. *)
+
+val optimizer_tid : int
+(** Trace track 1: reserved for optimizer spans (front ends add them via
+    {!Mpp_obs.Trace.add_obs_spans}). *)
+
+val domain_tid : int -> int
+(** Trace track of executor domain [i] (worker index [i] of the pool). *)
 
 val create_ctx :
   ?params:Value.t array ->
@@ -86,13 +105,17 @@ val create_ctx :
   ?verify:bool ->
   ?runtime_filters:bool ->
   ?stats:Node_stats.t ->
+  ?trace:Mpp_obs.Trace.t ->
   ?domains:int ->
   catalog:Mpp_catalog.Catalog.t ->
   storage:Mpp_storage.Storage.t ->
   unit ->
   ctx
 (** [?domains] sizes the domain pool (default {!Dpool.default_domains},
-    i.e. [MPP_DOMAINS] or 1). *)
+    i.e. [MPP_DOMAINS] or 1).  When [stats] is given its segment count is
+    set from [storage] before recording; when [trace] is enabled one
+    track per pool domain (plus the coordinator track) is declared up
+    front. *)
 
 val metrics : ctx -> Metrics.t
 (** The per-query total: all per-segment metric shards merged. *)
@@ -115,6 +138,7 @@ val run :
   ?verify:bool ->
   ?runtime_filters:bool ->
   ?stats:Node_stats.t ->
+  ?trace:Mpp_obs.Trace.t ->
   ?domains:int ->
   catalog:Mpp_catalog.Catalog.t ->
   storage:Mpp_storage.Storage.t ->
@@ -127,6 +151,7 @@ val run_analyze :
   ?selection_enabled:bool ->
   ?verify:bool ->
   ?runtime_filters:bool ->
+  ?trace:Mpp_obs.Trace.t ->
   ?domains:int ->
   catalog:Mpp_catalog.Catalog.t ->
   storage:Mpp_storage.Storage.t ->

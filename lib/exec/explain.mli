@@ -3,10 +3,18 @@
 
 module Plan = Mpp_plan.Plan
 
-val analyze : Plan.t -> Node_stats.t -> string
+val analyze : ?est:Mpp_plan.Est.t -> Plan.t -> Node_stats.t -> string
 (** Plan tree with [(actual rows=… parts=…/… time=…ms)] annotations; one
-    line per node, 2-space indentation, trailing newline. *)
+    line per node, 2-space indentation, trailing newline.  With [?est]
+    each executed node that has a plan-time estimate additionally shows
+    [est=N act=M (xK off)] (symmetric q-error factor), and nodes whose
+    per-segment row distribution exceeds 2x skew (max over mean) are
+    flagged [[skew K.Kx]] — except structurally-singleton nodes (at or
+    above a Gather), whose single-segment concentration is by design. *)
 
-val to_json : Plan.t -> Node_stats.t -> Mpp_obs.Json.t
+val to_json : ?est:Mpp_plan.Est.t -> Plan.t -> Node_stats.t -> Mpp_obs.Json.t
 (** Flat pre-order node list: [{"id", "depth", "op", "rows", "time_ms",
-    "parts_scanned", "parts_selected", "parts_total", "tuples_moved"}]. *)
+    "seg_rows_min/max/mean", "skew", "seg_rows", "seg_time_ms",
+    "parts_scanned", "parts_selected", "parts_total", "tuples_moved"}],
+    plus ["est_rows"] / ["est_error_factor"] when [?est] covers the
+    node. *)

@@ -13,7 +13,15 @@
     and one conditional branch per event when tracing is off.
 
     Counter arithmetic saturates at [max_int] instead of wrapping, so a
-    long-running process can never report a negative tuple count. *)
+    long-running process can never report a negative tuple count.
+
+    Counters are {e domain-safe}: recording is sharded by the calling
+    domain's id (each shard guarded by its own mutex, so two domains
+    almost never contend) and reads merge the shards.  Increments issued
+    from inside a {!Mpp_exec.Dpool} parallel section can therefore never
+    be lost.  Spans remain a coordinating-domain facility — the open-span
+    stack is not shared — which matches how the optimizer and the
+    executor's plan walk use them. *)
 
 (* ------------------------------------------------------------------ *)
 (* Types                                                               *)
@@ -27,10 +35,21 @@ type span = {
   mutable span_children : span list;  (** reverse order while open *)
 }
 
+(* One counter shard: a domain hashes to a shard by id, so concurrent
+   recorders from different domains take different locks.  The mutex is
+   uncontended in the serial case — lock/unlock of an uncontended OCaml
+   mutex is a few nanoseconds, invisible next to the hash probe. *)
+type counter_shard = {
+  cs_lock : Mutex.t;
+  cs_tbl : (string, int ref) Hashtbl.t;
+}
+
+let n_shards = 16  (* power of two: shard = domain id land (n_shards - 1) *)
+
 type t = {
   enabled : bool;
   clock : unit -> float;
-  counters : (string, int ref) Hashtbl.t;
+  shards : counter_shard array;
   mutable roots : span list;  (** completed top-level spans, reverse order *)
   mutable stack : span list;  (** open spans, innermost first *)
 }
@@ -39,17 +58,21 @@ type t = {
 (* Construction                                                        *)
 (* ------------------------------------------------------------------ *)
 
+let make_shards () =
+  Array.init n_shards (fun _ ->
+      { cs_lock = Mutex.create (); cs_tbl = Hashtbl.create 8 })
+
 let null =
   {
     enabled = false;
     clock = (fun () -> 0.0);
-    counters = Hashtbl.create 1;
+    shards = make_shards ();
     roots = [];
     stack = [];
   }
 
 let create ?(clock = Unix.gettimeofday) () =
-  { enabled = true; clock; counters = Hashtbl.create 32; roots = []; stack = [] }
+  { enabled = true; clock; shards = make_shards (); roots = []; stack = [] }
 
 let enabled t = t.enabled
 
@@ -61,7 +84,12 @@ let current () = !current_sink
 let uninstall () = current_sink := null
 
 let reset t =
-  Hashtbl.reset t.counters;
+  Array.iter
+    (fun s ->
+      Mutex.lock s.cs_lock;
+      Hashtbl.reset s.cs_tbl;
+      Mutex.unlock s.cs_lock)
+    t.shards;
   t.roots <- [];
   t.stack <- []
 
@@ -76,19 +104,49 @@ let sat_add a b =
   else if a < 0 && b < 0 && s >= 0 then min_int
   else s
 
+let my_shard t = t.shards.((Domain.self () :> int) land (n_shards - 1))
+
 let add t name n =
-  if t.enabled then
-    match Hashtbl.find_opt t.counters name with
+  if t.enabled then begin
+    let s = my_shard t in
+    Mutex.lock s.cs_lock;
+    (match Hashtbl.find_opt s.cs_tbl name with
     | Some r -> r := sat_add !r n
-    | None -> Hashtbl.replace t.counters name (ref n)
+    | None -> Hashtbl.replace s.cs_tbl name (ref n));
+    Mutex.unlock s.cs_lock
+  end
 
 let incr t name = add t name 1
 
+(* Merge every shard's view of every counter.  Reads take the shard locks
+   one at a time, so a concurrent recorder is never blocked for long; the
+   result is exact once all recording domains have quiesced (the only time
+   the executor and front ends read). *)
+let fold_counters t f acc =
+  Array.fold_left
+    (fun acc s ->
+      Mutex.lock s.cs_lock;
+      let acc =
+        Hashtbl.fold (fun name r acc -> f acc name !r) s.cs_tbl acc
+      in
+      Mutex.unlock s.cs_lock;
+      acc)
+    acc t.shards
+
 let counter t name =
-  match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+  fold_counters t
+    (fun acc n v -> if n = name then sat_add acc v else acc)
+    0
 
 let counters t =
-  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t.counters []
+  let merged = Hashtbl.create 32 in
+  fold_counters t
+    (fun () name v ->
+      match Hashtbl.find_opt merged name with
+      | Some r -> r := sat_add !r v
+      | None -> Hashtbl.replace merged name (ref v))
+    ();
+  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) merged []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 (* ------------------------------------------------------------------ *)

@@ -40,7 +40,10 @@ val reset : t -> unit
 (** {1 Counters}
 
     Counter addition {e saturates} at [max_int] / [min_int] rather than
-    wrapping. *)
+    wrapping.  Recording is {e domain-safe}: writes are sharded by the
+    calling domain (per-shard mutexes) and reads merge the shards, so
+    increments issued from inside a parallel section are never lost.
+    Spans are a coordinating-domain facility and are not locked. *)
 
 val add : t -> string -> int -> unit
 val incr : t -> string -> unit

@@ -925,6 +925,17 @@ let optimize t (lg : Logical.t) : Plan.t =
                (String.concat "; "
                   (List.map Mpp_verify.Diag.to_string errors))))
 
+(** The per-physical-node row estimator over [lg]'s base tables, for
+    stamping {!Mpp_plan.Est} arrays onto finished plans.  Must be applied
+    {e at plan time} — while any injected misestimates are still active —
+    so [EXPLAIN ANALYZE]'s est-vs-actual report shows the numbers the
+    optimizer actually planned with. *)
+let row_estimator t (lg : Logical.t) : Plan.t -> float =
+  let rel_tables =
+    List.map (fun (rel, name) -> (rel, table_of t name)) (Logical.base_tables lg)
+  in
+  fun p -> est_rows t ~rel_tables p
+
 (** Estimated cost of the plan the optimizer would pick (for tests and the
     memo comparison). *)
 let estimate t (lg : Logical.t) : float =

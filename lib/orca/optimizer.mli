@@ -44,3 +44,10 @@ val optimize : t -> Logical.t -> Plan.t
 
 val estimate : t -> Logical.t -> float
 (** Estimated cost of the plan the optimizer would pick. *)
+
+val row_estimator : t -> Logical.t -> Plan.t -> float
+(** [row_estimator t lg] is the per-node row estimator over [lg]'s base
+    tables: apply it to each node of the finished physical plan (e.g. via
+    {!Mpp_plan.Est.of_plan}) to stamp plan-time cardinality estimates.
+    Call at plan time, while any injected misestimates are still
+    active. *)

@@ -56,12 +56,12 @@ let facts_in env (qu : Queries.query) =
     (Tpcds.fact_tables env.schema)
   (* `store_sales` contains `store_sale`… exact-enough for our table names *)
 
-let optimize_with env kind (qu : Queries.query) : Plan.t =
+let optimize_est env kind (qu : Queries.query) : Plan.t * Mpp_plan.Est.t =
   let lg = Mpp_sql.Sql.to_logical env.catalog qu.Queries.sql in
   match kind with
   | Legacy_planner ->
       let pl = Mpp_planner.Planner.create ~catalog:env.catalog () in
-      Mpp_planner.Planner.plan pl lg
+      (Mpp_planner.Planner.plan pl lg, Mpp_plan.Est.none)
   | Orca | Orca_no_selection ->
       (* inject this query's misestimates for the cost-based optimizer *)
       Mpp_stats.Stats_source.clear_row_scales env.stats;
@@ -81,8 +81,17 @@ let optimize_with env kind (qu : Queries.query) : Plan.t =
         Orca.Optimizer.create ~config ~stats:env.stats ~catalog:env.catalog ()
       in
       let plan = Orca.Optimizer.optimize opt lg in
+      (* stamp plan-time row estimates while the misestimates are still
+         active — exactly what the optimizer believed when costing *)
+      let est =
+        Mpp_plan.Est.of_plan ~estimate:(Orca.Optimizer.row_estimator opt lg)
+          plan
+      in
       Mpp_stats.Stats_source.clear_row_scales env.stats;
-      plan
+      (plan, est)
+
+let optimize_with env kind (qu : Queries.query) : Plan.t =
+  fst (optimize_est env kind qu)
 
 (** Optimize and execute [qu] under [kind]. *)
 let run env kind (qu : Queries.query) : run_result =

@@ -34,6 +34,13 @@ val optimize_with : env -> optimizer_kind -> Queries.query -> Plan.t
 (** Optimize only, applying the query's injected misestimates for the
     cost-based optimizer. *)
 
+val optimize_est :
+  env -> optimizer_kind -> Queries.query -> Plan.t * Mpp_plan.Est.t
+(** Like {!optimize_with}, additionally stamping per-node plan-time row
+    estimates (captured while the query's injected misestimates are still
+    active, i.e. what the optimizer actually believed).  The estimate
+    array is {!Mpp_plan.Est.none} for the legacy planner. *)
+
 val run : env -> optimizer_kind -> Queries.query -> run_result
 
 val total_parts_scanned : run_result -> int

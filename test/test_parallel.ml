@@ -26,6 +26,49 @@ module W = Mpp_workload
 let serial_domains = 1
 let parallel_domains = 4
 
+module Node_stats = Mpp_exec.Node_stats
+
+(* Per-node EXPLAIN ANALYZE stats must also be identical serial vs
+   parallel — rows, per-segment row distribution, partition accounting,
+   Motion volume, invocation counts.  Only wall times may differ. *)
+let check_stats_equivalent ~what ~catalog ~storage ?params ?selection_enabled
+    plan =
+  let run domains =
+    let _, _, st =
+      Exec.run_analyze ?params ?selection_enabled ~domains ~catalog ~storage
+        plan
+    in
+    st
+  in
+  let st_s = run serial_domains and st_p = run parallel_domains in
+  Alcotest.(check int)
+    (what ^ ": stats nsegments")
+    (Node_stats.nsegments st_s) (Node_stats.nsegments st_p);
+  for id = 0 to Plan.node_count plan - 1 do
+    match (Node_stats.find st_s id, Node_stats.find st_p id) with
+    | None, None -> ()
+    | Some a, Some b ->
+        let chk name va vb =
+          Alcotest.(check int)
+            (Printf.sprintf "%s: node %d %s" what id name)
+            va vb
+        in
+        chk "rows" a.Node_stats.rows b.Node_stats.rows;
+        chk "invocations" a.Node_stats.invocations b.Node_stats.invocations;
+        chk "parts_scanned" a.Node_stats.parts_scanned
+          b.Node_stats.parts_scanned;
+        chk "parts_selected" a.Node_stats.parts_selected
+          b.Node_stats.parts_selected;
+        chk "parts_total" a.Node_stats.parts_total b.Node_stats.parts_total;
+        chk "tuples_moved" a.Node_stats.tuples_moved b.Node_stats.tuples_moved;
+        Alcotest.(check (array int))
+          (Printf.sprintf "%s: node %d seg_rows" what id)
+          a.Node_stats.seg_rows b.Node_stats.seg_rows
+    | _ ->
+        Alcotest.fail
+          (Printf.sprintf "%s: node %d recorded in one run only" what id)
+  done
+
 (* Compare one plan's two executions end to end. *)
 let check_equivalent ~what ~catalog ~storage ?params ?selection_enabled plan =
   let rows_s, m_s =
@@ -36,6 +79,8 @@ let check_equivalent ~what ~catalog ~storage ?params ?selection_enabled plan =
     Exec.run ?params ?selection_enabled ~domains:parallel_domains ~catalog
       ~storage plan
   in
+  check_stats_equivalent ~what ~catalog ~storage ?params ?selection_enabled
+    plan;
   Support.check_rows_equal (what ^ " rows") rows_s rows_p;
   Alcotest.(check int)
     (what ^ ": tuples_scanned")
