@@ -3,8 +3,8 @@
 
     Usage: [bench/main.exe [table2|table3|fig16|fig17|fig18a|fig18b|fig18c|
     ablation-memo|ablation-pwj|micro|micro-exec|part-select|obs-overhead|
-    verify|join-filter|all]] — no argument runs everything except the
-    bechamel micro-benchmarks.  [micro-exec] measures the executor hot path
+    verify|join-filter|opt-scaling|all]] — no argument runs everything
+    except the bechamel micro-benchmarks.  [micro-exec] measures the executor hot path
     (interpreted vs compiled expressions, serial vs domain-pool join);
     [part-select] measures partition-selection cost vs partition count
     (legacy scan vs the selection index, the paper's Fig. 14 shape);
@@ -13,7 +13,10 @@
     measures runtime-join-filter speedup (on vs off, same plan) and
     Motion-row reduction from pre-Motion filtering; [profile] measures
     the PR-6 query profiler's overhead (off vs pool accounting vs full
-    stats+trace) on the Table-2 scan; the
+    stats+trace) on the Table-2 scan; [opt-scaling] measures optimize
+    time vs relation count on generated big-join graphs and optimize-time
+    speedup vs domain count, asserting every domain count picks the
+    identical plan; the
     [--smoke] variants are the tiny-input schema checks that
     [dune runtest] runs.  Whatever ran is also written as structured data
     to [BENCH_RESULTS.json]; sections merge with an existing file, so
@@ -1611,6 +1614,118 @@ let bench_profile ?(smoke = false) () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Optimize-time scaling: big-join graphs, serial vs parallel search    *)
+(* ------------------------------------------------------------------ *)
+
+(* How optimize time grows with relation count on generated star/chain/
+   clique graphs, and what the domain pool buys at a fixed size: the same
+   20-relation graphs optimized at 1/2/4 domains, asserting along the way
+   that every domain count picks the *identical* plan (the determinism
+   contract the test suite also pins).  Records a [cores] field — on a
+   single-core host the parallel path degenerates to the serial loop and
+   speedup ~1.0 by construction; the numbers are honest either way.
+   [~smoke] runs tiny graphs and checks the schema + the equality
+   invariant only. *)
+let opt_scaling ?(smoke = false) () =
+  header
+    (if smoke then "Bench: optimize-time scaling (smoke mode, tiny graphs)"
+     else "Bench: optimize-time scaling on big-join graphs");
+  let shapes =
+    [ (W.Biggen.Star, "star"); (W.Biggen.Chain, "chain");
+      (W.Biggen.Clique, "clique") ]
+  in
+  let sizes = if smoke then [ 5; 8 ] else [ 5; 10; 20; 30 ] in
+  let scale_rels = if smoke then 8 else 20 in
+  let reps = if smoke then 1 else 5 in
+  let optimize_once benv ~domains =
+    let config =
+      { Orca.Optimizer.default_config with opt_domains = domains }
+    in
+    let opt =
+      Orca.Optimizer.create ~config ~stats:benv.W.Biggen.stats
+        ~catalog:benv.W.Biggen.catalog ()
+    in
+    Orca.Optimizer.optimize opt benv.W.Biggen.logical
+  in
+  let timed benv ~domains =
+    ignore (optimize_once benv ~domains) (* warm stats caches *);
+    let ts =
+      List.init reps (fun _ ->
+          fst (time_run (fun () -> optimize_once benv ~domains)))
+    in
+    median ts *. 1000.0
+  in
+  Printf.printf "%-10s %8s %14s\n" "shape" "#rels" "optimize (ms)";
+  let points =
+    List.concat_map
+      (fun (shape, sname) ->
+        List.map
+          (fun nrels ->
+            let benv = W.Biggen.generate { W.Biggen.shape; nrels; seed = 1 } in
+            let ms = timed benv ~domains:1 in
+            Printf.printf "%-10s %8d %14.2f\n" sname nrels ms;
+            Json.Obj
+              [ ("shape", Json.String sname);
+                ("nrels", Json.Int nrels);
+                ("optimize_ms", Json.Float ms) ])
+          sizes)
+      shapes
+  in
+  (* speedup vs domain count at a fixed graph size, with the equality
+     invariant asserted on every measured plan *)
+  Printf.printf "\n%-10s %8s %14s %9s %11s\n" "shape" "domains"
+    "optimize (ms)" "speedup" "plan equal";
+  let equal_everywhere = ref true in
+  let scaling =
+    List.concat_map
+      (fun (shape, sname) ->
+        let benv =
+          W.Biggen.generate { W.Biggen.shape; nrels = scale_rels; seed = 1 }
+        in
+        let serial_plan = Plan.to_string (optimize_once benv ~domains:1) in
+        let serial_ms = ref nan in
+        List.map
+          (fun domains ->
+            let ms = timed benv ~domains in
+            if domains = 1 then serial_ms := ms;
+            let eq =
+              Plan.to_string (optimize_once benv ~domains) = serial_plan
+            in
+            if not eq then equal_everywhere := false;
+            let speedup = !serial_ms /. ms in
+            Printf.printf "%-10s %8d %14.2f %8.2fx %11s\n" sname domains ms
+              speedup
+              (if eq then "yes" else "NO");
+            Json.Obj
+              [ ("shape", Json.String sname);
+                ("nrels", Json.Int scale_rels);
+                ("domains", Json.Int domains);
+                ("optimize_ms", Json.Float ms);
+                ("speedup", Json.Float speedup);
+                ("plan_equal", Json.Bool eq) ])
+          [ 1; 2; 4 ])
+      shapes
+  in
+  if not !equal_everywhere then
+    failwith "opt_scaling: parallel optimization changed the chosen plan";
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf
+    "\nhost has %d recommended domain(s)%s\n" cores
+    (if cores = 1 then
+       " — parallel search degenerates to the serial loop here" else "");
+  record "opt_scaling"
+    (Json.Obj
+       [ ("smoke", Json.Bool smoke);
+         ("cores", Json.Int cores);
+         ("reps", Json.Int reps);
+         ("points", Json.List points);
+         ("scaling", Json.List scaling) ]);
+  if smoke then
+    print_endline
+      "smoke OK: opt_scaling schema valid; every domain count picked the \
+       identical plan"
+
+(* ------------------------------------------------------------------ *)
 (* Regression gate: fresh BENCH_RESULTS.json vs committed baseline      *)
 (* ------------------------------------------------------------------ *)
 
@@ -1733,7 +1848,8 @@ let all () =
   part_select ();
   bench_verify ();
   join_filter ();
-  bench_profile ()
+  bench_profile ();
+  opt_scaling ()
 
 let () =
   (match if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" with
@@ -1763,6 +1879,9 @@ let () =
   | "profile" ->
       bench_profile
         ~smoke:(Array.length Sys.argv > 2 && Sys.argv.(2) = "--smoke") ()
+  | "opt-scaling" ->
+      opt_scaling
+        ~smoke:(Array.length Sys.argv > 2 && Sys.argv.(2) = "--smoke") ()
   | "check-regression" | "--check-regression" ->
       check_regression
         (if Array.length Sys.argv > 2 then Sys.argv.(2) else "BASELINE.json")
@@ -1771,7 +1890,7 @@ let () =
       Printf.eprintf
         "unknown experiment %s (expected table2|table3|fig16|fig17|fig18a|\
          fig18b|fig18c|ablation-memo|ablation-pwj|micro|micro-exec|\
-         part-select|obs-overhead|verify|join-filter|profile|\
+         part-select|obs-overhead|verify|join-filter|profile|opt-scaling|\
          check-regression|all)\n"
         other;
       exit 1);

@@ -47,7 +47,8 @@ let trace_memo_exploration env logical =
 (* Plan plus the optimizer's per-node plan-time row estimates (stamped
    against the same stats the costing saw); the legacy planner has no
    cardinality model, so its estimate array is empty. *)
-let plan_est_of env kind ~selection sql =
+let plan_est_of ?(opt_domains = Orca.Optimizer.default_opt_domains ()) env
+    kind ~selection sql =
   let logical = Mpp_sql.Sql.to_logical env.W.Runner.catalog sql in
   trace_memo_exploration env logical;
   match kind with
@@ -59,7 +60,8 @@ let plan_est_of env kind ~selection sql =
   | Orca ->
       let config =
         { Orca.Optimizer.default_config with
-          enable_partition_selection = selection }
+          enable_partition_selection = selection;
+          opt_domains }
       in
       let opt =
         Orca.Optimizer.create ~config ~stats:env.W.Runner.stats
@@ -139,11 +141,11 @@ let runtime_filters_on ~no_rf =
   | Some ("0" | "false" | "off") -> false
   | Some _ | None -> true
 
-let do_explain ?(analyze = false) ?trace ?domains ?(runtime_filters = true) env
-    kind selection sql =
+let do_explain ?(analyze = false) ?trace ?domains ?opt_domains
+    ?(runtime_filters = true) env kind selection sql =
   let sink = sink_for trace in
   if Obs.enabled sink then Obs.install sink;
-  let plan, est = plan_est_of env kind ~selection sql in
+  let plan, est = plan_est_of ?opt_domains env kind ~selection sql in
   let extras =
     if analyze then begin
       let _rows, metrics, stats =
@@ -180,11 +182,11 @@ let print_rows rows dt =
     rows;
   Printf.printf "(%d rows in %.2f ms)\n" (List.length rows) (dt *. 1000.0)
 
-let do_run ?trace ?stats_json ?domains ?(runtime_filters = true) env kind
-    selection sql =
+let do_run ?trace ?stats_json ?domains ?opt_domains ?(runtime_filters = true)
+    env kind selection sql =
   let sink = sink_for trace in
   if Obs.enabled sink then Obs.install sink;
-  let plan, est = plan_est_of env kind ~selection sql in
+  let plan, est = plan_est_of ?opt_domains env kind ~selection sql in
   match stats_json with
   | None ->
       let t0 = Unix.gettimeofday () in
@@ -287,16 +289,14 @@ let do_profile ?domains ?(runtime_filters = true) ~out env kind selection sql =
    diagnostics, so a plan that comes back at all can only carry warnings;
    an optimizer-side rejection is reported as a failure here too.  Exits
    1 when anything fails, so the target doubles as a CI smoke test. *)
-let do_check env selection ~workload sql_opt =
+let do_check env selection ~workload ~biggen sql_opt =
   let nfail = ref 0 in
-  let report name kname = function
+  let report ?(catalog = env.W.Runner.catalog) name kname = function
     | Error msg ->
         incr nfail;
         Printf.printf "%-28s %-8s rejected by optimizer: %s\n" name kname msg
     | Ok plan -> (
-        let diags =
-          Mpp_verify.Verify.check ~catalog:env.W.Runner.catalog plan
-        in
+        let diags = Mpp_verify.Verify.check ~catalog plan in
         if Mpp_verify.Diag.has_errors diags then incr nfail;
         match diags with
         | [] -> Printf.printf "%-28s %-8s clean\n" name kname
@@ -310,16 +310,58 @@ let do_check env selection ~workload sql_opt =
     | exception Orca.Optimizer.Invalid_plan m -> Error m
     | exception Mpp_planner.Planner.Invalid_plan m -> Error m
   in
-  (if workload then
-     List.iter
-       (fun (qu : W.Queries.query) ->
-         List.iter
-           (fun (kname, kind) ->
-             report qu.W.Queries.name kname
-               (guard (fun () -> W.Runner.optimize_with env kind qu)))
-           [ ("orca", W.Runner.Orca); ("planner", W.Runner.Legacy_planner) ])
-       W.Queries.all
-   else
+  if workload then
+    List.iter
+      (fun (qu : W.Queries.query) ->
+        List.iter
+          (fun (kname, kind) ->
+            report qu.W.Queries.name kname
+              (guard (fun () -> W.Runner.optimize_with env kind qu)))
+          [ ("orca", W.Runner.Orca); ("planner", W.Runner.Legacy_planner) ])
+      W.Queries.all;
+  (* generated big-join suite: every plan verifier-clean under both
+     optimizers, and the parallel optimizer (4 domains) must reproduce the
+     serial plan exactly *)
+  if biggen then
+    List.iter
+      (fun spec ->
+        let benv = W.Biggen.generate spec in
+        let catalog = benv.W.Biggen.catalog in
+        let orca d () =
+          let config =
+            { Orca.Optimizer.default_config with
+              enable_partition_selection = selection;
+              opt_domains = d }
+          in
+          Orca.Optimizer.optimize
+            (Orca.Optimizer.create ~config ~stats:benv.W.Biggen.stats
+               ~catalog ())
+            benv.W.Biggen.logical
+        in
+        let name = benv.W.Biggen.name in
+        let serial = guard (orca 1) in
+        report ~catalog name "orca" serial;
+        report ~catalog name "planner"
+          (guard (fun () ->
+               Mpp_planner.Planner.plan
+                 (Mpp_planner.Planner.create ~catalog ())
+                 benv.W.Biggen.logical));
+        match (serial, guard (orca 4)) with
+        | Ok a, Ok b ->
+            if Plan.to_string a <> Plan.to_string b then begin
+              incr nfail;
+              Printf.printf "%-28s %-8s serial and 4-domain plans differ\n"
+                name "orca"
+            end
+            else
+              Printf.printf "%-28s %-8s serial = 4-domain plan\n" name "orca"
+        | _, Error msg ->
+            incr nfail;
+            Printf.printf "%-28s %-8s rejected at 4 domains: %s\n" name "orca"
+              msg
+        | Error _, Ok _ -> () (* serial failure already reported *))
+      (W.Biggen.default_suite ());
+  (if not (workload || biggen) then
      match sql_opt with
      | Some sql ->
          List.iter
@@ -328,7 +370,8 @@ let do_check env selection ~workload sql_opt =
                (guard (fun () -> plan_of env kind ~selection sql)))
            [ ("orca", Orca); ("planner", Planner) ]
      | None ->
-         prerr_endline "mppsim check: provide a SQL argument or --workload";
+         prerr_endline
+           "mppsim check: provide a SQL argument, --workload or --biggen";
          incr nfail);
   if !nfail > 0 then begin
     Printf.printf "%d plan(s) failed verification\n" !nfail;
@@ -423,6 +466,13 @@ let parallel_arg =
                Defaults to $(b,MPP_DOMAINS), else 1 (serial). Results are \
                identical at any setting.")
 
+let opt_domains_arg =
+  Arg.(value & opt (some int) None & info [ "opt-domains" ] ~docv:"N"
+         ~doc:"Optimize with $(docv) OCaml domains (parallel memo \
+               exploration and join-order search). Defaults to \
+               $(b,MPP_OPT_DOMAINS), else 1 (serial). The chosen plan is \
+               identical at any setting.")
+
 let no_rf_arg =
   Arg.(value & flag & info [ "no-runtime-filters" ]
          ~doc:"Disable runtime join filters in the executor (the Bloom + \
@@ -439,15 +489,16 @@ let with_env f kind no_selection scale segments verbose =
 
 let explain_cmd =
   Cmd.v (Cmd.info "explain" ~doc:"Show the plan for a SQL statement.")
-    Term.(const (fun k n sc sg v analyze trace domains no_rf sql -> with_env
+    Term.(const (fun k n sc sg v analyze trace domains opt_domains no_rf sql ->
+                    with_env
                     (fun env k sel ->
-                      do_explain ~analyze ?trace ?domains
+                      do_explain ~analyze ?trace ?domains ?opt_domains
                         ~runtime_filters:(runtime_filters_on ~no_rf) env k sel
                         sql)
                     k n sc sg v)
           $ optimizer_arg $ no_selection_arg $ scale_arg $ segments_arg
-          $ verbose_arg $ analyze_arg $ trace_arg $ parallel_arg $ no_rf_arg
-          $ sql_arg)
+          $ verbose_arg $ analyze_arg $ trace_arg $ parallel_arg
+          $ opt_domains_arg $ no_rf_arg $ sql_arg)
 
 let stats_json_arg =
   Arg.(value & opt (some string) None & info [ "stats-json" ] ~docv:"FILE"
@@ -458,15 +509,16 @@ let stats_json_arg =
 
 let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Execute a SQL statement on the demo cluster.")
-    Term.(const (fun k n sc sg v trace stats_json domains no_rf sql -> with_env
+    Term.(const (fun k n sc sg v trace stats_json domains opt_domains no_rf
+                     sql -> with_env
                     (fun env k sel ->
-                      do_run ?trace ?stats_json ?domains
+                      do_run ?trace ?stats_json ?domains ?opt_domains
                         ~runtime_filters:(runtime_filters_on ~no_rf) env k sel
                         sql)
                     k n sc sg v)
           $ optimizer_arg $ no_selection_arg $ scale_arg $ segments_arg
-          $ verbose_arg $ trace_arg $ stats_json_arg $ parallel_arg $ no_rf_arg
-          $ sql_arg)
+          $ verbose_arg $ trace_arg $ stats_json_arg $ parallel_arg
+          $ opt_domains_arg $ no_rf_arg $ sql_arg)
 
 let profile_cmd =
   let out_arg =
@@ -507,6 +559,13 @@ let check_cmd =
            ~doc:"Check every built-in workload query instead of one SQL \
                  statement.")
   in
+  let biggen_arg =
+    Arg.(value & flag & info [ "biggen" ]
+           ~doc:"Check the generated big-join suite (star/chain/clique at \
+                 10/16/24 relations): both optimizers must verify clean and \
+                 the serial and 4-domain optimizations must pick identical \
+                 plans.")
+  in
   let sql_opt_arg =
     Arg.(value & pos 0 (some string) None & info [] ~docv:"SQL")
   in
@@ -516,11 +575,11 @@ let check_cmd =
          "Statically verify the plans both optimizers produce (structure, \
           schema, distribution, partition accounting, runtime filters); \
           exit 1 on any diagnostic of error severity.")
-    Term.(const (fun n sc sg v workload sql -> with_env
-                    (fun env _k sel -> do_check env sel ~workload sql)
+    Term.(const (fun n sc sg v workload biggen sql -> with_env
+                    (fun env _k sel -> do_check env sel ~workload ~biggen sql)
                     Orca n sc sg v)
           $ no_selection_arg $ scale_arg $ segments_arg $ verbose_arg
-          $ workload_arg $ sql_opt_arg)
+          $ workload_arg $ biggen_arg $ sql_opt_arg)
 
 let schema_cmd =
   Cmd.v (Cmd.info "schema" ~doc:"List the demo schema's tables.")

@@ -213,6 +213,21 @@ let parallel_for t n f =
     end
   end
 
+(** [parallel_chunks t ~n f] splits the index range [0, n) into one
+    contiguous chunk per participating domain and runs [f chunk lo hi]
+    (half-open [lo, hi)) across the pool.  Where {!parallel_for} hands out
+    indices one at a time — right for coarse per-segment tasks — this is the
+    shape for fine-grained work (memo candidates, join-order subsets per
+    Trummer & Koch's allocation scheme): each domain claims a whole slice
+    and can keep per-chunk state without any sharing.  Chunk count is
+    [min (size t) n]; chunk boundaries depend only on [n] and the pool
+    size, so the partition is deterministic for a given pool. *)
+let parallel_chunks t ~n f =
+  if n > 0 then begin
+    let k = min t.size n in
+    parallel_for t k (fun ci -> f ci (ci * n / k) ((ci + 1) * n / k))
+  end
+
 (** [map_init t n f] is [Array.init n f] with the [f i] computed across the
     pool.  [f] must be pure per index (indices are computed exactly once). *)
 let map_init t n f =

@@ -26,6 +26,13 @@ val parallel_for : t -> int -> (int -> unit) -> unit
     for completion.  An exception raised by any task is re-raised in the
     caller after the job drains. *)
 
+val parallel_chunks : t -> n:int -> (int -> int -> int -> unit) -> unit
+(** [parallel_chunks t ~n f] splits [0, n) into [min (size t) n] contiguous
+    chunks and runs [f chunk lo hi] (half-open) across the pool.  The
+    chunking is deterministic for a given [n] and pool size — callers fan
+    out fine-grained work (memo candidates, join-order subsets) with one
+    private accumulator per chunk and merge at the barrier. *)
+
 val map_init : t -> int -> (int -> 'a) -> 'a array
 (** [Array.init] with the elements computed across the pool. *)
 

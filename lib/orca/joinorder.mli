@@ -1,0 +1,26 @@
+(** Parallel left-deep join-order search over relation bitsets.
+
+    Level-synchronous dynamic programming over connected subsets of the
+    join graph, with each level's extensions partitioned across the
+    {!Mpp_exec.Dpool} domains (Trummer & Koch's search-space allocation,
+    arXiv 1511.01768) and merged at a per-level barrier under a tie-free
+    total order — the chosen order is identical for every pool size.
+    Beam-bounded; cross products only when the graph is disconnected. *)
+
+type graph = {
+  nleaves : int;
+  leaf_rows : float array;  (** post-filter row estimate per leaf *)
+  edges : (int * float) array;
+      (** (leaf bitmask, selectivity) per join conjunct *)
+  incident : int list array;  (** leaf -> indices into [edges], ascending *)
+}
+
+val make : leaf_rows:float array -> edges:(int * float) array -> graph
+(** Build the join graph.  Raises [Invalid_argument] beyond 60 leaves
+    (subsets are int bitmasks). *)
+
+val order : ?pool:Mpp_exec.Dpool.t -> ?beam:int -> graph -> int list
+(** Best left-deep join order: leaf indices, first-joined first.
+    [pool] (default serial) parallelizes each level's extensions; [beam]
+    (default 1024) bounds the per-level frontier.  Deterministic: the
+    result depends only on the graph and the beam, never on the pool. *)

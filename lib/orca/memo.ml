@@ -18,6 +18,31 @@
     shapes are enumerated and only the [HashJoin(Selector(Replicate(S)), R)]
     alternative performs partition selection.
 
+    {1 Shape}
+
+    Groups live in an array-backed arena indexed by gid (group lookup is
+    O(1) and the group store is immutable once built, so worker domains can
+    share it freely).  Memoized results live in a per-exploration {!ctx}:
+    requests are interned to dense integer ids through a structural
+    hash/equality table — no string building on the memoized-lookup hot
+    path — and the best table is keyed by one packed int per (group,
+    request) pair.
+
+    {1 Parallel exploration}
+
+    [best_plan ~domains] splits the root request's candidate list into one
+    contiguous chunk per domain (Trummer & Koch's search-space allocation,
+    arXiv 1511.01768, applied at the top of the memo lattice), evaluates
+    each chunk in a private {!ctx}, and merges the per-domain best tables
+    at the barrier.  This is sound because the request lattice is a DAG:
+    join children go to strictly smaller groups, a selector child drops one
+    spec, and a Motion child requests [Any] (from which no non-[Any]
+    same-group request is reachable) — so every (group, request) pair has a
+    unique order-independent value and merged entries are identical to what
+    a serial run computes.  The winner fold and plan extraction then run
+    serially with the serial tie-break, keeping the emitted plan
+    bit-identical across domain counts.
+
     Scope: [Get]/[Select]/[Join] trees (the shapes of the paper's §3.1);
     the production path for full queries is {!Optimizer}. *)
 
@@ -25,6 +50,7 @@ open Mpp_expr
 module Plan = Mpp_plan.Plan
 module Table = Mpp_catalog.Table
 module Obs = Mpp_obs.Obs
+module Dpool = Mpp_exec.Dpool
 
 (* ------------------------------------------------------------------ *)
 (* Requests (physical properties)                                      *)
@@ -60,6 +86,72 @@ let request_to_string r =
     | ids ->
         ", pinned:" ^ String.concat "," (List.map string_of_int ids))
 
+(* Structural hashing/equality for requests — the intern-table key.  The
+   old key was [request_to_string], which allocated and hashed a fresh
+   string on every memoized lookup; this compares the fields directly.
+   The hash folds over cheap integer features (predicate *presence* rather
+   than structure); [equal] is exact, including [Expr.equal] on per-level
+   selector predicates. *)
+module Req_key = struct
+  type t = request
+
+  let dist_equal a b =
+    match (a, b) with
+    | Any, Any | Req_replicated, Req_replicated | Req_singleton, Req_singleton
+      ->
+        true
+    | Req_hashed xs, Req_hashed ys ->
+        List.length xs = List.length ys && List.for_all2 Colref.equal xs ys
+    | _ -> false
+
+  let spec_equal (a : Part_spec.t) (b : Part_spec.t) =
+    a.part_scan_id = b.part_scan_id
+    && a.root_oid = b.root_oid
+    && List.length a.keys = List.length b.keys
+    && List.for_all2 Colref.equal a.keys b.keys
+    && List.length a.predicates = List.length b.predicates
+    && List.for_all2
+         (fun x y ->
+           match (x, y) with
+           | None, None -> true
+           | Some p, Some q -> Expr.equal p q
+           | _ -> false)
+         a.predicates b.predicates
+
+  let equal a b =
+    dist_equal a.dist b.dist
+    && List.length a.parts = List.length b.parts
+    && List.for_all2 spec_equal a.parts b.parts
+    && a.pinned = b.pinned
+
+  let hash r =
+    let mix h x = ((h * 131) + x) land max_int in
+    let h =
+      match r.dist with
+      | Any -> 3
+      | Req_replicated -> 5
+      | Req_singleton -> 7
+      | Req_hashed cols ->
+          List.fold_left
+            (fun h (c : Colref.t) -> mix h ((c.rel * 97) + c.index))
+            11 cols
+    in
+    let h =
+      List.fold_left
+        (fun h (s : Part_spec.t) ->
+          let p =
+            List.fold_left
+              (fun a p -> (2 * a) + (match p with None -> 0 | Some _ -> 1))
+              0 s.predicates
+          in
+          mix h ((s.part_scan_id * 193) + s.root_oid + p))
+        h r.parts
+    in
+    List.fold_left (fun h id -> mix h (id + 17)) h r.pinned
+end
+
+module Req_tbl = Hashtbl.Make (Req_key)
+
 (* ------------------------------------------------------------------ *)
 (* Groups and expressions                                              *)
 (* ------------------------------------------------------------------ *)
@@ -81,11 +173,11 @@ type pexpr =
   | P_selector of Part_spec.t  (** enforcer; child in the same group *)
   | P_motion of Plan.motion_kind  (** enforcer; child in the same group *)
 
-
+(* Immutable once built: worker domains read groups without coordination. *)
 type group = {
   gid : int;
-  mutable lexprs : lexpr list;
-  mutable rels : int list;  (** range-table indices reachable in this group *)
+  lexprs : lexpr list;
+  rels : int list;  (** range-table indices reachable in this group *)
 }
 
 type candidate = {
@@ -101,39 +193,47 @@ type best = { total_cost : float; chosen : candidate }
 type t = {
   catalog : Mpp_catalog.Catalog.t;
   stats : Mpp_stats.Stats_source.t option;
-  mutable groups : group list;
-  best_tbl : (int * string, best option) Hashtbl.t;
+  mutable groups : group array;  (** arena: index = gid; grows on insert *)
+  mutable ngroups : int;
   nsegments : int;
 }
 
-let group t gid = List.find (fun g -> g.gid = gid) t.groups
+let group t gid = t.groups.(gid)
 
 (* ------------------------------------------------------------------ *)
 (* Construction from a logical tree                                    *)
 (* ------------------------------------------------------------------ *)
 
+let add_group t lexprs rels =
+  let gid = t.ngroups in
+  let g = { gid; lexprs; rels } in
+  let cap = Array.length t.groups in
+  if gid = cap then begin
+    let bigger = Array.make (max 8 (2 * cap)) g in
+    Array.blit t.groups 0 bigger 0 cap;
+    t.groups <- bigger
+  end;
+  t.groups.(gid) <- g;
+  t.ngroups <- gid + 1;
+  let obs = Obs.current () in
+  Obs.incr obs "memo.groups";
+  Obs.add obs "memo.group_exprs" (List.length lexprs);
+  gid
+
 let rec insert t (lg : Logical.t) : int =
-  let fresh lexprs rels =
-    let gid = List.length t.groups in
-    t.groups <- t.groups @ [ { gid; lexprs; rels } ];
-    let obs = Obs.current () in
-    Obs.incr obs "memo.groups";
-    Obs.add obs "memo.group_exprs" (List.length lexprs);
-    gid
-  in
   match lg with
   | Logical.Get { rel; table_name } ->
       let table = Mpp_catalog.Catalog.find t.catalog table_name in
-      fresh [ L_get { rel; table; pred = None } ] [ rel ]
+      add_group t [ L_get { rel; table; pred = None } ] [ rel ]
   | Logical.Select { pred; child = Logical.Get { rel; table_name } } ->
       let table = Mpp_catalog.Catalog.find t.catalog table_name in
-      fresh [ L_get { rel; table; pred = Some pred } ] [ rel ]
+      add_group t [ L_get { rel; table; pred = Some pred } ] [ rel ]
   | Logical.Join { kind = Plan.Inner; pred; left; right } ->
       let l = insert t left and r = insert t right in
       let rels = (group t l).rels @ (group t r).rels in
       (* join commutativity: both orders are group expressions, as in the
          paper's Figure 13 (HashJoin[1,2] and HashJoin[2,1]) *)
-      fresh
+      add_group t
         [ L_join { pred; left = l; right = r };
           L_join { pred; left = r; right = l } ]
         rels
@@ -142,7 +242,7 @@ let rec insert t (lg : Logical.t) : int =
         "Memo.insert: only Get/Select(Get)/inner-Join trees are supported"
 
 let create ?stats ?(nsegments = 4) ~catalog () =
-  { catalog; stats; groups = []; best_tbl = Hashtbl.create 64; nsegments }
+  { catalog; stats; groups = [||]; ngroups = 0; nsegments }
 
 (* ------------------------------------------------------------------ *)
 (* Statistics helpers                                                  *)
@@ -163,6 +263,20 @@ let rec group_rows t gid =
   | L_join { left; right; _ } :: _ ->
       Float.max 1.0 (group_rows t left *. group_rows t right /. 100.0)
   | [] -> 1.0
+
+(* Stats_source caches ANALYZE results per table in a hash table on first
+   touch.  Warm it for every base table serially so the parallel region
+   below only ever reads the cache. *)
+let prewarm_stats t =
+  if t.stats <> None then
+    for gid = 0 to t.ngroups - 1 do
+      List.iter
+        (fun le ->
+          match le with
+          | L_get { table; _ } -> ignore (table_rows t table)
+          | L_join _ -> ())
+        t.groups.(gid).lexprs
+    done
 
 (* ------------------------------------------------------------------ *)
 (* Property satisfaction                                               *)
@@ -201,23 +315,70 @@ let motion_allowed g req =
   && List.for_all (fun id -> not (List.mem id g.rels)) req.pinned
 
 (* ------------------------------------------------------------------ *)
-(* Optimization                                                        *)
+(* Exploration contexts                                                *)
 (* ------------------------------------------------------------------ *)
 
-let req_key r = request_to_string r
+(* All memoized state for one exploration.  The arena [memo] is shared
+   (read-only during optimization); everything here is private to one
+   domain, so the parallel driver hands each worker its own [ctx] and
+   merges the tables at the barrier. *)
+type ctx = {
+  memo : t;
+  stride : int;
+      (** [memo.ngroups] at creation — packs (gid, request id) into one
+          int key: [rid * stride + gid].  No groups are created during
+          optimization, so the packing is stable. *)
+  ids : int Req_tbl.t;  (** request -> dense id (structural interning) *)
+  mutable reqs : request array;  (** id -> request, for cross-ctx merging *)
+  mutable nreqs : int;
+  best : (int, best option) Hashtbl.t;
+}
+
+let ctx_create t =
+  {
+    memo = t;
+    stride = max 1 t.ngroups;
+    ids = Req_tbl.create 64;
+    reqs = [||];
+    nreqs = 0;
+    best = Hashtbl.create 256;
+  }
+
+let intern ctx req =
+  match Req_tbl.find_opt ctx.ids req with
+  | Some id -> id
+  | None ->
+      let id = ctx.nreqs in
+      Req_tbl.add ctx.ids req id;
+      let cap = Array.length ctx.reqs in
+      if id = cap then begin
+        let bigger = Array.make (max 16 (2 * cap)) req in
+        Array.blit ctx.reqs 0 bigger 0 cap;
+        ctx.reqs <- bigger
+      end;
+      ctx.reqs.(id) <- req;
+      ctx.nreqs <- id + 1;
+      id
+
+let bkey ctx gid rid = (rid * ctx.stride) + gid
+
+(* ------------------------------------------------------------------ *)
+(* Optimization                                                        *)
+(* ------------------------------------------------------------------ *)
 
 let remove_spec parts spec =
   List.filter (fun s -> not (s == spec)) parts
 
 
-let rec optimize_req t gid (req : request) : best option =
-  let key = (gid, req_key req) in
-  match Hashtbl.find_opt t.best_tbl key with
+let rec optimize_req ctx gid (req : request) : best option =
+  let key = bkey ctx gid (intern ctx req) in
+  match Hashtbl.find_opt ctx.best key with
   | Some b -> b
   | None ->
       (* in-progress marker: a request re-entering itself is unsatisfiable
          along that path *)
-      Hashtbl.replace t.best_tbl key None;
+      Hashtbl.replace ctx.best key None;
+      let t = ctx.memo in
       let g = group t gid in
       let impls = implementation_candidates t g req in
       let enfs = enforcer_candidates t g req in
@@ -229,7 +390,7 @@ let rec optimize_req t gid (req : request) : best option =
       let best =
         List.fold_left
           (fun acc cand ->
-            match total_cost t gid cand with
+            match total_cost ctx gid cand with
             | None -> acc
             | Some cost -> (
                 match acc with
@@ -237,17 +398,17 @@ let rec optimize_req t gid (req : request) : best option =
                 | _ -> Some { total_cost = cost; chosen = cand }))
           None candidates
       in
-      Hashtbl.replace t.best_tbl key best;
+      Hashtbl.replace ctx.best key best;
       best
 
-and total_cost t gid cand =
+and total_cost ctx gid cand =
   ignore gid;
   List.fold_left
     (fun acc (cg, creq) ->
       match acc with
       | None -> None
       | Some c -> (
-          match optimize_req t cg creq with
+          match optimize_req ctx cg creq with
           | Some b -> Some (c +. b.total_cost)
           | None -> None))
     (Some cand.cand_local_cost) cand.cand_children
@@ -439,17 +600,86 @@ and enforcer_candidates t g req : candidate list =
   selector_alts @ motion_alts
 
 (* ------------------------------------------------------------------ *)
+(* Parallel exploration                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Adopt every (group, request) result a worker domain memoized.  Values
+   are order-independent (the request lattice is a DAG — see the module
+   header), so when two domains computed the same key the entries are
+   identical and first-wins is fine.  The root request is skipped: each
+   worker pre-marks it in-progress (mirroring the serial recursion), so
+   its entry is the marker, not a result. *)
+let merge_ctx ctx dctx ~root ~root_req =
+  Hashtbl.iter
+    (fun key v ->
+      let gid = key mod ctx.stride and rid = key / ctx.stride in
+      let r = dctx.reqs.(rid) in
+      if not (gid = root && Req_key.equal r root_req) then begin
+        let mkey = bkey ctx gid (intern ctx r) in
+        if not (Hashtbl.mem ctx.best mkey) then Hashtbl.replace ctx.best mkey v
+      end)
+    dctx.best
+
+(* Parallel root evaluation: partition the root candidate list into one
+   contiguous chunk per domain, evaluate each chunk in a private ctx, merge
+   tables at the barrier, then re-run the winner fold serially in candidate
+   order (the serial tie-break: first minimal candidate wins). *)
+let optimize_root ctx ~pool root (req : request) : best option =
+  let t = ctx.memo in
+  if Dpool.size pool <= 1 then optimize_req ctx root req
+  else begin
+    let g = group t root in
+    let impls = implementation_candidates t g req in
+    let enfs = enforcer_candidates t g req in
+    let obs = Obs.current () in
+    Obs.incr obs "memo.requests";
+    Obs.add obs "memo.impl_candidates" (List.length impls);
+    Obs.add obs "memo.enforcer_candidates" (List.length enfs);
+    let candidates = Array.of_list (impls @ enfs) in
+    let n = Array.length candidates in
+    let root_key ctx = bkey ctx root (intern ctx req) in
+    if n = 0 then begin
+      Hashtbl.replace ctx.best (root_key ctx) None;
+      None
+    end
+    else begin
+      let nchunks = min (Dpool.size pool) n in
+      let dctxs = Array.init nchunks (fun _ -> ctx_create t) in
+      let costs = Array.make n None in
+      Obs.add obs "memo.parallel_chunks" nchunks;
+      Dpool.parallel_chunks pool ~n (fun ci lo hi ->
+          let dctx = dctxs.(ci) in
+          Hashtbl.replace dctx.best (root_key dctx) None;
+          for i = lo to hi - 1 do
+            costs.(i) <- total_cost dctx root candidates.(i)
+          done);
+      Array.iter (fun dctx -> merge_ctx ctx dctx ~root ~root_req:req) dctxs;
+      let best = ref None in
+      for i = 0 to n - 1 do
+        match costs.(i) with
+        | None -> ()
+        | Some cost -> (
+            match !best with
+            | Some b when b.total_cost <= cost -> ()
+            | _ -> best := Some { total_cost = cost; chosen = candidates.(i) })
+      done;
+      Hashtbl.replace ctx.best (root_key ctx) !best;
+      !best
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Plan extraction                                                     *)
 (* ------------------------------------------------------------------ *)
 
-let rec extract t gid (req : request) : Plan.t option =
-  match optimize_req t gid req with
+let rec extract ctx gid (req : request) : Plan.t option =
+  match optimize_req ctx gid req with
   | None -> None
-  | Some best -> extract_candidate t gid best.chosen
+  | Some best -> extract_candidate ctx gid best.chosen
 
-and extract_candidate t _gid (cand : candidate) : Plan.t option =
+and extract_candidate ctx _gid (cand : candidate) : Plan.t option =
   let children =
-    List.map (fun (cg, creq) -> extract t cg creq) cand.cand_children
+    List.map (fun (cg, creq) -> extract ctx cg creq) cand.cand_children
   in
   if List.exists Option.is_none children then None
   else
@@ -498,7 +728,7 @@ let rec enumerate t gid (req : request) ~limit : Plan.t list =
           | [] -> [ [] ]
           | (cg, creq) :: rest ->
               let subs =
-                if cg = gid && req_key creq = req_key req then []
+                if cg = gid && Req_key.equal creq req then []
                 else enumerate t cg creq ~limit:(min limit 4)
               in
               List.concat_map
@@ -546,39 +776,51 @@ let rec enumerate t gid (req : request) ~limit : Plan.t list =
     paper's req. #1. *)
 let initial_request t ~root_gid : request =
   let g = group t root_gid in
-  let parts =
-    List.filter_map
-      (fun rel ->
-        (* find the table bound to this rel in some Get *)
-        List.find_map
-          (fun grp ->
-            List.find_map
-              (fun le ->
-                match le with
-                | L_get { rel = r; table; _ }
-                  when r = rel && Table.is_partitioned table ->
-                    Some
-                      (Part_spec.initial ~part_scan_id:rel
-                         ~root_oid:table.Table.oid
-                         ~keys:(Table.part_key_colrefs table ~rel))
-                | _ -> None)
-              grp.lexprs)
-          t.groups)
-      g.rels
+  let find_partitioned rel =
+    let rec scan i =
+      if i >= t.ngroups then None
+      else
+        match
+          List.find_map
+            (fun le ->
+              match le with
+              | L_get { rel = r; table; _ }
+                when r = rel && Table.is_partitioned table ->
+                  Some
+                    (Part_spec.initial ~part_scan_id:rel
+                       ~root_oid:table.Table.oid
+                       ~keys:(Table.part_key_colrefs table ~rel))
+              | _ -> None)
+            t.groups.(i).lexprs
+        with
+        | Some _ as s -> s
+        | None -> scan (i + 1)
+    in
+    scan 0
   in
-  { dist = Any; parts; pinned = [] }
+  { dist = Any; parts = List.filter_map find_partitioned g.rels; pinned = [] }
 
-(** Optimize [lg] through the memo; returns the best plan and its cost. *)
-let best_plan ?stats ?(nsegments = 4) ~catalog (lg : Logical.t) :
-    (Plan.t * float) option =
+(** Optimize [lg] through the memo; returns the best plan and its cost.
+    [domains > 1] explores the root candidates across that many pool
+    domains; the plan and cost are bit-identical to the serial result. *)
+let best_plan ?stats ?(nsegments = 4) ?(domains = 1) ~catalog (lg : Logical.t)
+    : (Plan.t * float) option =
   Obs.span (Obs.current ()) "memo.optimize" (fun () ->
       let t = create ?stats ~nsegments ~catalog () in
       let root = insert t lg in
       let req = initial_request t ~root_gid:root in
-      match optimize_req t root req with
+      let ctx = ctx_create t in
+      let best =
+        if domains <= 1 then optimize_req ctx root req
+        else begin
+          prewarm_stats t;
+          optimize_root ctx ~pool:(Dpool.get ~domains) root req
+        end
+      in
+      match best with
       | None -> None
       | Some best -> (
-          match extract t root req with
+          match extract ctx root req with
           | Some plan -> Some (plan, best.total_cost)
           | None -> None))
 

@@ -47,6 +47,15 @@ type config = {
           joins.  Often faster per pair, but re-couples plan size to the
           partition count — exactly the drawback the paper's DynamicScan
           representation avoids. *)
+  join_reorder : bool;
+      (** search for a left-deep join order over inner-join regions with at
+          least [join_reorder_min_rels] relations ({!Joinorder}); smaller
+          regions keep the order as written, so the classic workload's
+          plans are untouched *)
+  join_reorder_min_rels : int;
+  opt_domains : int;
+      (** domains the join-order search fans out over (1 = serial; the
+          chosen plan is identical for every value) *)
   nsegments : int;
 }
 
@@ -56,8 +65,22 @@ let default_config =
     cost_based_joins = true;
     enable_two_phase_agg = true;
     enable_partition_wise_join = false;
+    join_reorder = true;
+    join_reorder_min_rels = 5;
+    opt_domains = 1;
     nsegments = 4;
   }
+
+(** The [MPP_OPT_DOMAINS] environment variable; 1 (serial) when
+    unset/invalid.  The optimizer-side sibling of
+    {!Mpp_exec.Dpool.default_domains}. *)
+let default_opt_domains () =
+  match Sys.getenv_opt "MPP_OPT_DOMAINS" with
+  | None -> 1
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | _ -> 1)
 
 type t = {
   catalog : Mpp_catalog.Catalog.t;
@@ -293,12 +316,28 @@ let hashed_on_keys dist keys =
            cols
   | _ -> false
 
+(* Is the DynamicScan for [rel]/[root_oid] reachable in [plan] without
+   crossing a Motion?  Placement refuses the DPE push otherwise (the
+   selector's bitmap is segment-local), so costing must not discount a
+   scan that cannot actually be selected. *)
+let rec motion_free_scan (plan : Plan.t) ~rel ~root_oid =
+  match plan with
+  | Plan.Dynamic_scan d -> d.rel = rel && d.root_oid = root_oid
+  | Plan.Motion _ -> false
+  | _ ->
+      List.exists
+        (fun c -> motion_free_scan c ~rel ~root_oid)
+        (Plan.children plan)
+
 (* DPE opportunity: DynamicScans in the probe subtree whose keys the join
-   predicate constrains with expressions the build side can evaluate. *)
+   predicate constrains with expressions the build side can evaluate —
+   and that no Motion inside the probe subtree hides from the selector. *)
 let dpe_opportunities ~pred ~build ~probe =
   let build_rels = Plan.output_rels build.plan in
   List.filter
     (fun ds ->
+      motion_free_scan probe.plan ~rel:ds.ds_rel ~root_oid:ds.ds_root_oid
+      &&
       match Expr.find_preds_on_keys ds.ds_keys pred with
       | None -> false
       | Some found ->
@@ -570,6 +609,196 @@ let plan_join t ~rel_tables ~pinned_rel ~kind ~pred (left : annotated)
         cost = best.jc_cost;
         dyn_scans = best.jc_dyn_scans;
       }
+
+(* ------------------------------------------------------------------ *)
+(* Join-order search (big inner-join regions)                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Row estimate of a logical subtree, for seeding the join-order search.
+   Deliberately the same crude shapes as [est_rows]: the search only ranks
+   orders; the chosen order is then re-costed by the full model. *)
+let rec logical_rows t ~rel_tables (lg : Logical.t) : float =
+  match lg with
+  | Logical.Get { table_name; _ } ->
+      float_of_int (stats_of t (table_of t table_name)).rowcount
+  | Logical.Select { pred; child } ->
+      Float.max 1.0
+        (logical_rows t ~rel_tables child *. selectivity_for t ~rel_tables pred)
+  | Logical.Join { kind = Plan.Semi; left; _ } ->
+      Float.max 1.0 (logical_rows t ~rel_tables left *. 0.5)
+  | Logical.Join { left; right; _ } ->
+      Float.max 1.0
+        (logical_rows t ~rel_tables left
+        *. logical_rows t ~rel_tables right
+        /. 100.0)
+  | Logical.Aggregate { group_by = []; _ } -> 1.0
+  | Logical.Aggregate { child; _ } ->
+      Float.max 1.0 (logical_rows t ~rel_tables child /. 10.0)
+  | Logical.Project { child; _ } | Logical.Sort { child; _ } ->
+      logical_rows t ~rel_tables child
+  | Logical.Limit { rows; child } ->
+      Float.min (float_of_int rows) (logical_rows t ~rel_tables child)
+  | Logical.Update _ | Logical.Delete _ | Logical.Insert _ -> 1.0
+
+(* Selectivity of one join conjunct: the textbook 1/max(ndv) for an
+   equi-pair, a flat guess otherwise. *)
+let edge_sel t ~rel_tables c =
+  match c with
+  | Expr.Cmp (Expr.Eq, (Expr.Col _ as a), (Expr.Col _ as b)) ->
+      let n =
+        Float.max
+          (float_of_int (key_ndv t ~rel_tables a))
+          (float_of_int (key_ndv t ~rel_tables b))
+      in
+      1.0 /. Float.max 1.0 n
+  | _ -> 0.25
+
+(* Flatten a maximal inner-join region: the non-inner-join leaf subtrees in
+   tree order, plus every join conjunct of the region. *)
+let rec flatten_region (lg : Logical.t) : Logical.t list * Expr.t list =
+  match lg with
+  | Logical.Join { kind = Plan.Inner; pred; left; right } ->
+      let ll, lc = flatten_region left and rl, rc = flatten_region right in
+      (ll @ rl, lc @ rc @ Expr.conjuncts pred)
+  | leaf -> ([ leaf ], [])
+
+let bit_index m =
+  let rec go m i = if m = 1 then i else go (m lsr 1) (i + 1) in
+  go m 0
+
+(* Rebuild a left-deep tree over [leaves] in [order], attaching each edge
+   conjunct at the first join whose extended leaf set covers it (original
+   conjunct order within a predicate is preserved).  [residual] conjuncts
+   (no column references) go in a Select on top. *)
+let rebuild_region leaves (edges : (int * Expr.t) array) order residual :
+    Logical.t =
+  match order with
+  | [] -> assert false
+  | first :: rest ->
+      let used = Array.make (Array.length edges) false in
+      let tree = ref leaves.(first) and mask = ref (1 lsl first) in
+      List.iter
+        (fun j ->
+          let nm = !mask lor (1 lsl j) in
+          let cs = ref [] in
+          Array.iteri
+            (fun ei (em, c) ->
+              if (not used.(ei)) && em land lnot nm = 0 then begin
+                used.(ei) <- true;
+                cs := c :: !cs
+              end)
+            edges;
+          let pred =
+            match List.rev !cs with [] -> Expr.true_ | l -> Expr.conj l
+          in
+          tree := Logical.join pred !tree leaves.(j);
+          mask := nm)
+        rest;
+      (match residual with
+      | [] -> !tree
+      | l -> Logical.select (Expr.conj l) !tree)
+
+(* Reorder one flattened region; [None] when a conjunct references a
+   relation outside the region's leaves (bail out, keep the written order —
+   the safety valve for shapes the binder never produces today). *)
+let try_reorder t ~rel_tables ~pool leaves conjs : Logical.t option =
+  let leaves = Array.of_list leaves in
+  let n = Array.length leaves in
+  let rel_leaf = Hashtbl.create 16 in
+  Array.iteri
+    (fun i leaf ->
+      List.iter
+        (fun (rel, _) -> Hashtbl.replace rel_leaf rel i)
+        (Logical.base_tables leaf))
+    leaves;
+  let ok = ref true in
+  let classified =
+    List.map
+      (fun c ->
+        let mask =
+          List.fold_left
+            (fun m rel ->
+              match Hashtbl.find_opt rel_leaf rel with
+              | Some i -> m lor (1 lsl i)
+              | None ->
+                  ok := false;
+                  m)
+            0 (Expr.rels c)
+        in
+        (mask, c))
+      conjs
+  in
+  if not !ok then None
+  else begin
+    let locals = Array.make n [] in
+    let edges = ref [] and residual = ref [] in
+    List.iter
+      (fun (m, c) ->
+        if m = 0 then residual := c :: !residual
+        else if m land (m - 1) = 0 then
+          let i = bit_index m in
+          locals.(i) <- c :: locals.(i)
+        else edges := (m, c) :: !edges)
+      classified;
+    let edges = Array.of_list (List.rev !edges) in
+    let residual = List.rev !residual in
+    (* single-leaf conjuncts become local filters, shrinking that leaf's
+       row estimate before the search sees it *)
+    let leaves =
+      Array.mapi
+        (fun i leaf ->
+          match List.rev locals.(i) with
+          | [] -> leaf
+          | l -> Logical.select (Expr.conj l) leaf)
+        leaves
+    in
+    let leaf_rows =
+      Array.map (fun leaf -> logical_rows t ~rel_tables leaf) leaves
+    in
+    let graph =
+      Joinorder.make ~leaf_rows
+        ~edges:(Array.map (fun (m, c) -> (m, edge_sel t ~rel_tables c)) edges)
+    in
+    let order = Joinorder.order ~pool graph in
+    Obs.incr (Obs.current ()) "optimizer.join_reorders";
+    Log.debug (fun m ->
+        m "join reorder: %d relations, %d edges, order=%s" n
+          (Array.length edges)
+          (String.concat "," (List.map string_of_int order)));
+    Some (rebuild_region leaves edges order residual)
+  end
+
+(* Walk the logical tree; every maximal inner-join region of at least
+   [join_reorder_min_rels] leaves is re-ordered by {!Joinorder} (fanned out
+   over [opt_domains] pool domains).  DML subtrees are left as written —
+   the target relation's plan position is semantic there. *)
+let reorder_joins t ~rel_tables (lg : Logical.t) : Logical.t =
+  let pool = Mpp_exec.Dpool.get ~domains:t.config.opt_domains in
+  let rec go lg =
+    match lg with
+    | Logical.Join { kind = Plan.Inner; _ } -> (
+        let leaves, conjs = flatten_region lg in
+        let n = List.length leaves in
+        if n < t.config.join_reorder_min_rels || n > 60 then descend lg
+        else
+          let leaves = List.map go leaves in
+          match try_reorder t ~rel_tables ~pool leaves conjs with
+          | Some lg' -> lg'
+          | None -> descend lg)
+    | _ -> descend lg
+  and descend lg =
+    match lg with
+    | Logical.Get _ | Logical.Insert _ | Logical.Update _ | Logical.Delete _
+      ->
+        lg
+    | Logical.Select s -> Logical.Select { s with child = go s.child }
+    | Logical.Join j -> Logical.Join { j with left = go j.left; right = go j.right }
+    | Logical.Aggregate a -> Logical.Aggregate { a with child = go a.child }
+    | Logical.Project p -> Logical.Project { p with child = go p.child }
+    | Logical.Sort s -> Logical.Sort { s with child = go s.child }
+    | Logical.Limit l -> Logical.Limit { l with child = go l.child }
+  in
+  go lg
 
 (* ------------------------------------------------------------------ *)
 (* Top-level translation                                               *)
@@ -876,6 +1105,12 @@ let optimize t (lg : Logical.t) : Plan.t =
           (fun (rel, name) -> (rel, table_of t name))
           (Logical.base_tables lg)
       in
+      let lg =
+        if t.config.join_reorder then
+          Obs.span obs "optimize.join_reorder" (fun () ->
+              reorder_joins t ~rel_tables lg)
+        else lg
+      in
       let ann =
         Obs.span obs "optimize.physical" (fun () ->
             build_physical t ~rel_tables ~pinned_rel:None lg)
@@ -942,5 +1177,8 @@ let estimate t (lg : Logical.t) : float =
   t.next_scan_id <- 1;
   let rel_tables =
     List.map (fun (rel, name) -> (rel, table_of t name)) (Logical.base_tables lg)
+  in
+  let lg =
+    if t.config.join_reorder then reorder_joins t ~rel_tables lg else lg
   in
   (build_physical t ~rel_tables ~pinned_rel:None lg).cost

@@ -22,10 +22,22 @@ type config = {
           key-to-key join of identically partitioned, co-located tables into
           an Append of per-partition joins — re-coupling plan size to the
           partition count *)
+  join_reorder : bool;
+      (** search for a left-deep join order over inner-join regions with at
+          least [join_reorder_min_rels] relations ({!Joinorder}); smaller
+          regions keep the order as written *)
+  join_reorder_min_rels : int;
+  opt_domains : int;
+      (** domains the join-order search fans out over (1 = serial; the
+          chosen plan is identical for every value) *)
   nsegments : int;
 }
 
 val default_config : config
+
+val default_opt_domains : unit -> int
+(** The [MPP_OPT_DOMAINS] environment variable; 1 (serial) when
+    unset/invalid. *)
 
 type t
 

@@ -62,6 +62,22 @@ let predicates_evaluable ~keys ~rels preds =
    partitioning key. *)
 let find_preds_on_keys keys pred = Expr.find_preds_on_keys keys pred
 
+(* Is DynamicScan [id] reachable from [expr] without crossing a Motion?
+   A selector resolved at or above [expr] drives the scan through a
+   segment-local bitmap, so any Motion on the path breaks the pair (and
+   the verifier rejects the plan).  Join trees built by the join-order
+   search routinely put a former build side — Motion on top — under a
+   later join's inner child, so this is a real routing condition, not a
+   formality. *)
+let rec motion_free_to_scan (expr : Plan.t) id =
+  match expr with
+  | Plan.Dynamic_scan { part_scan_id; _ } -> part_scan_id = id
+  | Plan.Motion _ -> false
+  | _ ->
+      List.exists
+        (fun c -> Plan.has_part_scan_id c id && motion_free_to_scan c id)
+        (Plan.children expr)
+
 (* ComputePartSelectors — dispatch on the operator (Algorithms 2, 3, 4).
    With [eliminate = false] the Filter/Join refinements are disabled and all
    specs take the default route, yielding Φ leaf selectors that scan every
@@ -118,10 +134,22 @@ let compute_part_selectors ~eliminate (expr : Plan.t)
             in
             if defined_in_outer then push_to acc ~index:0 spec
             else
+              (* the streaming selector would sit above the outer child;
+                 it can only drive the scan if no Motion intervenes on the
+                 inner side *)
+              let reachable =
+                match defining_child_index spec with
+                | Some i ->
+                    motion_free_to_scan
+                      (List.nth (Plan.children expr) i)
+                      spec.Part_spec.part_scan_id
+                | None -> false
+              in
               match find_preds_on_keys spec.Part_spec.keys pred with
               | Some found
-                when predicates_evaluable ~keys:spec.Part_spec.keys
-                       ~rels:(Plan.output_rels left) found ->
+                when reachable
+                     && predicates_evaluable ~keys:spec.Part_spec.keys
+                          ~rels:(Plan.output_rels left) found ->
                   (* the join predicate constrains the partitioning key and
                      the outer child can evaluate it: dynamic partition
                      elimination — push the spec to the opposite side *)

@@ -1049,6 +1049,10 @@ let filters_pass ~catalog:_ (plan : Plan.t) : Diag.t list =
     let send =
       match p with
       | Plan.Motion { kind = Plan.Redistribute _ | Plan.Broadcast; _ } -> true
+      (* a stack of consumers under one Motion: every filter in the chain
+         still runs on the sending side, so pre-Motion marking stays valid
+         through other Runtime_filters *)
+      | Plan.Runtime_filter _ -> under_send
       | _ -> false
     in
     List.iteri
