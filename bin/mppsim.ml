@@ -8,6 +8,7 @@
     mppsim explain --analyze "SELECT ..."
     mppsim run --optimizer planner --trace out.json "SELECT ..."
     mppsim check --workload
+    mppsim lint --workload
     mppsim repl
     mppsim schema
     v} *)
@@ -282,6 +283,106 @@ let do_profile ?domains ?(runtime_filters = true) ~out env kind selection sql =
     (Mpp_obs.Trace.event_count trace)
     (List.length (Mpp_obs.Trace.track_ids trace))
 
+(* [mppsim lint] — run the abstract-interpretation linter
+   ({!Mpp_analysis.Analysis.Lint}) over the plans both optimizers produce
+   with the simplifier disabled: redundant conjuncts, contradictory
+   conjuncts and filters, and statically dead Append branches survive in
+   the plan exactly as the query (or an optimizer bug) wrote them, and
+   each is reported with its plan path and a stable [lint/…] code.  Exits
+   1 when anything is flagged, so the [@lint] alias doubles as a
+   workload-hygiene gate. *)
+let lint_report ~catalog name kname plan nfind =
+  let fs = Mpp_analysis.Analysis.Lint.plan ~catalog plan in
+  nfind := !nfind + List.length fs;
+  if fs <> [] then begin
+    Printf.printf "%-28s %-8s\n" name kname;
+    List.iter
+      (fun f ->
+        Format.printf "  %a@." Mpp_analysis.Analysis.Lint.pp_finding f)
+      fs
+  end
+
+(* The linter wants the plan as written, so both optimizers run with
+   [simplify = false]; everything else stays at the defaults the normal
+   pipeline uses. *)
+let unsimplified_plans env ~selection logical =
+  let orca =
+    let config =
+      { Orca.Optimizer.default_config with
+        enable_partition_selection = selection;
+        simplify = false }
+    in
+    Orca.Optimizer.optimize
+      (Orca.Optimizer.create ~config ~stats:env.W.Runner.stats
+         ~catalog:env.W.Runner.catalog ())
+      logical
+  and planner =
+    let config = { Mpp_planner.Planner.default_config with simplify = false } in
+    Mpp_planner.Planner.plan
+      (Mpp_planner.Planner.create ~config ~catalog:env.W.Runner.catalog ())
+      logical
+  in
+  [ ("orca", orca); ("planner", planner) ]
+
+let lint_sweep env selection ~workload ~biggen sql_opt nfind =
+  let lint_logical name logical =
+    List.iter
+      (fun (kname, plan) ->
+        lint_report ~catalog:env.W.Runner.catalog name kname plan nfind)
+      (unsimplified_plans env ~selection logical)
+  in
+  if workload then
+    List.iter
+      (fun (qu : W.Queries.query) ->
+        lint_logical qu.W.Queries.name
+          (Mpp_sql.Sql.to_logical env.W.Runner.catalog qu.W.Queries.sql))
+      W.Queries.all;
+  if biggen then
+    List.iter
+      (fun spec ->
+        let benv = W.Biggen.generate spec in
+        let catalog = benv.W.Biggen.catalog in
+        let name = benv.W.Biggen.name in
+        let orca_plan =
+          let config =
+            { Orca.Optimizer.default_config with
+              enable_partition_selection = selection;
+              simplify = false }
+          in
+          Orca.Optimizer.optimize
+            (Orca.Optimizer.create ~config ~stats:benv.W.Biggen.stats
+               ~catalog ())
+            benv.W.Biggen.logical
+        in
+        lint_report ~catalog name "orca" orca_plan nfind;
+        let planner_plan =
+          let config =
+            { Mpp_planner.Planner.default_config with simplify = false }
+          in
+          Mpp_planner.Planner.plan
+            (Mpp_planner.Planner.create ~config ~catalog ())
+            benv.W.Biggen.logical
+        in
+        lint_report ~catalog name "planner" planner_plan nfind)
+      (W.Biggen.default_suite ());
+  match sql_opt with
+  | Some sql ->
+      lint_logical "query" (Mpp_sql.Sql.to_logical env.W.Runner.catalog sql)
+  | None -> ()
+
+let do_lint env selection ~workload ~biggen sql_opt =
+  let nfind = ref 0 in
+  if not (workload || biggen) && sql_opt = None then begin
+    prerr_endline "mppsim lint: provide a SQL argument, --workload or --biggen";
+    exit 2
+  end;
+  lint_sweep env selection ~workload ~biggen sql_opt nfind;
+  if !nfind > 0 then begin
+    Printf.printf "%d lint finding(s)\n" !nfind;
+    exit 1
+  end
+  else print_endline "no lint findings"
+
 (* [mppsim check] — run the multi-pass plan verifier over the plans both
    optimizers produce (for one SQL statement, or for the whole built-in
    workload with [--workload]) and pretty-print the diagnostics.  The
@@ -373,8 +474,16 @@ let do_check env selection ~workload ~biggen sql_opt =
          prerr_endline
            "mppsim check: provide a SQL argument, --workload or --biggen";
          incr nfail);
-  if !nfail > 0 then begin
-    Printf.printf "%d plan(s) failed verification\n" !nfail;
+  (* the same inputs also go through the pre-simplification linter: a
+     query carrying a redundant or contradictory predicate is workload rot
+     even when the simplifier cleans the plan up *)
+  let nfind = ref 0 in
+  lint_sweep env selection ~workload ~biggen
+    (if workload || biggen then None else sql_opt)
+    nfind;
+  if !nfind > 0 then Printf.printf "%d lint finding(s)\n" !nfind;
+  if !nfail + !nfind > 0 then begin
+    Printf.printf "%d plan(s) failed verification or lint\n" (!nfail + !nfind);
     exit 1
   end
   else print_endline "all plans verify clean"
@@ -573,10 +682,38 @@ let check_cmd =
     (Cmd.info "check"
        ~doc:
          "Statically verify the plans both optimizers produce (structure, \
-          schema, distribution, partition accounting, runtime filters); \
-          exit 1 on any diagnostic of error severity.")
+          schema, distribution, partition accounting, runtime filters, \
+          pruning soundness) and run the predicate linter over the same \
+          inputs; exit 1 on any error-severity diagnostic or lint \
+          finding.")
     Term.(const (fun n sc sg v workload biggen sql -> with_env
                     (fun env _k sel -> do_check env sel ~workload ~biggen sql)
+                    Orca n sc sg v)
+          $ no_selection_arg $ scale_arg $ segments_arg $ verbose_arg
+          $ workload_arg $ biggen_arg $ sql_opt_arg)
+
+let lint_cmd =
+  let workload_arg =
+    Arg.(value & flag & info [ "workload" ]
+           ~doc:"Lint every built-in workload query instead of one SQL \
+                 statement.")
+  in
+  let biggen_arg =
+    Arg.(value & flag & info [ "biggen" ]
+           ~doc:"Lint the generated big-join suite under both optimizers.")
+  in
+  let sql_opt_arg =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"SQL")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Run the predicate-analysis linter over the unsimplified plans \
+          both optimizers produce: redundant conjuncts, contradictory \
+          conjuncts and filters, statically dead Append branches. Exit 1 \
+          on any finding.")
+    Term.(const (fun n sc sg v workload biggen sql -> with_env
+                    (fun env _k sel -> do_lint env sel ~workload ~biggen sql)
                     Orca n sc sg v)
           $ no_selection_arg $ scale_arg $ segments_arg $ verbose_arg
           $ workload_arg $ biggen_arg $ sql_opt_arg)
@@ -593,6 +730,7 @@ let main =
        ~doc:
          "Simulated MPP database with partitioned-table optimization \
           (SIGMOD 2014 reproduction).")
-    [ explain_cmd; run_cmd; profile_cmd; repl_cmd; check_cmd; schema_cmd ]
+    [ explain_cmd; run_cmd; profile_cmd; repl_cmd; check_cmd; lint_cmd;
+      schema_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -84,7 +84,10 @@ type ctx = {
       (** when set, {!exec} runs {!Mpp_verify.Verify.assert_valid} over the
           root plan before interpreting it, rejecting structurally,
           schema-, distribution- or accounting-invalid plans up front
-          instead of failing (or mis-executing) mid-flight *)
+          instead of failing (or mis-executing) mid-flight; additionally,
+          every built runtime join filter's min-max summary is
+          cross-checked against the static bounds of its build subtree
+          ({!Mpp_analysis.Analysis.minmax_violations}) *)
   runtime_filters : bool;
       (** when [false], [Runtime_filter_build] / [Runtime_filter] nodes are
           pure pass-throughs — the "runtime filters off" half of the
@@ -555,10 +558,17 @@ let run_streaming_selection ctx ~part_scan_id ~root_oid ~keys
 (* Build side: feed every build row's key tuple into a per-segment Bloom +
    min-max filter and publish it on the channel.  Sizing uses only the
    plan's [rows_est], so every segment's filter has the same shape and the
-   coordinator's merge is a word-wise union.  Pass-through for rows. *)
-let exec_rf_build ctx ~rf_id ~keys ~rows_est (child : result) =
+   coordinator's merge is a word-wise union.  Pass-through for rows.
+
+   [check_against] (the build subtree's plan, passed under [ctx.verify])
+   cross-checks the built min-max summaries against the statically derived
+   bounds of that subtree ({!Mpp_analysis.Analysis.minmax_violations}): an
+   observed key outside the static range means the filter was built over
+   the wrong rows or columns, which would silently drop probe-side rows. *)
+let exec_rf_build ctx ~rf_id ~keys ~rows_est ?check_against (child : result) =
   let offs = Array.of_list (List.map (resolver child.layout) keys) in
   let nkeys = Array.length offs in
+  let blooms = Array.make (Array.length child.rows) None in
   ignore
     (par_init ctx (fun segment ->
          let bloom = Bloom.create ~nkeys ~expected:rows_est in
@@ -570,9 +580,40 @@ let exec_rf_build ctx ~rf_id ~keys ~rows_est (child : result) =
              done;
              Bloom.add bloom scratch)
            child.rows.(segment);
+         blooms.(segment) <- Some bloom;
          Channel.publish_filter ctx.channel ~segment ~rf_id bloom;
          let m = ctx.metrics.(segment) in
          m.Metrics.filter_built <- m.Metrics.filter_built + 1));
+  (match check_against with
+  | None -> ()
+  | Some build_plan -> (
+      (* combined per-key summary across the segment filters *)
+      let minmax key =
+        Array.fold_left
+          (fun acc b ->
+            match b with
+            | None -> acc
+            | Some b -> (
+                match (Bloom.minmax b ~key, acc) with
+                | None, acc -> acc
+                | (Some _ as r), None -> r
+                | Some (lo, hi), Some (lo0, hi0) ->
+                    Some
+                      ( (if Value.compare lo lo0 < 0 then lo else lo0),
+                        if Value.compare hi hi0 > 0 then hi else hi0 )))
+          None blooms
+      in
+      match
+        Mpp_analysis.Analysis.minmax_violations ~catalog:ctx.catalog
+          ~child:build_plan ~keys ~minmax
+      with
+      | [] -> ()
+      | vs ->
+          failwith
+            (Printf.sprintf
+               "runtime filter %d: built summary outside static bounds: %s"
+               rf_id
+               (String.concat "; " vs))));
   child
 
 (* Probe side: the per-segment row test over the merged filter.  The
@@ -1344,7 +1385,9 @@ and exec_node ctx id (plan : Plan.t) : result =
       exec_motion ctx ~kind ~child:r
   | Plan.Runtime_filter_build { rf_id; keys; rows_est; child } ->
       let r = kid 0 child in
-      if ctx.runtime_filters then exec_rf_build ctx ~rf_id ~keys ~rows_est r
+      if ctx.runtime_filters then
+        let check_against = if ctx.verify then Some child else None in
+        exec_rf_build ctx ~rf_id ~keys ~rows_est ?check_against r
       else r
   | Plan.Runtime_filter { rf_id; keys; at_motion; child } -> (
       if not ctx.runtime_filters then kid 0 child

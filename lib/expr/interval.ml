@@ -211,7 +211,7 @@ module Set = struct
         normalize (leading @ tail s)
 
   let diff a b = inter a (complement b)
-
+  let is_subset a b = is_empty (diff a b)
   let overlaps_set (a : t) (b : t) = not (is_empty (inter a b))
 
   let equal (a : t) (b : t) =

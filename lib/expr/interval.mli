@@ -77,6 +77,9 @@ module Set : sig
   val complement : t -> t
   val diff : t -> t -> t
 
+  val is_subset : t -> t -> bool
+  (** [is_subset a b]: every value of [a] is in [b]. *)
+
   val overlaps_set : t -> t -> bool
   (** Non-empty intersection — the heart of [f*_T]. *)
 

@@ -56,6 +56,11 @@ type config = {
   opt_domains : int;
       (** domains the join-order search fans out over (1 = serial; the
           chosen plan is identical for every value) *)
+  simplify : bool;
+      (** abstract-interpretation pass over the placed plan: drop
+          always-true conjuncts, collapse always-false filters, and (when
+          partition selection is on) strengthen selectors with implied
+          partition-key restrictions *)
   nsegments : int;
 }
 
@@ -68,6 +73,7 @@ let default_config =
     join_reorder = true;
     join_reorder_min_rels = 5;
     opt_domains = 1;
+    simplify = true;
     nsegments = 4;
   }
 
@@ -1124,6 +1130,17 @@ let optimize t (lg : Logical.t) : Plan.t =
         Obs.span obs "optimize.placement" (fun () ->
             Placement.place ~eliminate:t.config.enable_partition_selection
               ~catalog:t.catalog ann.plan)
+      in
+      (* Abstract-interpretation cleanup of the placed plan: always-true
+         conjuncts dropped, always-false filters collapsed, and implied
+         partition-key restrictions conjoined onto selectors (so the
+         nparts stamp below sees the strengthened predicates). *)
+      let placed =
+        if t.config.simplify then
+          Obs.span obs "optimize.simplify" (fun () ->
+              Mpp_analysis.Analysis.simplify_plan ~catalog:t.catalog
+                ~strengthen:t.config.enable_partition_selection placed)
+        else placed
       in
       if Obs.enabled obs then begin
         Obs.annotate obs "estimated_cost" (Mpp_obs.Json.Float ann.cost);

@@ -30,6 +30,13 @@ type config = {
   opt_domains : int;
       (** domains the join-order search fans out over (1 = serial; the
           chosen plan is identical for every value) *)
+  simplify : bool;
+      (** abstract-interpretation pass over the placed plan
+          ({!Mpp_analysis.Analysis.simplify_plan}): drop always-true
+          conjuncts, collapse always-false filters to the statically-empty
+          shape, and (when partition selection is on) strengthen selectors
+          with partition-key restrictions implied across equi-join
+          equivalence classes *)
   nsegments : int;
 }
 

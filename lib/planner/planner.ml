@@ -30,6 +30,11 @@ module Logical = Orca.Logical
 type config = {
   enable_static_elimination : bool;
   enable_dynamic_elimination : bool;
+  simplify : bool;
+      (** abstract-interpretation pass over the finished plan: drop
+          always-true conjuncts, collapse always-false filters, and (when
+          static elimination is on) re-run static exclusion with implied
+          partition-key restrictions *)
   nsegments : int;
 }
 
@@ -37,6 +42,7 @@ let default_config =
   {
     enable_static_elimination = true;
     enable_dynamic_elimination = true;
+    simplify = true;
     nsegments = 4;
   }
 
@@ -389,9 +395,15 @@ let plan t (lg : Logical.t) : Plan.t =
         finalize s
     | _ -> gather s
   in
+  let p =
+    if t.config.simplify then
+      Mpp_analysis.Analysis.simplify_plan ~catalog:t.catalog
+        ~strengthen:t.config.enable_static_elimination p
+    else p
+  in
   let p = Mpp_plan.Rf_annotate.annotate ~catalog:t.catalog ~decide:(rf_decide t) p in
   (* Every plan the legacy planner emits runs the full static verifier —
-     the same five passes the Orca pipeline must satisfy, which is what
+     the same six passes the Orca pipeline must satisfy, which is what
      makes the two optimizers differentially checkable. *)
   match Mpp_verify.Diag.errors (Mpp_verify.Verify.check ~catalog:t.catalog p) with
   | [] -> p

@@ -14,6 +14,9 @@
 type config = {
   enable_static_elimination : bool;
   enable_dynamic_elimination : bool;
+  simplify : bool;
+      (** abstract-interpretation pass over the finished plan
+          ({!Mpp_analysis.Analysis.simplify_plan}) *)
   nsegments : int;
 }
 

@@ -2,7 +2,7 @@
 
 type severity = Error | Warning
 
-type pass = Structure | Schema | Distribution | Accounting | Filters
+type pass = Structure | Schema | Distribution | Accounting | Filters | Pruning
 
 type t = {
   severity : severity;
@@ -20,6 +20,7 @@ let pass_to_string = function
   | Distribution -> "distribution"
   | Accounting -> "accounting"
   | Filters -> "filters"
+  | Pruning -> "pruning"
 
 let pass_of_string = function
   | "structure" -> Some Structure
@@ -27,6 +28,7 @@ let pass_of_string = function
   | "distribution" -> Some Distribution
   | "accounting" -> Some Accounting
   | "filters" -> Some Filters
+  | "pruning" -> Some Pruning
   | _ -> None
 
 let make ?(severity = Error) ~pass ~code ~path message =

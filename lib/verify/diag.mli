@@ -7,7 +7,7 @@
 
 type severity = Error | Warning
 
-type pass = Structure | Schema | Distribution | Accounting | Filters
+type pass = Structure | Schema | Distribution | Accounting | Filters | Pruning
 
 type t = {
   severity : severity;

@@ -1174,6 +1174,145 @@ let stamp_nparts ~catalog (plan : Plan.t) : Plan.t =
   go plan
 
 (* ------------------------------------------------------------------ *)
+(* Pass 6: pruning soundness                                           *)
+(* ------------------------------------------------------------------ *)
+
+module Analysis = Mpp_analysis.Analysis
+
+(* Materialize a pseg path from a child-index path (root first).  The
+   indices come from {!Analysis.pruning_sites}; an out-of-range index
+   cannot happen for a path produced over the same plan, but degrade to
+   the prefix rather than raise. *)
+let path_of_indices plan idxs =
+  let rec go node path = function
+    | [] -> path
+    | i :: rest -> (
+        match List.nth_opt (Plan.children node) i with
+        | Some c -> go c (seg i c :: path) rest
+        | None -> path)
+  in
+  go plan [ Root plan ] idxs
+
+let partitioning_opt catalog root_oid =
+  match table_opt catalog root_oid with
+  | None -> None
+  | Some tbl -> tbl.Table.partitioning
+
+(* Re-derive, independently of the optimizer, the partitions each pruning
+   site's reachable predicates permit, and check the plan's static pruning
+   kept a superset (over-pruning = silently missing rows = Error).  Two
+   weaker smells are Warnings: an Append child whose own filter already
+   contradicts its leaf's bounds (dead branch the optimizer failed to cut)
+   and a filter predicate that contradicts the derived bounds of its
+   input (always-empty subtree).  A literal [false] filter is exempt —
+   that is the sanctioned statically-empty shape. *)
+let pruning_pass ~catalog (plan : Plan.t) : Diag.t list =
+  let diags = ref [] in
+  let emit ?severity code path msg =
+    diags :=
+      Diag.make ?severity ~pass:Diag.Pruning ~code ~path:(render path) msg
+      :: !diags
+  in
+  let sels = selector_map plan in
+  List.iter
+    (fun (s : Analysis.pruning_site) ->
+      match partitioning_opt catalog s.Analysis.site_root with
+      | None -> ()
+      | Some part -> (
+          let path = path_of_indices plan s.Analysis.site_path in
+          let permitted =
+            Partition.select_oids part s.Analysis.site_permitted
+          in
+          (* The statically selected partitions.  For a DynamicScan this is
+             the selector's per-level restriction (a [None] predicate is
+             runtime-only — selects everything statically); runtime
+             selection can only shrink it further, driven by actual join
+             values, which is sound by construction.  Malformed selectors
+             are the structure pass's report, not ours. *)
+          let selected =
+            match s.Analysis.site_kind with
+            | Analysis.Site_append present -> Some present
+            | Analysis.Site_scan psid -> (
+                match Hashtbl.find_opt sels psid with
+                | None -> None
+                | Some (_, keys, predicates) ->
+                    if
+                      List.length keys <> List.length predicates
+                      || List.length keys <> Partition.nlevels part
+                    then None
+                    else
+                      let restr =
+                        Array.of_list
+                          (List.map2
+                             (fun k po ->
+                               match po with
+                               | None -> None
+                               | Some pr -> Expr.restriction k pr)
+                             keys predicates)
+                      in
+                      Some (Partition.select_oids part restr))
+          in
+          match selected with
+          | None -> ()
+          | Some selected ->
+              let sel_tbl = Hashtbl.create (2 * List.length selected) in
+              List.iter (fun o -> Hashtbl.replace sel_tbl o ()) selected;
+              let missing =
+                List.filter
+                  (fun o -> not (Hashtbl.mem sel_tbl o))
+                  permitted
+              in
+              if missing <> [] then
+                emit "pruning/over-pruned" path
+                  (Printf.sprintf
+                     "%s prunes partition(s) [%s] that its reachable \
+                      predicates permit (%d selected, %d permitted)"
+                     (match s.Analysis.site_kind with
+                     | Analysis.Site_scan id ->
+                         Printf.sprintf "DynamicScan %d" id
+                     | Analysis.Site_append _ -> "Append expansion")
+                     (String.concat "; "
+                        (List.map string_of_int missing))
+                     (List.length selected) (List.length permitted))))
+    (Analysis.pruning_sites ~catalog plan);
+  let rec walk ~under_append path (p : Plan.t) =
+    (match p with
+    | Plan.Filter { pred; child } ->
+        if
+          (not (Expr.equal pred Expr.false_))
+          && Analysis.contradicts (Analysis.derive ~catalog child) pred
+        then
+          emit ~severity:Diag.Warning "pruning/contradictory-filter" path
+            "filter predicate contradicts the derived bounds of its input"
+    | Plan.Table_scan { rel; table_oid; filter = Some f; _ }
+      when not (Expr.equal f Expr.false_) ->
+        if Analysis.contradicts (Analysis.scan_env ~catalog ~rel table_oid) f
+        then
+          if under_append then
+            emit ~severity:Diag.Warning "pruning/dead-append-child" path
+              (Printf.sprintf
+                 "filter contradicts the partition bounds of leaf %d: the \
+                  branch is statically empty"
+                 table_oid)
+          else
+            emit ~severity:Diag.Warning "pruning/contradictory-filter" path
+              "scan filter contradicts the table's partition bounds"
+    | Plan.Dynamic_scan { rel; root_oid; filter = Some f; _ }
+      when not (Expr.equal f Expr.false_) ->
+        if Analysis.contradicts (Analysis.scan_env ~catalog ~rel root_oid) f
+        then
+          emit ~severity:Diag.Warning "pruning/contradictory-filter" path
+            "scan filter contradicts the table's partition bounds"
+    | _ -> ());
+    let under_append = match p with Plan.Append _ -> true | _ -> false in
+    List.iteri
+      (fun i c -> walk ~under_append (seg i c :: path) c)
+      (Plan.children p)
+  in
+  walk ~under_append:false [ Root plan ] plan;
+  List.rev !diags
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1184,11 +1323,12 @@ let check_pass ~catalog (pass : Diag.pass) plan =
   | Diag.Distribution -> distribution_pass ~catalog plan
   | Diag.Accounting -> accounting_pass ~catalog plan
   | Diag.Filters -> filters_pass ~catalog plan
+  | Diag.Pruning -> pruning_pass ~catalog plan
 
 let all_passes =
   [
     Diag.Structure; Diag.Schema; Diag.Distribution; Diag.Accounting;
-    Diag.Filters;
+    Diag.Filters; Diag.Pruning;
   ]
 
 let check ~catalog plan =

@@ -6,7 +6,7 @@
     mutation-kill harness asserts that each systematic plan corruption is
     rejected with the right code.
 
-    Five passes, each emitting structured {!Diag.t} diagnostics:
+    Six passes, each emitting structured {!Diag.t} diagnostics:
 
     - {b structure} — the paper's §3.1 invariants (matched
       PartitionSelector/DynamicScan pairs, no Motion between a communicating
@@ -38,13 +38,26 @@
       same [rf_id], builder on the build (left) side and consumer(s) on the
       probe (right) side of the same join, key arities agree, a pre-Motion
       consumer sits directly below a Redistribute/Broadcast send, and no
-      filter crosses a Gather above its join. *)
+      filter crosses a Gather above its join;
+    - {b pruning} — partition-pruning soundness: for every DynamicScan and
+      uniform leaf-expansion Append, the partitions {e permitted} by the
+      site's reachable predicates (its own filter, enclosing filters, and
+      join conjuncts propagated across equi-join equivalence classes — see
+      {!Mpp_analysis.Analysis.pruning_sites}) are re-derived independently
+      of the optimizer; a statically pruned set that excludes a permitted
+      partition is an [Error] (["pruning/over-pruned"] — silently missing
+      rows), while an Append branch whose own filter contradicts its
+      leaf's bounds (["pruning/dead-append-child"]) or a filter predicate
+      contradicting its input's derived bounds
+      (["pruning/contradictory-filter"]) are [Warning]s.  A literal
+      [false] filter — the sanctioned statically-empty shape — is
+      exempt. *)
 
 open Mpp_expr
 module Plan = Mpp_plan.Plan
 
 val check : catalog:Mpp_catalog.Catalog.t -> Plan.t -> Diag.t list
-(** Run all five passes; diagnostics in pass order. *)
+(** Run all six passes; diagnostics in pass order. *)
 
 val check_pass :
   catalog:Mpp_catalog.Catalog.t -> Diag.pass -> Plan.t -> Diag.t list

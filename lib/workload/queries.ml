@@ -1,6 +1,6 @@
 (** The evaluation query workload (paper §4.3).
 
-    Thirty-nine query templates over the seven partitioned fact tables,
+    Forty-three query templates over the seven partitioned fact tables,
     engineered to cover the plan-space categories of the paper's Table 3:
 
     - {e Equal}: static elimination or simple joins the legacy Planner's
@@ -187,6 +187,14 @@ let all : query list =
       "SELECT count(*) FROM date_dim d, store_sales s WHERE s.ss_sold_date = \
        d.d_date AND s.ss_sold_date >= '2013-07-01' AND d.d_year = 2013 AND \
        d.d_month = 9";
+    (* ---- transitive pruning: the range filter sits on store_returns, and
+       only the equi-join equivalence class carries it onto store_sales'
+       partition key — neither Algorithm-1 static exclusion nor a selector
+       sees it without the abstract-interpretation strengthening pass ---- *)
+    q "ss_sr_transitive_date" Equal ~rt:Medium
+      "SELECT count(*) FROM store_sales ss, store_returns sr WHERE \
+       ss.ss_sold_date = sr.sr_returned_date AND sr.sr_returned_date >= \
+       '2013-10-01'";
   ]
 
 let find name = List.find (fun qu -> String.equal qu.name name) all

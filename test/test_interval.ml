@@ -129,6 +129,28 @@ let prop_diff_membership =
       Interval.Set.contains (Interval.Set.diff a b) v
       = (Interval.Set.contains a v && not (Interval.Set.contains b v)))
 
+let prop_subset_iff_diff_empty =
+  QCheck2.Test.make ~count:2000 ~name:"A ⊆ B iff A\\B = ∅"
+    QCheck2.Gen.(pair Support.interval_set_gen Support.interval_set_gen)
+    (fun (a, b) ->
+      Interval.Set.is_subset a b
+      = Interval.Set.is_empty (Interval.Set.diff a b))
+
+let prop_subset_membership =
+  QCheck2.Test.make ~count:2000 ~name:"A ⊆ B and v ∈ A implies v ∈ B"
+    QCheck2.Gen.(triple Support.interval_set_gen Support.interval_set_gen
+                   Support.int_value_gen)
+    (fun (a, b, v) ->
+      (not (Interval.Set.is_subset a b))
+      || (not (Interval.Set.contains a v))
+      || Interval.Set.contains b v)
+
+let prop_complement_involutive =
+  QCheck2.Test.make ~count:1000 ~name:"¬¬A = A"
+    Support.interval_set_gen
+    (fun a ->
+      Interval.Set.equal a (Interval.Set.complement (Interval.Set.complement a)))
+
 let () =
   Alcotest.run "interval"
     [ ("unit",
@@ -143,4 +165,6 @@ let () =
        List.map QCheck_alcotest.to_alcotest
          [ prop_contains_intersect; prop_set_union_membership;
            prop_set_inter_membership; prop_set_complement_membership;
-           prop_normalize_idempotent; prop_diff_membership ]) ]
+           prop_normalize_idempotent; prop_diff_membership;
+           prop_subset_iff_diff_empty; prop_subset_membership;
+           prop_complement_involutive ]) ]

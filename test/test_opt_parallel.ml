@@ -2,7 +2,7 @@
 
     The parallel paths (memo root-candidate fan-out, join-order DP chunking)
     promise bit-identical plans for every domain count.  This suite pins
-    that promise: the full 42-query workload and a qcheck sweep of generated
+    that promise: the full 43-query workload and a qcheck sweep of generated
     big-join queries must produce the same plan tree and cost under domain
     counts 1/2/4, every plan verifier-clean, and the join-order DP must
     match brute force on small graphs. *)
@@ -242,7 +242,7 @@ let () =
         [ Alcotest.test_case "domains 1/2/4 identical" `Quick
             test_memo_equivalence ] );
       ( "workload",
-        [ Alcotest.test_case "42 queries, domains 1/2/4" `Slow
+        [ Alcotest.test_case "43 queries, domains 1/2/4" `Slow
             test_workload_equivalence ] );
       ( "biggen",
         [

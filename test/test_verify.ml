@@ -418,6 +418,128 @@ let mutations :
                 Some (Plan.Runtime_filter_build { b with rows_est = -1 })
             | _ -> None)
           (rf_orca ()) );
+    (* --- pass 6: pruning soundness --- *)
+    ( "selector predicate shifted to another month",
+      "pruning/over-pruned",
+      fun () ->
+        (* the DynScan's filter still asks for June; a selector that
+           statically selects only August has over-pruned *)
+        once
+          (function
+            | Plan.Partition_selector
+                ({ keys = k :: _; predicates = _ :: _; _ } as s) ->
+                Some
+                  (Plan.Partition_selector
+                     { s with
+                       predicates =
+                         [ Some
+                             (Expr.ge (Expr.col k) (Expr.date "2013-08-01"))
+                         ] })
+            | _ -> None)
+          (static_orca ()) );
+    ( "selector predicate made unsatisfiable",
+      "pruning/over-pruned",
+      fun () ->
+        once
+          (function
+            | Plan.Partition_selector
+                ({ keys = k :: _; predicates = _ :: _; _ } as s) ->
+                Some
+                  (Plan.Partition_selector
+                     { s with
+                       predicates =
+                         [ Some
+                             (Expr.lt (Expr.col k) (Expr.date "2011-01-01"))
+                         ] })
+            | _ -> None)
+          (static_orca ()) );
+    ( "streaming join selector narrowed to a static point",
+      "pruning/over-pruned",
+      fun () ->
+        (* the join's runtime selection is sound because it is driven by
+           actual dimension values; freezing it into a static equality the
+           reachable predicates do not imply is not *)
+        once
+          (function
+            | Plan.Partition_selector
+                ({ keys = k :: _; predicates = _ :: _; _ } as s) ->
+                Some
+                  (Plan.Partition_selector
+                     { s with
+                       predicates =
+                         [ Some
+                             (Expr.eq (Expr.col k) (Expr.date "2011-02-15"))
+                         ] })
+            | _ -> None)
+          (dpe_orca ()) );
+    ( "scan filter silently widened past the selection",
+      "pruning/over-pruned",
+      fun () ->
+        (* shift the DynScan's date range ~2 months; the selector still
+           selects June only, excluding partitions the filter permits *)
+        once
+          (function
+            | Plan.Dynamic_scan ({ filter = Some f; _ } as s) ->
+                Some
+                  (Plan.Dynamic_scan
+                     { s with
+                       filter =
+                         Some
+                           (emap
+                              (function
+                                | Expr.Const (Value.Date d) ->
+                                    Expr.Const
+                                      (Value.Date (Date.add_days d 62))
+                                | e -> e)
+                              f) })
+            | _ -> None)
+          (static_orca ()) );
+    ( "static-exclusion survivor dropped from the Append",
+      "pruning/over-pruned",
+      fun () ->
+        once
+          (function
+            | Plan.Append (Plan.Table_scan _ :: rest) when rest <> [] ->
+                Some (Plan.Append rest)
+            | _ -> None)
+          (static_planner ()) );
+    ( "all but one survivor dropped from the Append",
+      "pruning/over-pruned",
+      fun () ->
+        once
+          (function
+            | Plan.Append ((Plan.Table_scan _ :: _ :: _) as cs) ->
+                Some (Plan.Append [ List.hd cs ])
+            | _ -> None)
+          (static_planner ()) );
+    ( "surviving Append child's filter stamped false",
+      "pruning/over-pruned",
+      fun () ->
+        once
+          (function
+            | Plan.Append (Plan.Table_scan ({ filter = Some f; _ } as s) :: rest)
+              when (not (Expr.equal f Expr.false_)) && rest <> [] ->
+                Some
+                  (Plan.Append
+                     (Plan.Table_scan { s with filter = Some Expr.false_ }
+                     :: rest))
+            | _ -> None)
+          (static_planner ()) );
+    ( "statically-empty shape with the proving filter removed",
+      "pruning/over-pruned",
+      fun () ->
+        (* PR-4's single-false-leaf Append is sanctioned only while the
+           literal false is there; without it the plan just reads one of 36
+           permitted partitions *)
+        once
+          (function
+            | Plan.Table_scan ({ filter = Some f; _ } as s)
+              when Expr.equal f Expr.false_ ->
+                Some (Plan.Table_scan { s with filter = None })
+            | _ -> None)
+          (adhoc W.Runner.Legacy_planner
+             "SELECT count(*) FROM store_sales WHERE ss_sold_date < \
+              '2010-01-01'") );
   ]
 
 let test_mutations_killed () =
@@ -433,6 +555,66 @@ let test_mutations_killed () =
            (String.concat "; " (List.map Diag.to_string diags)))
         true (Diag.has_code code diags))
     mutations
+
+(* Pass-6 warnings: statically-dead Append branches and contradictory
+   filters do not make the plan wrong — they make it do provably-useless
+   work — so the pruning pass reports them at Warning severity. *)
+let has_warning code diags =
+  List.exists
+    (fun (d : Diag.t) -> d.code = code && d.severity = Diag.Warning)
+    diags
+
+let ss_part_key rel =
+  let t = Cat.find (catalog ()) "store_sales" in
+  List.hd (Mpp_catalog.Table.part_key_colrefs t ~rel)
+
+let test_pruning_warnings () =
+  let dead_child =
+    once
+      (function
+        | Plan.Append
+            (Plan.Table_scan ({ rel; filter = Some f; _ } as s) :: rest)
+          when (not (Expr.equal f Expr.false_)) && rest <> [] ->
+            let k = ss_part_key rel in
+            Some
+              (Plan.Append
+                 (Plan.Table_scan
+                    { s with
+                      filter =
+                        Some (Expr.lt (Expr.col k) (Expr.date "2011-01-01"))
+                    }
+                 :: rest))
+        | _ -> None)
+      (static_planner ())
+  in
+  let d1 = Verify.check ~catalog:(catalog ()) dead_child in
+  Alcotest.(check bool) "dead-append-child warned" true
+    (has_warning "pruning/dead-append-child" d1);
+  Alcotest.(check bool) "dead-append-child is not an error" true
+    (not (Diag.has_code "pruning/dead-append-child" (Diag.errors d1)));
+  let contradictory =
+    once
+      (function
+        | Plan.Dynamic_scan ({ rel; filter = Some f; _ } as s) ->
+            let k = ss_part_key rel in
+            Some
+              (Plan.Dynamic_scan
+                 { s with
+                   filter =
+                     Some
+                       (Expr.conj
+                          [ f;
+                            Expr.lt (Expr.col k) (Expr.date "2011-01-01")
+                          ])
+                 })
+        | _ -> None)
+      (static_orca ())
+  in
+  let d2 = Verify.check ~catalog:(catalog ()) contradictory in
+  Alcotest.(check bool) "contradictory-filter warned" true
+    (has_warning "pruning/contradictory-filter" d2);
+  Alcotest.(check bool) "contradictory-filter is not an error" true
+    (not (Diag.has_code "pruning/contradictory-filter" (Diag.errors d2)))
 
 let test_assert_valid_raises () =
   let _, _, build = List.hd mutations in
@@ -607,6 +789,7 @@ let () =
     [ ("mutation kill",
        [ Alcotest.test_case "all corruptions rejected" `Quick
            test_mutations_killed;
+         Alcotest.test_case "pruning warnings" `Quick test_pruning_warnings;
          Alcotest.test_case "assert_valid raises" `Quick
            test_assert_valid_raises ]);
       ("soundness",

@@ -9,7 +9,7 @@ let env = lazy (W.Runner.setup_env ~scale:1 ~nsegments:4 ())
 
 let test_classification_golden () =
   let outcomes = W.Classify.run_workload (Lazy.force env) in
-  Alcotest.(check int) "42 queries" 42 (List.length outcomes);
+  Alcotest.(check int) "43 queries" 43 (List.length outcomes);
   List.iter
     (fun (o : W.Classify.outcome) ->
       Alcotest.(check string)
