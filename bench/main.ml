@@ -16,7 +16,9 @@
     stats+trace) on the Table-2 scan; [opt-scaling] measures optimize
     time vs relation count on generated big-join graphs and optimize-time
     speedup vs domain count, asserting every domain count picks the
-    identical plan; the
+    identical plan; [serve] measures the concurrent serving layer's
+    sustained QPS on the mixed workload, cold (empty plan cache) vs warm
+    (normalized-fingerprint cache hits) over 1..K sessions; the
     [--smoke] variants are the tiny-input schema checks that
     [dune runtest] runs.  Whatever ran is also written as structured data
     to [BENCH_RESULTS.json]; sections merge with an existing file, so
@@ -1357,10 +1359,12 @@ let join_filter ?(smoke = false) () =
               ("filter_built", Json.Int m_on.Mpp_exec.Metrics.filter_built);
               ("rows_filtered_scan",
                Json.Int m_on.Mpp_exec.Metrics.rows_filtered_scan);
+              (* no [motion_rows_saved] here: the workload queries carry no
+                 at_motion filter placements, so the per-query counter was
+                 always zero — the real signal lives in the [motion] section
+                 below *)
               ("rows_filtered_motion",
-               Json.Int m_on.Mpp_exec.Metrics.rows_filtered_motion);
-              ("motion_rows_saved",
-               Json.Int m_on.Mpp_exec.Metrics.motion_rows_saved) ] ))
+               Json.Int m_on.Mpp_exec.Metrics.rows_filtered_motion) ] ))
       queries
   in
   (* ---- 2. Motion-row reduction on a redistribute-probe join ---- *)
@@ -1920,6 +1924,147 @@ let bench_analysis ?(smoke = false) () =
       kind_sections
 
 (* ------------------------------------------------------------------ *)
+(* Serving layer: plan-cache QPS, cold vs warm, 1..K sessions           *)
+(* ------------------------------------------------------------------ *)
+
+module Serve = Mpp_serve.Serve
+
+(* [serve] — sustained-QPS measurement of the concurrent serving layer on
+   the full mixed workload.  One cold pass (empty plan cache — every
+   statement pays normalize + optimize + verify) establishes the floor;
+   warm sweeps over 1..K concurrent sessions then replay the workload
+   through the cache, where a hit costs only a fingerprint probe plus a
+   partition re-selection at bind time.  Every warm result is asserted
+   row-identical to the cold pass.  The multi-session >= single-session
+   throughput check only applies on a multi-core host: with one core the
+   sessions serialize on the single executor domain and concurrency can
+   only add coordination overhead.  [~smoke] runs one tiny sweep and
+   asserts the warm hit rate is positive and rows match. *)
+let bench_serve ?(smoke = false) () =
+  header
+    (if smoke then "Bench: serving layer (smoke mode, tiny scale)"
+     else "Bench: serving layer — plan-cache QPS, cold vs warm sessions");
+  let scale = if smoke then 1 else 4 in
+  let env = W.Runner.setup_env ~scale () in
+  let cores = Domain.recommended_domain_count () in
+  let max_sessions = if smoke then 2 else 4 in
+  let repeat = if smoke then 1 else 3 in
+  let config =
+    { Serve.default_config with
+      optimizer = Serve.Orca;
+      workers = max 2 (min 4 cores);
+      capacity = 4;
+      exec_domains = 1 }
+  in
+  let srv =
+    Serve.create ~config ~stats:env.W.Runner.stats
+      ~catalog:env.W.Runner.catalog ~storage:env.W.Runner.storage ()
+  in
+  Fun.protect ~finally:(fun () -> Serve.close srv) @@ fun () ->
+  let stmts =
+    List.map
+      (fun (qu : W.Queries.query) ->
+        (Serve.prepare srv qu.W.Queries.sql, []))
+      W.Queries.all
+  in
+  let nq = List.length stmts in
+  let sorted_rows rows = List.sort compare (List.map Array.to_list rows) in
+  (* one measured sweep: [n] sessions, [reps] workload passes per session *)
+  let run_sweep n reps =
+    let pass = List.concat (List.init reps (fun _ -> stmts)) in
+    let seconds, out =
+      time_run (fun () -> Serve.run_stream srv (Array.init n (fun _ -> pass)))
+    in
+    let rs = List.concat (Array.to_list out) in
+    let total = List.length rs in
+    let hits = List.length (List.filter (fun r -> r.Serve.cache_hit) rs) in
+    let hit_opt_ms =
+      match List.filter (fun r -> r.Serve.cache_hit) rs with
+      | [] -> 0.0
+      | hs ->
+          List.fold_left (fun a r -> a +. r.Serve.opt_seconds) 0.0 hs
+          *. 1000.0
+          /. float_of_int (List.length hs)
+    in
+    (seconds, out, total, hits, hit_opt_ms)
+  in
+  (* ---- cold pass: empty cache, one session ---- *)
+  let cold_s, cold_out, cold_n, cold_hits, _ = run_sweep 1 1 in
+  let cold_qps = float_of_int cold_n /. cold_s in
+  let cold_rows = List.map (fun r -> sorted_rows r.Serve.rows) cold_out.(0) in
+  Printf.printf "cold: %d queries in %.3f s (%.1f QPS), %d cache hit(s)\n\n"
+    cold_n cold_s cold_qps cold_hits;
+  (* ---- warm sweeps, 1..K sessions ---- *)
+  Printf.printf "%-10s %-10s %-10s %-10s %-12s\n" "sessions" "queries"
+    "time (s)" "QPS" "hit opt(ms)";
+  let warm_hit_rate = ref 0.0 in
+  let warm1_qps = ref 0.0 in
+  let best_multi_qps = ref 0.0 in
+  let sweeps =
+    List.map
+      (fun n ->
+        let seconds, out, total, hits, hit_opt_ms = run_sweep n repeat in
+        (* every warm result must be row-identical to the cold pass *)
+        Array.iter
+          (List.iteri (fun i r ->
+               if sorted_rows r.Serve.rows <> List.nth cold_rows (i mod nq)
+               then
+                 failwith
+                   (Printf.sprintf
+                      "bench_serve: warm rows differ from cold rows \
+                       (sessions=%d, statement %d)"
+                      n (i mod nq))))
+          out;
+        let qps = float_of_int total /. seconds in
+        let hit_rate = float_of_int hits /. float_of_int (max total 1) in
+        if n = 1 then begin
+          warm1_qps := qps;
+          warm_hit_rate := hit_rate
+        end
+        else best_multi_qps := Float.max !best_multi_qps qps;
+        Printf.printf "%-10d %-10d %-10.3f %-10.1f %-12.3f\n" n total seconds
+          qps hit_opt_ms;
+        Json.Obj
+          [ ("sessions", Json.Int n);
+            ("queries", Json.Int total);
+            ("seconds", Json.Float seconds);
+            ("qps", Json.Float qps);
+            ("hit_rate", Json.Float hit_rate);
+            ("hit_opt_ms", Json.Float hit_opt_ms) ])
+      (List.init max_sessions (fun i -> i + 1))
+  in
+  let warm_over_cold = !warm1_qps /. cold_qps in
+  Printf.printf
+    "\nwarm/cold QPS (1 session): %.2fx; warm hit rate: %.2f; cores: %d\n"
+    warm_over_cold !warm_hit_rate cores;
+  if !warm_hit_rate <= 0.0 then
+    failwith "bench_serve: warm pass never hit the plan cache";
+  (* a concurrency win is only promised when there is real parallelism *)
+  if (not smoke) && cores > 1 && !best_multi_qps < 0.9 *. !warm1_qps then
+    failwith
+      (Printf.sprintf
+         "bench_serve: multi-session QPS %.1f below single-session %.1f on \
+          a %d-core host"
+         !best_multi_qps !warm1_qps cores);
+  let section =
+    Json.Obj
+      [ ("smoke", Json.Bool smoke);
+        ("scale", Json.Int scale);
+        ("cores", Json.Int cores);
+        ("nqueries", Json.Int nq);
+        ("cold_qps", Json.Float cold_qps);
+        ("warm_hit_rate", Json.Float !warm_hit_rate);
+        ("warm_over_cold", Json.Float warm_over_cold);
+        ("sweeps", Json.List sweeps);
+        ("serve", Serve.stats_to_json srv) ]
+  in
+  record "serve" section;
+  if smoke then
+    print_endline
+      "smoke OK: serve warm hit rate positive, warm results row-identical \
+       to cold, cached hits optimize in ~0 ms"
+
+(* ------------------------------------------------------------------ *)
 (* Regression gate: fresh BENCH_RESULTS.json vs committed baseline      *)
 (* ------------------------------------------------------------------ *)
 
@@ -1930,8 +2075,11 @@ let bench_analysis ?(smoke = false) () =
    The baseline deliberately pins only machine-independent metrics
    (deterministic tuple/Motion counts from the seeded generators), so the
    gate is meaningful on any machine; paths are dotted keys into the
-   [experiments] object.  Exits 1 loudly on any missing or out-of-band
-   metric. *)
+   [experiments] object.  A baseline may also carry a [min_metrics]
+   object: one-sided floors (fresh >= pinned value) for ratios that must
+   not collapse but have no meaningful upper bound, such as the serving
+   layer's warm/cold QPS ratio.  Exits 1 loudly on any missing or
+   out-of-band metric. *)
 let check_regression baseline_file =
   header ("Regression check vs " ^ baseline_file);
   let load path =
@@ -2016,13 +2164,37 @@ let check_regression baseline_file =
           Printf.printf "%-44s %12s %12s  baseline value not numeric\n" path
             "-" "-")
     metrics;
+  let min_metrics =
+    match Json.member "min_metrics" baseline with
+    | Some (Json.Obj kvs) -> kvs
+    | _ -> []
+  in
+  List.iter
+    (fun (path, base_j) ->
+      match (as_float (Some base_j), as_float (lookup path)) with
+      | Some base, Some now ->
+          let ok = now >= base in
+          if not ok then incr nfail;
+          Printf.printf "%-44s %12.3f %12.3f  %s\n" path base now
+            (if ok then "ok (floor)" else "REGRESSION (below floor)")
+      | Some _, None ->
+          incr nfail;
+          Printf.printf "%-44s %12s %12s  MISSING in fresh results\n" path
+            "-" "-"
+      | None, _ ->
+          incr nfail;
+          Printf.printf "%-44s %12s %12s  baseline value not numeric\n" path
+            "-" "-")
+    min_metrics;
   if !nfail > 0 then begin
     Printf.printf "\n%d metric(s) regressed or missing vs %s\n" !nfail
       baseline_file;
     exit 1
   end
-  else Printf.printf "\nall %d metric(s) within ±%.0f%% of baseline\n"
-         (List.length metrics) tolerance_pct
+  else
+    Printf.printf "\nall %d metric(s) within ±%.0f%% of baseline\n"
+      (List.length metrics + List.length min_metrics)
+      tolerance_pct
 
 (* ------------------------------------------------------------------ *)
 (* Entry point                                                          *)
@@ -2044,7 +2216,8 @@ let all () =
   join_filter ();
   bench_profile ();
   opt_scaling ();
-  bench_analysis ()
+  bench_analysis ();
+  bench_serve ()
 
 let () =
   (match if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" with
@@ -2080,6 +2253,9 @@ let () =
   | "analysis" ->
       bench_analysis
         ~smoke:(Array.length Sys.argv > 2 && Sys.argv.(2) = "--smoke") ()
+  | "serve" ->
+      bench_serve
+        ~smoke:(Array.length Sys.argv > 2 && Sys.argv.(2) = "--smoke") ()
   | "check-regression" | "--check-regression" ->
       check_regression
         (if Array.length Sys.argv > 2 then Sys.argv.(2) else "BASELINE.json")
@@ -2089,7 +2265,7 @@ let () =
         "unknown experiment %s (expected table2|table3|fig16|fig17|fig18a|\
          fig18b|fig18c|ablation-memo|ablation-pwj|micro|micro-exec|\
          part-select|obs-overhead|verify|join-filter|profile|opt-scaling|\
-         analysis|check-regression|all)\n"
+         analysis|serve|check-regression|all)\n"
         other;
       exit 1);
   write_results ()

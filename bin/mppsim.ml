@@ -390,6 +390,31 @@ let do_lint env selection ~workload ~biggen sql_opt =
    diagnostics, so a plan that comes back at all can only carry warnings;
    an optimizer-side rejection is reported as a failure here too.  Exits
    1 when anything fails, so the target doubles as a CI smoke test. *)
+module Serve = Mpp_serve.Serve
+
+let serve_optimizer = function Orca -> Serve.Orca | Planner -> Serve.Planner
+
+let serve_config ?(workers = 2) ?(capacity = 4) ?domains kind =
+  {
+    Serve.default_config with
+    optimizer = serve_optimizer kind;
+    workers;
+    capacity;
+    exec_domains = (match domains with Some d -> d | None -> 1);
+  }
+
+let with_server env config f =
+  let srv =
+    Serve.create ~config ~stats:env.W.Runner.stats
+      ~catalog:env.W.Runner.catalog ~storage:env.W.Runner.storage ()
+  in
+  Fun.protect ~finally:(fun () -> Serve.close srv) (fun () -> f srv)
+
+let rows_sorted rows =
+  List.sort
+    (List.compare Mpp_expr.Value.compare)
+    (List.map Array.to_list rows)
+
 let do_check env selection ~workload ~biggen sql_opt =
   let nfail = ref 0 in
   let report ?(catalog = env.W.Runner.catalog) name kname = function
@@ -482,6 +507,45 @@ let do_check env selection ~workload ~biggen sql_opt =
     (if workload || biggen then None else sql_opt)
     nfind;
   if !nfind > 0 then Printf.printf "%d lint finding(s)\n" !nfind;
+  (* serving-layer smoke: a prepared-statement round trip over the whole
+     workload — the second execution of each statement must come out of
+     the plan cache and return exactly the cold pass's rows *)
+  if workload then begin
+    let config = serve_config ~workers:2 ~capacity:2 Orca in
+    let serve_fail = ref 0 in
+    with_server env config (fun srv ->
+        List.iter
+          (fun (qu : W.Queries.query) ->
+            match
+              let p = Serve.prepare srv qu.W.Queries.sql in
+              let cold = Serve.execute srv ~session:0 p [] in
+              let warm = Serve.execute srv ~session:1 p [] in
+              (cold, warm)
+            with
+            | cold, warm ->
+                if not warm.Serve.cache_hit then begin
+                  incr serve_fail;
+                  Printf.printf "%-28s %-8s warm execution missed the cache\n"
+                    qu.W.Queries.name "serve"
+                end;
+                if rows_sorted cold.Serve.rows <> rows_sorted warm.Serve.rows
+                then begin
+                  incr serve_fail;
+                  Printf.printf "%-28s %-8s warm rows differ from cold rows\n"
+                    qu.W.Queries.name "serve"
+                end
+            | exception e ->
+                incr serve_fail;
+                Printf.printf "%-28s %-8s failed: %s\n" qu.W.Queries.name
+                  "serve" (Printexc.to_string e))
+          W.Queries.all;
+        let c = Mpp_serve.Plan_cache.stats (Serve.cache srv) in
+        Printf.printf
+          "serve: %d statements round-tripped, %d cache hit(s), %d miss(es)\n"
+          (List.length W.Queries.all)
+          c.Mpp_serve.Plan_cache.hits c.Mpp_serve.Plan_cache.misses);
+    nfail := !nfail + !serve_fail
+  end;
   if !nfail + !nfind > 0 then begin
     Printf.printf "%d plan(s) failed verification or lint\n" (!nfail + !nfind);
     exit 1
@@ -527,6 +591,195 @@ let do_repl ?domains ?runtime_filters env kind selection =
         loop ()
   in
   loop ()
+
+(* ---------------- serving layer ---------------- *)
+
+(* [mppsim serve] — an interactive front end over the serving layer: plain
+   SQL statements run through the normalized plan cache; [\prepare] /
+   [\execute] exercise explicit bind parameters. *)
+let do_serve ?stats_json ?(workers = 2) ?(capacity = 4) ?domains env kind
+    _selection =
+  let config = serve_config ~workers ~capacity ?domains kind in
+  with_server env config (fun srv ->
+      let named = Hashtbl.create 16 in
+      let anon = Hashtbl.create 64 in
+      print_endline
+        "mppsim serve — plan-cached sessions on the demo schema; \\q quits, \
+         \\prepare NAME SQL, \\execute NAME [v1 v2 ...], \\stats prints \
+         cache/admission counters; plain SQL runs through the cache";
+      let parse_value s =
+        if
+          String.length s = 10
+          && s.[4] = '-'
+          && s.[7] = '-'
+          && String.for_all (fun c -> c = '-' || (c >= '0' && c <= '9')) s
+        then Mpp_expr.Value.date_of_string s
+        else
+          match int_of_string_opt s with
+          | Some i -> Mpp_expr.Value.Int i
+          | None -> (
+              match float_of_string_opt s with
+              | Some f -> Mpp_expr.Value.Float f
+              | None -> Mpp_expr.Value.String s)
+      in
+      let run_prepared prepared binds =
+        let r = Serve.execute srv ~session:0 prepared binds in
+        print_rows r.Serve.rows (r.Serve.opt_seconds +. r.Serve.exec_seconds);
+        Printf.printf "cache %s; optimizer %.3f ms; executor %.3f ms\n"
+          (if r.Serve.cache_hit then "hit" else "miss")
+          (r.Serve.opt_seconds *. 1000.0)
+          (r.Serve.exec_seconds *. 1000.0)
+      in
+      let prefixed p line =
+        if
+          String.length line > String.length p
+          && String.sub line 0 (String.length p) = p
+        then Some (String.sub line (String.length p)
+                     (String.length line - String.length p))
+        else None
+      in
+      let rec loop () =
+        print_string "serve> ";
+        match read_line () with
+        | exception End_of_file -> ()
+        | "\\q" -> ()
+        | "" -> loop ()
+        | "\\stats" ->
+            print_endline (Json.to_string_pretty (Serve.stats_to_json srv));
+            loop ()
+        | line -> (
+            (try
+               match prefixed "\\prepare " line with
+               | Some rest -> (
+                   match String.index_opt rest ' ' with
+                   | Some i ->
+                       let name = String.sub rest 0 i in
+                       let sql =
+                         String.sub rest (i + 1) (String.length rest - i - 1)
+                       in
+                       let p = Serve.prepare srv ~name sql in
+                       Hashtbl.replace named name p;
+                       Printf.printf "prepared %s (%d parameter slot(s))\n"
+                         name
+                         (Mpp_serve.Normalize.nparams p.Serve.p_norm)
+                   | None -> print_endline "usage: \\prepare NAME SQL")
+               | None -> (
+                   match prefixed "\\execute " line with
+                   | Some rest -> (
+                       match
+                         String.split_on_char ' ' rest
+                         |> List.filter (fun s -> s <> "")
+                       with
+                       | name :: vals -> (
+                           match Hashtbl.find_opt named name with
+                           | Some p ->
+                               let binds =
+                                 List.mapi
+                                   (fun i v -> (i + 1, parse_value v))
+                                   vals
+                               in
+                               run_prepared p binds
+                           | None ->
+                               Printf.printf "no prepared statement %s\n"
+                                 name)
+                       | [] -> print_endline "usage: \\execute NAME [v1 ...]")
+                   | None ->
+                       (* plain SQL: normalize + cache, so repeating the
+                          statement (even with different literals) hits *)
+                       let p =
+                         match Hashtbl.find_opt anon line with
+                         | Some p -> p
+                         | None ->
+                             let p = Serve.prepare srv line in
+                             Hashtbl.replace anon line p;
+                             p
+                       in
+                       run_prepared p [])
+             with
+            | Mpp_sql.Sql.Error m -> Printf.printf "error: %s\n" m
+            | Invalid_argument m -> Printf.printf "error: %s\n" m);
+            loop ())
+      in
+      loop ();
+      match stats_json with
+      | Some file ->
+          Json.to_file file (Serve.stats_to_json srv);
+          Printf.eprintf "serve stats written to %s\n%!" file
+      | None -> ())
+
+(* [mppsim bench-serve] — sustained-QPS measurement on the mixed workload:
+   one cold pass (empty cache) then [repeat] warm passes over [sessions]
+   concurrent sessions.  The heavyweight sweep lives in [bench serve];
+   this is the quick CLI probe. *)
+let do_bench_serve ?stats_json ?(sessions = 4) ?(repeat = 2) ?(workers = 2)
+    ?(capacity = 4) ?domains env kind _selection =
+  let config = serve_config ~workers ~capacity ?domains kind in
+  with_server env config (fun srv ->
+      let stmts =
+        List.map
+          (fun (qu : W.Queries.query) ->
+            (Serve.prepare srv qu.W.Queries.sql, []))
+          W.Queries.all
+      in
+      let nq = List.length stmts in
+      let t0 = Unix.gettimeofday () in
+      let cold = Serve.run_stream srv [| stmts |] in
+      let cold_s = Unix.gettimeofday () -. t0 in
+      let pass () = List.concat (List.init repeat (fun _ -> stmts)) in
+      let t1 = Unix.gettimeofday () in
+      let warm = Serve.run_stream srv (Array.init sessions (fun _ -> pass ())) in
+      let warm_s = Unix.gettimeofday () -. t1 in
+      let warm_rs = List.concat (Array.to_list (Array.map (fun l -> l) warm)) in
+      let warm_n = List.length warm_rs in
+      let hits =
+        List.length (List.filter (fun r -> r.Serve.cache_hit) warm_rs)
+      in
+      let hit_opt_ms =
+        match List.filter (fun r -> r.Serve.cache_hit) warm_rs with
+        | [] -> 0.0
+        | rs ->
+            List.fold_left (fun a r -> a +. r.Serve.opt_seconds) 0.0 rs
+            *. 1000.0
+            /. float_of_int (List.length rs)
+      in
+      (* warm results must be row-identical to the cold pass, per query *)
+      let cold_rows = List.map (fun r -> rows_sorted r.Serve.rows) cold.(0) in
+      Array.iter
+        (fun rs ->
+          List.iteri
+            (fun i r ->
+              let want = List.nth cold_rows (i mod nq) in
+              if rows_sorted r.Serve.rows <> want then begin
+                prerr_endline "bench-serve: warm rows differ from cold rows";
+                exit 1
+              end)
+            rs)
+        warm;
+      let cold_qps = float_of_int nq /. cold_s in
+      let warm_qps = float_of_int warm_n /. warm_s in
+      Printf.printf
+        "cold: %d queries, 1 session: %.2f s (%.1f QPS)\n\
+         warm: %d queries, %d session(s): %.2f s (%.1f QPS)\n\
+         warm cache hit rate: %.2f; mean optimizer time on hits: %.3f ms\n"
+        nq cold_s cold_qps warm_n sessions warm_s warm_qps
+        (float_of_int hits /. float_of_int (max warm_n 1))
+        hit_opt_ms;
+      match stats_json with
+      | Some file ->
+          Json.to_file file
+            (Json.Obj
+               [
+                 ("cold_qps", Json.Float cold_qps);
+                 ("warm_qps", Json.Float warm_qps);
+                 ("sessions", Json.Int sessions);
+                 ("hit_rate",
+                  Json.Float
+                    (float_of_int hits /. float_of_int (max warm_n 1)));
+                 ("hit_opt_ms", Json.Float hit_opt_ms);
+                 ("serve", Serve.stats_to_json srv);
+               ]);
+          Printf.eprintf "serve stats written to %s\n%!" file
+      | None -> ())
 
 (* ---------------- cmdliner wiring ---------------- *)
 
@@ -718,6 +971,63 @@ let lint_cmd =
           $ no_selection_arg $ scale_arg $ segments_arg $ verbose_arg
           $ workload_arg $ biggen_arg $ sql_opt_arg)
 
+let workers_arg =
+  Arg.(value & opt int 2 & info [ "workers" ] ~docv:"N"
+         ~doc:"Number of executor worker domains serving admitted queries.")
+
+let capacity_arg =
+  Arg.(value & opt int 4 & info [ "capacity" ] ~docv:"N"
+         ~doc:"Admission-control capacity: maximum queries in flight.")
+
+let serve_cmd =
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Interactive serving front end on the demo cluster: prepared \
+          statements with bind parameters, a normalized plan cache \
+          (literals lifted to parameters, pruning-sensitive slots reused \
+          without re-optimization) and admission control. Plain SQL runs \
+          through the cache; $(b,\\\\prepare)/$(b,\\\\execute) exercise \
+          explicit binds and $(b,\\\\stats) prints cache and admission \
+          counters.")
+    Term.(const (fun k n sc sg v stats_json workers capacity domains ->
+              with_env
+                (fun env k sel ->
+                  do_serve ?stats_json ~workers ~capacity ?domains env k sel)
+                k n sc sg v)
+          $ optimizer_arg $ no_selection_arg $ scale_arg $ segments_arg
+          $ verbose_arg $ stats_json_arg $ workers_arg $ capacity_arg
+          $ parallel_arg)
+
+let bench_serve_cmd =
+  let sessions_arg =
+    Arg.(value & opt int 4 & info [ "sessions" ] ~docv:"N"
+           ~doc:"Concurrent sessions in the warm pass.")
+  in
+  let repeat_arg =
+    Arg.(value & opt int 2 & info [ "repeat" ] ~docv:"N"
+           ~doc:"Workload passes per session in the warm phase.")
+  in
+  Cmd.v
+    (Cmd.info "bench-serve"
+       ~doc:
+         "Quick QPS probe of the serving layer: one cold pass over the \
+          built-in workload (empty plan cache), then $(b,--repeat) warm \
+          passes over $(b,--sessions) concurrent sessions. Reports cold \
+          vs warm QPS, cache hit rate and mean optimizer time on hits, \
+          and asserts warm results are row-identical to cold. The full \
+          session sweep lives in $(b,bench serve).")
+    Term.(const (fun k n sc sg v stats_json sessions repeat workers capacity
+                     domains ->
+              with_env
+                (fun env k sel ->
+                  do_bench_serve ?stats_json ~sessions ~repeat ~workers
+                    ~capacity ?domains env k sel)
+                k n sc sg v)
+          $ optimizer_arg $ no_selection_arg $ scale_arg $ segments_arg
+          $ verbose_arg $ stats_json_arg $ sessions_arg $ repeat_arg
+          $ workers_arg $ capacity_arg $ parallel_arg)
+
 let schema_cmd =
   Cmd.v (Cmd.info "schema" ~doc:"List the demo schema's tables.")
     Term.(const (fun sc sg ->
@@ -730,7 +1040,7 @@ let main =
        ~doc:
          "Simulated MPP database with partitioned-table optimization \
           (SIGMOD 2014 reproduction).")
-    [ explain_cmd; run_cmd; profile_cmd; repl_cmd; check_cmd; lint_cmd;
-      schema_cmd ]
+    [ explain_cmd; run_cmd; profile_cmd; repl_cmd; serve_cmd; bench_serve_cmd;
+      check_cmd; lint_cmd; schema_cmd ]
 
 let () = exit (Cmd.eval main)

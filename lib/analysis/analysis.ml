@@ -648,7 +648,7 @@ let child_ctxs (p : Plan.t) (ctx : Expr.t list) : Expr.t list list =
 (* ------------------------------------------------------------------ *)
 (* Implication across equi-join equivalence classes.                   *)
 
-let implied_restrictions ~keys conjs =
+let equiv_class ~conjs k =
   let eq_pairs =
     List.filter_map
       (function
@@ -656,22 +656,23 @@ let implied_restrictions ~keys conjs =
         | _ -> None)
       conjs
   in
-  let conj_all = Expr.conj conjs in
-  let class_of k =
-    let rec grow cls =
-      let next =
-        List.fold_left
-          (fun cls (a, b) ->
-            let mem c = List.exists (Colref.equal c) cls in
-            if mem a && not (mem b) then b :: cls
-            else if mem b && not (mem a) then a :: cls
-            else cls)
-          cls eq_pairs
-      in
-      if List.length next = List.length cls then cls else grow next
+  let rec grow cls =
+    let next =
+      List.fold_left
+        (fun cls (a, b) ->
+          let mem c = List.exists (Colref.equal c) cls in
+          if mem a && not (mem b) then b :: cls
+          else if mem b && not (mem a) then a :: cls
+          else cls)
+        cls eq_pairs
     in
-    grow [ k ]
+    if List.length next = List.length cls then cls else grow next
   in
+  grow [ k ]
+
+let implied_restrictions ~keys conjs =
+  let conj_all = Expr.conj conjs in
+  let class_of k = equiv_class ~conjs k in
   Array.of_list
     (List.map
        (fun k ->

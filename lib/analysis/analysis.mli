@@ -122,6 +122,14 @@ val derive : catalog:Catalog.t -> Plan.t -> env
 
 (** {2 Implication across equivalence classes} *)
 
+val equiv_class : conjs:Expr.t list -> Colref.t -> Colref.t list
+(** The equi-join equivalence class of a column: the closure of [k] under
+    the [a = b] column-to-column conjuncts of [conjs] (includes [k]
+    itself).  This is the connectivity relation {!implied_restrictions}
+    transports restrictions along; the serving layer's
+    parameter-sensitivity analysis uses it to decide whether a bind
+    parameter's predicate can reach a partitioning key. *)
+
 val implied_restrictions :
   keys:Colref.t list -> Expr.t list -> Interval.Set.t option array
 (** For each key, the interval restriction implied by the conjunct list:

@@ -8,6 +8,9 @@ type t = {
   by_oid : (int, Table.t) Hashtbl.t;
   by_name : (string, Table.t) Hashtbl.t;
   leaf_root : (int, int) Hashtbl.t;  (** leaf OID → root OID *)
+  mutable generation : int;
+      (** bumped on every DDL change; plan caches key on it so a cached
+          plan never outlives the catalog state it was optimized against *)
 }
 
 let create () =
@@ -16,7 +19,11 @@ let create () =
     by_oid = Hashtbl.create 64;
     by_name = Hashtbl.create 64;
     leaf_root = Hashtbl.create 256;
+    generation = 0;
   }
+
+let generation t = t.generation
+let bump_generation t = t.generation <- t.generation + 1
 
 let alloc_oid t =
   let o = t.next_oid in
@@ -47,6 +54,7 @@ let add_table t ~name ~columns ~distribution ?partitioning () =
         (fun (lf : Partition.leaf) ->
           Hashtbl.replace t.leaf_root lf.leaf_oid oid)
         p.Partition.leaves);
+  bump_generation t;
   tbl
 
 let find t name =

@@ -31,3 +31,13 @@ val root_of_leaf : t -> int -> int option
 
 val tables : t -> Table.t list
 (** All registered tables, by ascending OID. *)
+
+val generation : t -> int
+(** Monotone DDL generation stamp: starts at 0 and increments on every
+    {!add_table} (and on explicit {!bump_generation}).  Plan caches record
+    the generation a plan was optimized under and drop entries whose stamp
+    no longer matches. *)
+
+val bump_generation : t -> unit
+(** Force an invalidation without a schema change — e.g. after a bulk load
+    that shifts the statistics a cached plan was costed against. *)

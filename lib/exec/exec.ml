@@ -119,8 +119,8 @@ type ctx = {
 }
 
 let create_ctx ?(params = [||]) ?(selection_enabled = true) ?(verify = false)
-    ?(runtime_filters = true) ?stats ?(trace = Trace.null) ?domains ~catalog
-    ~storage () =
+    ?(runtime_filters = true) ?stats ?(trace = Trace.null) ?domains ?pool
+    ~catalog ~storage () =
   let nsegs = Mpp_storage.Storage.nsegments storage in
   let domains =
     match domains with Some d -> d | None -> Dpool.default_domains ()
@@ -137,7 +137,13 @@ let create_ctx ?(params = [||]) ?(selection_enabled = true) ?(verify = false)
             (Mpp_catalog.Partition.Index.of_partitioning p)
       | None -> ())
     (Mpp_catalog.Catalog.tables catalog);
-  let pool = Dpool.get ~domains in
+  (* A caller-supplied pool wins over the shared per-size pools: the
+     serving layer gives each worker domain a private pool, because a
+     [Dpool] has a single job slot and must never take submissions from
+     two domains at once. *)
+  let pool =
+    match pool with Some p -> p | None -> Dpool.get ~domains
+  in
   (* Size the per-segment stat arrays before any node record exists. *)
   (match stats with
   | Some st -> Node_stats.set_nsegments st nsegs
@@ -1478,10 +1484,11 @@ let exec ctx (plan : Plan.t) : result =
 
 (** Execute [plan] and gather all segments' output rows on the master. *)
 let run ?(params = [||]) ?(selection_enabled = true) ?(verify = false)
-    ?(runtime_filters = true) ?stats ?trace ?domains ~catalog ~storage plan =
+    ?(runtime_filters = true) ?stats ?trace ?domains ?pool ~catalog ~storage
+    plan =
   let ctx =
     create_ctx ~params ~selection_enabled ~verify ~runtime_filters ?stats
-      ?trace ?domains ~catalog ~storage ()
+      ?trace ?domains ?pool ~catalog ~storage ()
   in
   let r = exec ctx plan in
   let rows =

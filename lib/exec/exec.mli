@@ -107,15 +107,19 @@ val create_ctx :
   ?stats:Node_stats.t ->
   ?trace:Mpp_obs.Trace.t ->
   ?domains:int ->
+  ?pool:Dpool.t ->
   catalog:Mpp_catalog.Catalog.t ->
   storage:Mpp_storage.Storage.t ->
   unit ->
   ctx
 (** [?domains] sizes the domain pool (default {!Dpool.default_domains},
-    i.e. [MPP_DOMAINS] or 1).  When [stats] is given its segment count is
-    set from [storage] before recording; when [trace] is enabled one
-    track per pool domain (plus the coordinator track) is declared up
-    front. *)
+    i.e. [MPP_DOMAINS] or 1).  [?pool] supplies the pool directly and
+    overrides [?domains] — a {!Dpool} has one job slot, so concurrent
+    executors (the serving layer's workers) must each bring their own
+    pool rather than share the cached per-size ones.  When [stats] is
+    given its segment count is set from [storage] before recording; when
+    [trace] is enabled one track per pool domain (plus the coordinator
+    track) is declared up front. *)
 
 val metrics : ctx -> Metrics.t
 (** The per-query total: all per-segment metric shards merged. *)
@@ -140,6 +144,7 @@ val run :
   ?stats:Node_stats.t ->
   ?trace:Mpp_obs.Trace.t ->
   ?domains:int ->
+  ?pool:Dpool.t ->
   catalog:Mpp_catalog.Catalog.t ->
   storage:Mpp_storage.Storage.t ->
   Plan.t ->

@@ -1,0 +1,173 @@
+(** The normalized plan cache: fingerprint + optimizer + shape-bindings →
+    verified physical plan.
+
+    Invariants:
+    - every entry was checked by the plan verifier {e once, at insert} —
+      the cache-hit path then executes with per-query verification off,
+      which is where the "near-zero optimizer time on hits" comes from;
+    - every entry records the catalog generation it was optimized under;
+      a lookup that finds a stale entry drops it and reports a miss
+      (counted as an invalidation), so DDL can never serve a plan built
+      against the old catalog;
+    - the cache is bounded: inserting into a full cache evicts the
+      least-recently-used entry.
+
+    Thread-safety: all operations take the cache mutex.  In the serving
+    layer only the coordinator thread touches the cache, but the lock
+    keeps the counters exact if front ends probe from elsewhere. *)
+
+module Plan = Mpp_plan.Plan
+module Est = Mpp_plan.Est
+module Catalog = Mpp_catalog.Catalog
+module Verify = Mpp_verify.Verify
+module Diag = Mpp_verify.Diag
+module Obs = Mpp_obs.Obs
+module Json = Mpp_obs.Json
+
+exception Rejected of string
+(** The verifier found errors in a plan offered for caching — optimizer
+    bug; the plan must not be served. *)
+
+type entry = {
+  plan : Plan.t;
+  est : Est.t;
+  generation : int;
+  mutable last_used : int;
+}
+
+type t = {
+  capacity : int;
+  tbl : (string, entry) Hashtbl.t;
+  lock : Mutex.t;
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable inserts : int;
+  mutable invalidations : int;
+  mutable evictions : int;
+  mutable rejects : int;
+}
+
+let create ?(capacity = 256) () =
+  if capacity < 1 then invalid_arg "Plan_cache.create: capacity < 1";
+  {
+    capacity;
+    tbl = Hashtbl.create 64;
+    lock = Mutex.create ();
+    clock = 0;
+    hits = 0;
+    misses = 0;
+    inserts = 0;
+    invalidations = 0;
+    evictions = 0;
+    rejects = 0;
+  }
+
+let key ~fingerprint ~kind ~shape =
+  fingerprint ^ "\x00" ^ kind ^ "\x00" ^ shape
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let find t ~catalog k =
+  with_lock t (fun () ->
+      t.clock <- t.clock + 1;
+      match Hashtbl.find_opt t.tbl k with
+      | Some e when e.generation = Catalog.generation catalog ->
+          e.last_used <- t.clock;
+          t.hits <- t.hits + 1;
+          Obs.incr (Obs.current ()) "serve.cache.hit";
+          Some (e.plan, e.est)
+      | Some _ ->
+          Hashtbl.remove t.tbl k;
+          t.invalidations <- t.invalidations + 1;
+          t.misses <- t.misses + 1;
+          Obs.incr (Obs.current ()) "serve.cache.invalidated";
+          Obs.incr (Obs.current ()) "serve.cache.miss";
+          None
+      | None ->
+          t.misses <- t.misses + 1;
+          Obs.incr (Obs.current ()) "serve.cache.miss";
+          None)
+
+let evict_lru t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun k e ->
+      match !victim with
+      | Some (_, v) when v.last_used <= e.last_used -> ()
+      | _ -> victim := Some (k, e))
+    t.tbl;
+  match !victim with
+  | Some (k, _) ->
+      Hashtbl.remove t.tbl k;
+      t.evictions <- t.evictions + 1;
+      Obs.incr (Obs.current ()) "serve.cache.evicted"
+  | None -> ()
+
+(** Verify-at-insert: the one verifier pass a cached plan ever gets.
+    Raises {!Rejected} when the verifier reports errors. *)
+let insert t ~catalog k plan est =
+  let diags = Verify.check ~catalog plan in
+  if Diag.has_errors diags then begin
+    with_lock t (fun () -> t.rejects <- t.rejects + 1);
+    Obs.incr (Obs.current ()) "serve.cache.rejected";
+    let msg = String.concat "; " (List.map Diag.to_string (Diag.errors diags)) in
+    raise (Rejected msg)
+  end;
+  with_lock t (fun () ->
+      if Hashtbl.length t.tbl >= t.capacity && not (Hashtbl.mem t.tbl k)
+      then evict_lru t;
+      t.clock <- t.clock + 1;
+      Hashtbl.replace t.tbl k
+        {
+          plan;
+          est;
+          generation = Catalog.generation catalog;
+          last_used = t.clock;
+        };
+      t.inserts <- t.inserts + 1;
+      Obs.incr (Obs.current ()) "serve.cache.insert")
+
+let size t = with_lock t (fun () -> Hashtbl.length t.tbl)
+
+type stats = {
+  hits : int;
+  misses : int;
+  inserts : int;
+  invalidations : int;
+  evictions : int;
+  rejects : int;
+  entries : int;
+}
+
+let stats (t : t) : stats =
+  with_lock t (fun () ->
+      {
+        hits = t.hits;
+        misses = t.misses;
+        inserts = t.inserts;
+        invalidations = t.invalidations;
+        evictions = t.evictions;
+        rejects = t.rejects;
+        entries = Hashtbl.length t.tbl;
+      })
+
+let hit_rate (s : stats) =
+  let total = s.hits + s.misses in
+  if total = 0 then 0.0 else float_of_int s.hits /. float_of_int total
+
+let stats_to_json t =
+  let s = stats t in
+  Json.Obj
+    [
+      ("hits", Json.Int s.hits);
+      ("misses", Json.Int s.misses);
+      ("inserts", Json.Int s.inserts);
+      ("invalidations", Json.Int s.invalidations);
+      ("evictions", Json.Int s.evictions);
+      ("rejects", Json.Int s.rejects);
+      ("entries", Json.Int s.entries);
+      ("hit_rate", Json.Float (hit_rate s));
+    ]

@@ -1,0 +1,374 @@
+(** Serving-layer tests: plan-cache correctness (cache-hit executions are
+    row-identical to fresh optimization for randomized bind parameters,
+    under both optimizers, serial and parallel executors), invalidation on
+    catalog change, and admission control (capacity-1 serialization,
+    memory budgets, Dpool/Channel accounting). *)
+
+open Mpp_expr
+module W = Mpp_workload
+module Serve = Mpp_serve.Serve
+module Normalize = Mpp_serve.Normalize
+module Plan_cache = Mpp_serve.Plan_cache
+module Exec = Mpp_exec.Exec
+module Dpool = Mpp_exec.Dpool
+module Metrics = Mpp_exec.Metrics
+module Catalog = Mpp_catalog.Catalog
+
+let env = lazy (W.Runner.setup_env ~scale:1 ~nsegments:4 ())
+
+let serve_config ?(optimizer = Serve.Orca) ?(workers = 2) ?(capacity = 4)
+    ?(exec_domains = 1) ?mem_budget () =
+  {
+    Serve.default_config with
+    optimizer;
+    workers;
+    capacity;
+    exec_domains;
+    mem_budget_bytes =
+      (match mem_budget with
+      | Some b -> b
+      | None -> Serve.default_config.Serve.mem_budget_bytes);
+  }
+
+let with_server ?config env f =
+  let config = match config with Some c -> c | None -> serve_config () in
+  let srv =
+    Serve.create ~config ~stats:env.W.Runner.stats
+      ~catalog:env.W.Runner.catalog ~storage:env.W.Runner.storage ()
+  in
+  Fun.protect ~finally:(fun () -> Serve.close srv) (fun () -> f srv)
+
+(* Fresh optimize+run through the serving layer's own optimizer entry (no
+   cache): the reference a cache-hit execution must be row-identical to. *)
+let fresh_rows env kind sql =
+  let lg = Mpp_sql.Sql.to_logical env.W.Runner.catalog sql in
+  let srv_kind =
+    match kind with Serve.Orca -> W.Runner.Orca | Serve.Planner -> W.Runner.Legacy_planner
+  in
+  ignore srv_kind;
+  let plan =
+    match kind with
+    | Serve.Planner ->
+        let pl =
+          Mpp_planner.Planner.create ~catalog:env.W.Runner.catalog ()
+        in
+        Mpp_planner.Planner.plan pl lg
+    | Serve.Orca ->
+        let opt =
+          Orca.Optimizer.create ~stats:env.W.Runner.stats
+            ~catalog:env.W.Runner.catalog ()
+        in
+        Orca.Optimizer.optimize opt lg
+  in
+  fst
+    (Exec.run ~catalog:env.W.Runner.catalog ~storage:env.W.Runner.storage
+       plan)
+
+(* ------------------------------------------------------------------ *)
+(* Plan-cache correctness                                              *)
+
+let date_str base_day =
+  (* days spread over the 3-year partitioned range starting 2013-01-01 *)
+  let y = 2013 + (base_day / 360) in
+  let m = 1 + (base_day mod 360 / 30) in
+  let d = 1 + (base_day mod 30) in
+  Printf.sprintf "%04d-%02d-%02d" y m d
+
+(* Randomized bind parameters against the partition key: the prepared
+   statement keeps $1/$2 as pruning-relevant parameters, so every
+   execution after the first is a cache hit that must still re-run
+   partition selection for its own bindings. *)
+let test_cache_hit_random_params optimizer exec_domains () =
+  let env = Lazy.force env in
+  let config = serve_config ~optimizer ~exec_domains () in
+  with_server ~config env (fun srv ->
+      let prepared =
+        Serve.prepare srv
+          "SELECT count(*), sum(ss_price) FROM store_sales WHERE \
+           ss_sold_date >= $1 AND ss_sold_date < $2"
+      in
+      let rand = W.Rng.create ~seed:42L () in
+      for trial = 1 to 8 do
+        let a = W.Rng.int rand 1000 and span = 1 + W.Rng.int rand 300 in
+        let lo = date_str a and hi = date_str (min 1079 (a + span)) in
+        let r =
+          Serve.execute srv ~session:0 prepared
+            [ (1, Value.date_of_string lo); (2, Value.date_of_string hi) ]
+        in
+        let literal_sql =
+          Printf.sprintf
+            "SELECT count(*), sum(ss_price) FROM store_sales WHERE \
+             ss_sold_date >= '%s' AND ss_sold_date < '%s'"
+            lo hi
+        in
+        Support.check_rows_equal
+          (Printf.sprintf "trial %d (%s/%s)" trial lo hi)
+          r.Serve.rows
+          (fresh_rows env optimizer literal_sql);
+        Alcotest.(check bool)
+          (Printf.sprintf "trial %d cache hit" trial)
+          (trial > 1) r.Serve.cache_hit
+      done;
+      let s = Plan_cache.stats (Serve.cache srv) in
+      Alcotest.(check int) "one miss" 1 s.Plan_cache.misses;
+      Alcotest.(check int) "seven hits" 7 s.Plan_cache.hits)
+
+(* Literal lifting: the same statement with different partition-key
+   literals must normalize to one cache entry. *)
+let test_lifted_literals_share_entry () =
+  let env = Lazy.force env in
+  with_server env (fun srv ->
+      let sqls =
+        List.map
+          (fun (lo, hi) ->
+            Printf.sprintf
+              "SELECT count(*) FROM store_sales WHERE ss_sold_date >= '%s' \
+               AND ss_sold_date < '%s'"
+              lo hi)
+          [ ("2013-03-01", "2013-06-01");
+            ("2014-01-01", "2014-02-01");
+            ("2015-05-01", "2015-11-01") ]
+      in
+      List.iteri
+        (fun i sql ->
+          let prepared = Serve.prepare srv sql in
+          let r = Serve.execute srv ~session:0 prepared [] in
+          Support.check_rows_equal sql r.Serve.rows
+            (fresh_rows env Serve.Orca sql);
+          Alcotest.(check bool)
+            (Printf.sprintf "statement %d hit" i)
+            (i > 0) r.Serve.cache_hit)
+        sqls;
+      let s = Plan_cache.stats (Serve.cache srv) in
+      Alcotest.(check int) "single entry" 1 s.Plan_cache.entries)
+
+(* Shape-relevant parameters: a predicate on a non-partitioning column is
+   substituted back as a literal, so each distinct value is its own cache
+   entry — and a repeated value is a hit. *)
+let test_shape_relevant_values_reoptimize () =
+  let env = Lazy.force env in
+  with_server env (fun srv ->
+      let sql n =
+        Printf.sprintf
+          "SELECT count(*) FROM store_sales WHERE ss_qty < %d" n
+      in
+      let run n =
+        let prepared = Serve.prepare srv (sql n) in
+        let r = Serve.execute srv ~session:0 prepared [] in
+        Support.check_rows_equal (sql n) r.Serve.rows
+          (fresh_rows env Serve.Orca (sql n));
+        r.Serve.cache_hit
+      in
+      Alcotest.(check bool) "qty<3 cold" false (run 3);
+      Alcotest.(check bool) "qty<7 also cold (shape value)" false (run 7);
+      Alcotest.(check bool) "qty<3 again is a hit" true (run 3);
+      let prepared = Serve.prepare srv (sql 3) in
+      let classes = prepared.Serve.p_norm.Normalize.classes in
+      Alcotest.(check bool) "has a shape-relevant slot" true
+        (Array.exists (fun c -> c = Normalize.Shape) classes))
+
+(* The full 43-query workload: cold then warm through the server, both
+   optimizers; warm pass must be all cache hits, verifier-clean at insert
+   (insert would have raised), and row-identical to the cold pass and to a
+   fresh optimize+run. *)
+let test_workload_roundtrip optimizer () =
+  let env = Lazy.force env in
+  let config = serve_config ~optimizer () in
+  with_server ~config env (fun srv ->
+      List.iter
+        (fun (qu : W.Queries.query) ->
+          let prepared = Serve.prepare srv qu.W.Queries.sql in
+          let cold = Serve.execute srv ~session:0 prepared [] in
+          let warm = Serve.execute srv ~session:0 prepared [] in
+          let name = qu.W.Queries.name in
+          Alcotest.(check bool) (name ^ ": warm is a hit") true
+            warm.Serve.cache_hit;
+          Support.check_rows_equal (name ^ ": warm = cold")
+            warm.Serve.rows cold.Serve.rows;
+          Support.check_rows_equal
+            (name ^ ": serve = fresh")
+            cold.Serve.rows
+            (fresh_rows env optimizer qu.W.Queries.sql);
+          (* Channel/metrics accounting: same plan, same execution —
+             scanned partitions and moved rows must agree exactly. *)
+          Alcotest.(check int)
+            (name ^ ": scanned parts agree")
+            (Metrics.total_parts_scanned cold.Serve.metrics)
+            (Metrics.total_parts_scanned warm.Serve.metrics))
+        W.Queries.all)
+
+(* Catalog invalidation: a DDL generation bump drops cached plans. *)
+let test_invalidation_on_catalog_change () =
+  let env = W.Runner.setup_env ~scale:1 ~nsegments:4 () in
+  with_server env (fun srv ->
+      let sql = "SELECT count(*) FROM store_sales WHERE ss_qty < 5" in
+      let prepared = Serve.prepare srv sql in
+      let r1 = Serve.execute srv ~session:0 prepared [] in
+      let r2 = Serve.execute srv ~session:0 prepared [] in
+      Alcotest.(check bool) "warm hit before DDL" true r2.Serve.cache_hit;
+      ignore
+        (Catalog.add_table env.W.Runner.catalog ~name:"serve_inval_probe"
+           ~columns:[ ("x", Value.Tint) ]
+           ~distribution:(Mpp_catalog.Distribution.Hashed [ 0 ])
+           ());
+      let r3 = Serve.execute srv ~session:0 prepared [] in
+      Alcotest.(check bool) "post-DDL execution is a miss" false
+        r3.Serve.cache_hit;
+      Support.check_rows_equal "rows stable across invalidation"
+        r1.Serve.rows r3.Serve.rows;
+      let s = Plan_cache.stats (Serve.cache srv) in
+      Alcotest.(check bool) "invalidation counted" true
+        (s.Plan_cache.invalidations >= 1))
+
+(* ------------------------------------------------------------------ *)
+(* Admission control                                                   *)
+
+let admission_queries =
+  [
+    "SELECT count(*) FROM store_sales WHERE ss_sold_date >= '2013-02-01' \
+     AND ss_sold_date < '2013-05-01'";
+    "SELECT ss_item, count(*) FROM store_sales ss, store_returns sr WHERE \
+     ss_item = sr_item AND ss_item < 3 GROUP BY ss_item";
+    "SELECT count(*) FROM web_sales WHERE ws_qty < 10";
+    "SELECT s_state, count(*) FROM store_sales ss, store s WHERE ss_store \
+     = s_id GROUP BY s_state";
+  ]
+
+(* Capacity 1, K queued sessions: every query's rows must equal a serial
+   execution's, the controller must never have two queries in flight, and
+   the Dpool accounting must match a serial baseline (no lost or
+   duplicated parallel jobs). *)
+let test_admission_capacity_one () =
+  let env = Lazy.force env in
+  let nsessions = 4 in
+  let config = serve_config ~workers:2 ~capacity:1 ~exec_domains:1 () in
+  with_server ~config env (fun srv ->
+      let sessions =
+        Array.init nsessions (fun _ ->
+            List.map
+              (fun sql -> (Serve.prepare srv sql, []))
+              admission_queries)
+      in
+      let results = Serve.run_stream srv sessions in
+      (* serial baseline through a private pool, counting Dpool jobs *)
+      let baseline_pool = Dpool.create 1 in
+      let baseline =
+        List.map
+          (fun sql ->
+            fst
+              (Exec.run ~pool:baseline_pool ~catalog:env.W.Runner.catalog
+                 ~storage:env.W.Runner.storage
+                 (let opt =
+                    Orca.Optimizer.create ~stats:env.W.Runner.stats
+                      ~catalog:env.W.Runner.catalog ()
+                  in
+                  Orca.Optimizer.optimize opt
+                    (Mpp_sql.Sql.to_logical env.W.Runner.catalog sql))))
+          admission_queries
+      in
+      let serial_jobs = Dpool.jobs_submitted baseline_pool in
+      Dpool.shutdown baseline_pool;
+      Array.iteri
+        (fun s rs ->
+          Alcotest.(check int)
+            (Printf.sprintf "session %d completed all" s)
+            (List.length admission_queries)
+            (List.length rs);
+          List.iteri
+            (fun qi r ->
+              Support.check_rows_equal
+                (Printf.sprintf "session %d query %d = serial" s qi)
+                r.Serve.rows
+                (List.nth baseline qi))
+            rs)
+        results;
+      let a = Serve.admission_stats srv in
+      Alcotest.(check int) "peak in-flight is 1" 1 a.Serve.peak_in_flight;
+      Alcotest.(check int) "all submitted completed"
+        (nsessions * List.length admission_queries)
+        a.Serve.completed;
+      Alcotest.(check int) "no failures" 0 a.Serve.failed;
+      (* Dpool accounting: the workers' private pools together ran the
+         same parallel sections K sessions × the serial baseline. *)
+      let served_jobs = Serve.worker_jobs_submitted srv in
+      Alcotest.(check int) "dpool jobs = K × serial baseline"
+        (nsessions * serial_jobs) served_jobs)
+
+(* A memory budget smaller than any single query's estimate: queries are
+   admitted one at a time (oversize-when-idle), so the budget is never
+   exceeded by co-admission. *)
+let test_admission_memory_budget () =
+  let env = Lazy.force env in
+  let config =
+    serve_config ~workers:2 ~capacity:4 ~exec_domains:1 ~mem_budget:1.0 ()
+  in
+  with_server ~config env (fun srv ->
+      let sessions =
+        Array.init 3 (fun _ ->
+            List.map
+              (fun sql -> (Serve.prepare srv sql, []))
+              admission_queries)
+      in
+      let results = Serve.run_stream srv sessions in
+      Array.iter
+        (fun rs ->
+          Alcotest.(check int) "session completed all"
+            (List.length admission_queries)
+            (List.length rs))
+        results;
+      let a = Serve.admission_stats srv in
+      Alcotest.(check int)
+        "budget under any estimate => serialized" 1 a.Serve.peak_in_flight;
+      Alcotest.(check int) "every admission was oversize-when-idle"
+        a.Serve.completed a.Serve.oversize_admissions);
+  (* and with a generous budget, co-admission stays within it *)
+  let config2 = serve_config ~workers:2 ~capacity:2 ~exec_domains:1 () in
+  with_server ~config:config2 env (fun srv ->
+      let sessions =
+        Array.init 3 (fun _ ->
+            List.map
+              (fun sql -> (Serve.prepare srv sql, []))
+              admission_queries)
+      in
+      ignore (Serve.run_stream srv sessions);
+      let a = Serve.admission_stats srv in
+      Alcotest.(check bool) "peak within capacity" true
+        (a.Serve.peak_in_flight <= 2);
+      Alcotest.(check bool) "peak memory within budget" true
+        (a.Serve.peak_mem_bytes
+        <= Serve.default_config.Serve.mem_budget_bytes +. 1.0);
+      Alcotest.(check int) "no oversize admissions" 0
+        a.Serve.oversize_admissions)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "plan cache",
+        [
+          Alcotest.test_case "random binds, orca, serial" `Slow
+            (test_cache_hit_random_params Serve.Orca 1);
+          Alcotest.test_case "random binds, orca, parallel" `Slow
+            (test_cache_hit_random_params Serve.Orca 2);
+          Alcotest.test_case "random binds, planner, serial" `Slow
+            (test_cache_hit_random_params Serve.Planner 1);
+          Alcotest.test_case "random binds, planner, parallel" `Slow
+            (test_cache_hit_random_params Serve.Planner 2);
+          Alcotest.test_case "lifted literals share an entry" `Quick
+            test_lifted_literals_share_entry;
+          Alcotest.test_case "shape-relevant values re-optimize" `Quick
+            test_shape_relevant_values_reoptimize;
+          Alcotest.test_case "workload round-trip, orca" `Slow
+            (test_workload_roundtrip Serve.Orca);
+          Alcotest.test_case "workload round-trip, planner" `Slow
+            (test_workload_roundtrip Serve.Planner);
+          Alcotest.test_case "invalidation on catalog change" `Quick
+            test_invalidation_on_catalog_change;
+        ] );
+      ( "admission control",
+        [
+          Alcotest.test_case "capacity 1 serializes" `Slow
+            test_admission_capacity_one;
+          Alcotest.test_case "memory budgets" `Slow
+            test_admission_memory_budget;
+        ] );
+    ]
